@@ -1,0 +1,30 @@
+package tripoll
+
+import (
+	"tripoll/internal/analysis"
+	"tripoll/internal/core"
+)
+
+// EdgeKey canonically names an undirected edge (smaller endpoint first).
+type EdgeKey = core.EdgeKey
+
+// CanonEdge returns the canonical key for {u, v}.
+var CanonEdge = core.CanonEdge
+
+// LocalEdgeCounts computes per-edge triangle participation counts with a
+// counting-set callback — the input to truss decomposition (§5.3).
+func LocalEdgeCounts[VM, EM any](g *Graph[VM, EM], opts SurveyOptions) (map[EdgeKey]uint64, Result) {
+	return core.LocalEdgeCounts(g, opts)
+}
+
+// TrussEdge is an undirected edge in canonical form for truss analysis.
+type TrussEdge = analysis.Edge
+
+// Truss analysis post-processing (single-machine peeling over
+// survey-produced edge counts), the [15] application of local counts.
+var (
+	TrussDecomposition  = analysis.TrussDecomposition
+	TrussFromEdgeCounts = analysis.TrussFromEdgeCounts
+	TrussSizes          = analysis.TrussSizes
+	MaxTruss            = analysis.MaxTruss
+)

@@ -1,0 +1,74 @@
+// graphgen writes synthetic edge lists to disk in the text format the
+// tripoll CLI reads ("u v [timestamp]").
+//
+// Usage:
+//
+//	graphgen -model reddit -size 200000 -out reddit.txt
+//	graphgen -model rmat -scale 16 -out rmat16.txt
+//	graphgen -model ba -size 100000 -out ba.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tripoll"
+	"tripoll/datagen"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "rmat", "rmat|ba|er|ws|reddit|webhost")
+		out   = flag.String("out", "", "output path (required)")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		size  = flag.Int("size", 100_000, "edge budget / event count (non-rmat models)")
+		scale = flag.Int("scale", 14, "R-MAT scale (rmat model)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "need -out")
+		os.Exit(2)
+	}
+
+	var edges []tripoll.TemporalEdge
+	switch *model {
+	case "rmat":
+		p := datagen.RMATParams{Scale: *scale, Seed: *seed, Scramble: true}
+		if err := p.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		edges = make([]tripoll.TemporalEdge, 0, p.NumEdges())
+		p.Generate(0, p.NumEdges(), func(u, v uint64) {
+			edges = append(edges, tripoll.TemporalEdge{U: u, V: v})
+		})
+	case "ba":
+		edges = datagen.ToTemporal(datagen.BarabasiAlbert(uint64(*size/8), 8, *seed))
+	case "er":
+		edges = datagen.ToTemporal(datagen.ErdosRenyi(uint64(*size/16), *size, *seed))
+	case "ws":
+		edges = datagen.ToTemporal(datagen.WattsStrogatz(uint64(*size/6), 3, 0.1, *seed))
+	case "reddit":
+		p := datagen.DefaultRedditParams()
+		p.Seed = *seed
+		p.Events = *size
+		p.Users = uint64(*size / 8)
+		edges = datagen.RedditLike(p)
+	case "webhost":
+		p := datagen.DefaultWebHostParams()
+		p.Seed = *seed
+		p.IntraEdges = *size * 2 / 5
+		p.InterEdges = *size * 3 / 5
+		edges = datagen.ToTemporal(datagen.WebHostLike(p).Edges)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	if err := tripoll.WriteEdgeListFile(*out, edges); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d edges to %s\n", len(edges), *out)
+}

@@ -1,0 +1,80 @@
+// tripoll-bench regenerates the paper's tables and figures on synthetic
+// stand-in datasets.
+//
+// Usage:
+//
+//	tripoll-bench                         # run everything at default scale
+//	tripoll-bench -exp table2,fig6        # selected artifacts
+//	tripoll-bench -scale 0.2 -max-ranks 4 # smaller and faster
+//	tripoll-bench -transport tcp          # loopback-TCP transport
+//	tripoll-bench -list                   # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tripoll/internal/exp"
+	"tripoll/internal/ygm"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
+		maxRanks  = flag.Int("max-ranks", 8, "largest simulated rank count in scaling sweeps")
+		transport = flag.String("transport", "channel", "transport: channel or tcp")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range exp.All() {
+			fmt.Printf("  %-12s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	cfg := exp.Config{Scale: *scale, MaxRanks: *maxRanks}
+	switch *transport {
+	case "channel":
+		cfg.Transport = ygm.TransportChannel
+	case "tcp":
+		cfg.Transport = ygm.TransportTCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+
+	var runners []exp.Runner
+	if *expFlag == "all" {
+		runners = exp.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			r, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failed := false
+	for _, r := range runners {
+		start := time.Now()
+		rep := r.Run(cfg)
+		fmt.Println(rep.Render())
+		fmt.Printf("(%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if strings.Contains(rep.Render(), "MISMATCH") || strings.Contains(rep.Render(), "UNEXPECTED") {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "one or more experiments reported verification failures")
+		os.Exit(1)
+	}
+}

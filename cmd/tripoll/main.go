@@ -1,0 +1,172 @@
+// tripoll is the command-line front end for running triangle surveys on
+// edge-list files or generated graphs.
+//
+// Usage:
+//
+//	tripoll -input graph.txt -survey count
+//	tripoll -gen reddit -survey closure -ranks 8
+//	tripoll -gen ba -survey cc -mode push-only
+//
+// Input files are whitespace edge lists: "u v [timestamp]", '#' comments.
+// (The max-edge-label survey of Alg. 3 needs distinct vertex labels, which
+// plain edge lists don't carry; see examples/max-edge-label.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tripoll"
+	"tripoll/datagen"
+	"tripoll/internal/stats"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "edge list file (u v [timestamp])")
+		genModel  = flag.String("gen", "", "generate instead of reading: reddit|webhost|ba|er|ws|rmat")
+		survey    = flag.String("survey", "count", "survey: count|closure|cc|localcounts")
+		ranks     = flag.Int("ranks", 4, "simulated rank count")
+		mode      = flag.String("mode", "push-pull", "algorithm: push-pull|push-only")
+		transport = flag.String("transport", "channel", "transport: channel|tcp")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		size      = flag.Int("size", 100_000, "generated edge budget / events")
+	)
+	flag.Parse()
+
+	opts := tripoll.SurveyOptions{}
+	switch *mode {
+	case "push-pull":
+		opts.Mode = tripoll.PushPull
+	case "push-only":
+		opts.Mode = tripoll.PushOnly
+	default:
+		fail("unknown mode %q", *mode)
+	}
+	wopts := tripoll.WorldOptions{}
+	switch *transport {
+	case "channel":
+		wopts.Transport = tripoll.TransportChannel
+	case "tcp":
+		wopts.Transport = tripoll.TransportTCP
+	default:
+		fail("unknown transport %q", *transport)
+	}
+
+	edges := loadEdges(*input, *genModel, *seed, *size)
+	w, err := tripoll.NewWorldWith(*ranks, wopts)
+	if err != nil {
+		fail("world: %v", err)
+	}
+	defer w.Close()
+
+	g := tripoll.BuildTemporal(w, edges)
+	info := tripoll.Info(g)
+	fmt.Printf("graph: |V|=%s |E|=%s (directed, symmetrized) |W+|=%s dmax=%d dmax+=%d\n",
+		stats.FormatCount(info.Vertices), stats.FormatCount(info.DirectedEdges),
+		stats.FormatCount(info.Wedges), info.MaxDegree, info.MaxOutDegree)
+
+	switch *survey {
+	case "count":
+		res := tripoll.Count(g, opts)
+		printResult(res)
+	case "closure":
+		joint, res := tripoll.ClosureTimes(g, opts)
+		printResult(res)
+		fmt.Println(joint.MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
+		fmt.Println(joint.Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
+	case "cc":
+		cs, res := tripoll.ClusteringCoefficients(g, opts)
+		printResult(res)
+		fmt.Printf("average clustering coefficient: %.5f\nglobal transitivity: %.5f\n", cs.Average, cs.Global)
+	case "localcounts":
+		counts, res := tripoll.LocalVertexCounts(g, opts)
+		printResult(res)
+		type vc struct {
+			v uint64
+			c uint64
+		}
+		var top []vc
+		for v, c := range counts {
+			top = append(top, vc{v, c})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].c != top[j].c {
+				return top[i].c > top[j].c
+			}
+			return top[i].v < top[j].v
+		})
+		fmt.Println("top triangle-participating vertices:")
+		for i, t := range top {
+			if i >= 10 {
+				break
+			}
+			fmt.Printf("  v%-12d %s\n", t.v, stats.FormatCount(t.c))
+		}
+	default:
+		fail("unknown survey %q", *survey)
+	}
+}
+
+func printResult(res tripoll.Result) {
+	fmt.Printf("triangles: %s\n", stats.FormatCount(res.Triangles))
+	fmt.Printf("mode %s  total %s (dry-run %s, push %s, pull %s)\n",
+		res.Mode, stats.FormatDuration(res.Total),
+		stats.FormatDuration(res.DryRun.Duration),
+		stats.FormatDuration(res.Push.Duration),
+		stats.FormatDuration(res.Pull.Duration))
+	bytes := res.DryRun.Bytes + res.Push.Bytes + res.Pull.Bytes
+	fmt.Printf("communication: %s in %s messages; pulls granted %s (%.1f/rank)\n",
+		stats.FormatBytes(bytes),
+		stats.FormatCount(uint64(res.DryRun.Messages+res.Push.Messages+res.Pull.Messages)),
+		stats.FormatCount(res.PullsGranted), res.AvgPullsPerRank)
+}
+
+func loadEdges(input, model string, seed int64, size int) []tripoll.TemporalEdge {
+	if input != "" {
+		edges, err := tripoll.ReadEdgeListFile(input)
+		if err != nil {
+			fail("read %s: %v", input, err)
+		}
+		return edges
+	}
+	switch model {
+	case "reddit":
+		p := datagen.DefaultRedditParams()
+		p.Seed = seed
+		p.Events = size
+		p.Users = uint64(size / 8)
+		return datagen.RedditLike(p)
+	case "webhost":
+		p := datagen.DefaultWebHostParams()
+		p.Seed = seed
+		p.IntraEdges = size * 2 / 5
+		p.InterEdges = size * 3 / 5
+		return datagen.ToTemporal(datagen.WebHostLike(p).Edges)
+	case "ba":
+		return datagen.ToTemporal(datagen.BarabasiAlbert(uint64(size/8), 8, seed))
+	case "er":
+		return datagen.ToTemporal(datagen.ErdosRenyi(uint64(size/16), size, seed))
+	case "ws":
+		return datagen.ToTemporal(datagen.WattsStrogatz(uint64(size/6), 3, 0.1, seed))
+	case "rmat":
+		p := datagen.RMATParams{Scale: 14, Seed: seed, Scramble: true}
+		edges := make([]tripoll.TemporalEdge, 0, p.NumEdges())
+		p.Generate(0, p.NumEdges(), func(u, v uint64) {
+			edges = append(edges, tripoll.TemporalEdge{U: u, V: v})
+		})
+		return edges
+	case "":
+		fail("need -input or -gen")
+	default:
+		fail("unknown generator %q", model)
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,48 @@
+// Package datagen exposes the synthetic workload generators as public API:
+// classic random-graph models plus the Reddit-like temporal multigraph and
+// the Web-Data-Commons-like host graph used by the paper reproduction (see
+// DESIGN.md §2 for the substitution rationale).
+package datagen
+
+import (
+	"tripoll/internal/gen"
+	"tripoll/internal/rmat"
+)
+
+// ErdosRenyi, BarabasiAlbert, WattsStrogatz and Complete generate classic
+// topologies as undirected edge lists.
+var (
+	ErdosRenyi     = gen.ErdosRenyi
+	BarabasiAlbert = gen.BarabasiAlbert
+	WattsStrogatz  = gen.WattsStrogatz
+	Complete       = gen.Complete
+	ToTemporal     = gen.ToTemporal
+)
+
+// RedditParams shapes the Reddit-like temporal multigraph generator.
+type RedditParams = gen.RedditParams
+
+// DefaultRedditParams returns a fast, triangle-rich configuration.
+var DefaultRedditParams = gen.DefaultRedditParams
+
+// RedditLike simulates a comment stream: preferential attachment, triadic
+// closure, heavy-tailed inter-event times, repeat interactions.
+var RedditLike = gen.RedditLike
+
+// WebHostParams shapes the web host graph generator.
+type WebHostParams = gen.WebHostParams
+
+// WebHost is the generated host graph with per-vertex FQDN strings.
+type WebHost = gen.WebHost
+
+// DefaultWebHostParams returns a hub-heavy configuration.
+var DefaultWebHostParams = gen.DefaultWebHostParams
+
+// WebHostLike generates the host graph.
+var WebHostLike = gen.WebHostLike
+
+// HubFQDNs names the hub domains; index 0 plays Fig. 8's "amazon.com".
+var HubFQDNs = gen.HubFQDNs
+
+// RMATParams configures the R-MAT generator (Graph500 defaults).
+type RMATParams = rmat.Params

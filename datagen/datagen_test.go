@@ -1,0 +1,59 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestReexportsProduceData(t *testing.T) {
+	if len(ErdosRenyi(50, 100, 1)) != 100 {
+		t.Error("ErdosRenyi")
+	}
+	if len(BarabasiAlbert(100, 3, 1)) == 0 {
+		t.Error("BarabasiAlbert")
+	}
+	if len(WattsStrogatz(50, 2, 0.1, 1)) == 0 {
+		t.Error("WattsStrogatz")
+	}
+	if len(Complete(4)) != 6 {
+		t.Error("Complete")
+	}
+	if len(ToTemporal(Complete(3))) != 3 {
+		t.Error("ToTemporal")
+	}
+}
+
+func TestRedditReexport(t *testing.T) {
+	p := DefaultRedditParams()
+	p.Users = 200
+	p.Events = 1000
+	edges := RedditLike(p)
+	if len(edges) < 1000 {
+		t.Errorf("events = %d", len(edges))
+	}
+}
+
+func TestWebHostReexport(t *testing.T) {
+	p := DefaultWebHostParams()
+	p.Pages = 500
+	p.IntraEdges = 1000
+	p.InterEdges = 1000
+	wh := WebHostLike(p)
+	if len(wh.Edges) == 0 || len(wh.FQDN) != 500 {
+		t.Error("WebHostLike")
+	}
+	if HubFQDNs[0] != "amazon.example" {
+		t.Error("HubFQDNs")
+	}
+}
+
+func TestRMATReexport(t *testing.T) {
+	p := RMATParams{Scale: 8, Seed: 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	p.Generate(0, 100, func(u, v uint64) { count++ })
+	if count != 100 {
+		t.Errorf("generated %d", count)
+	}
+}

@@ -1,0 +1,262 @@
+package algos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tripoll/internal/gen"
+	"tripoll/internal/ygm"
+)
+
+func buildAdjGraph(t testing.TB, nranks int, edges [][2]uint64) (*ygm.World, *AdjGraph) {
+	t.Helper()
+	w := ygm.MustWorld(nranks, ygm.Options{})
+	b := NewAdjBuilder(w)
+	var g *AdjGraph
+	w.Parallel(func(r *ygm.Rank) {
+		for i, e := range edges {
+			if i%r.Size() == r.ID() {
+				b.AddEdge(r, e[0], e[1])
+			}
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return w, g
+}
+
+// serialBFS is the reference implementation.
+func serialBFS(edges [][2]uint64, source uint64) map[uint64]uint32 {
+	adj := map[uint64][]uint64{}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	depth := map[uint64]uint32{source: 0}
+	if _, ok := adj[source]; !ok {
+		return depth
+	}
+	queue := []uint64{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[v] {
+			if _, seen := depth[n]; !seen {
+				depth[n] = depth[v] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return depth
+}
+
+func TestAdjGraphBuild(t *testing.T) {
+	w, g := buildAdjGraph(t, 3, [][2]uint64{{0, 1}, {1, 2}, {1, 2}, {2, 2}, {2, 0}})
+	defer w.Close()
+	if g.NumVertices() != 3 {
+		t.Errorf("|V| = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 3 { // dedup + dropped self-loop
+		t.Errorf("|E| = %d", g.NumEdges())
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	w, g := buildAdjGraph(t, 2, [][2]uint64{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	defer w.Close()
+	got := NewBFS(g).Run(0)
+	for v, want := range map[uint64]uint32{0: 0, 1: 1, 2: 2, 3: 3, 4: 4} {
+		if got[v] != want {
+			t.Errorf("depth(%d) = %d, want %d", v, got[v], want)
+		}
+	}
+}
+
+func TestBFSMatchesSerialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		edges := gen.ErdosRenyi(60, 150, int64(trial))
+		want := serialBFS(edges, edges[0][0])
+		w, g := buildAdjGraph(t, 1+trial%4, edges)
+		b := NewBFS(g)
+		got := b.Run(edges[0][0])
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: reached %d, want %d", trial, len(got), len(want))
+		}
+		for v, d := range want {
+			if got[v] != d {
+				t.Errorf("trial %d: depth(%d) = %d, want %d", trial, v, got[v], d)
+			}
+		}
+		// Reusable across sources.
+		src2 := edges[1][1]
+		want2 := serialBFS(edges, src2)
+		got2 := b.Run(src2)
+		if len(got2) != len(want2) {
+			t.Errorf("trial %d rerun: reached %d, want %d", trial, len(got2), len(want2))
+		}
+		w.Close()
+	}
+	_ = rng
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	w, g := buildAdjGraph(t, 2, [][2]uint64{{0, 1}, {5, 6}})
+	defer w.Close()
+	got := NewBFS(g).Run(0)
+	if len(got) != 2 {
+		t.Errorf("reached = %v", got)
+	}
+	if _, ok := got[5]; ok {
+		t.Error("crossed components")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Three components: {0,1,2}, {10,11}, {20}... isolated vertices only
+	// exist if they have edges, so {20,21}.
+	w, g := buildAdjGraph(t, 3, [][2]uint64{{0, 1}, {1, 2}, {10, 11}, {20, 21}})
+	defer w.Close()
+	comp := NewConnectedComponents(g).Run()
+	if comp[0] != 0 || comp[1] != 0 || comp[2] != 0 {
+		t.Errorf("component A: %v", comp)
+	}
+	if comp[10] != 10 || comp[11] != 10 {
+		t.Errorf("component B: %v", comp)
+	}
+	if comp[20] != 20 || comp[21] != 20 {
+		t.Errorf("component C: %v", comp)
+	}
+}
+
+func TestConnectedComponentsMatchesBFS(t *testing.T) {
+	edges := gen.ErdosRenyi(80, 90, 9) // sparse → several components
+	w, g := buildAdjGraph(t, 4, edges)
+	defer w.Close()
+	comp := NewConnectedComponents(g).Run()
+	// Two vertices share a component iff BFS from one reaches the other.
+	bfs := NewBFS(g)
+	seeds := []uint64{edges[0][0], edges[1][0], edges[2][1]}
+	for _, s := range seeds {
+		reach := bfs.Run(s)
+		for v := range reach {
+			if comp[v] != comp[s] {
+				t.Errorf("BFS reaches %d from %d but components differ (%d vs %d)", v, s, comp[v], comp[s])
+			}
+		}
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a cycle (2-regular), PageRank is exactly uniform.
+	var edges [][2]uint64
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		edges = append(edges, [2]uint64{i, (i + 1) % n})
+	}
+	w, g := buildAdjGraph(t, 3, edges)
+	defer w.Close()
+	pr := NewPageRank(g).Run(30, 0.85)
+	for v, r := range pr {
+		if math.Abs(r-1.0/n) > 1e-9 {
+			t.Errorf("rank(%d) = %v, want %v", v, r, 1.0/n)
+		}
+	}
+}
+
+func TestPageRankSumsToOneAndRanksHubs(t *testing.T) {
+	edges := gen.BarabasiAlbert(500, 3, 5)
+	w, g := buildAdjGraph(t, 4, edges)
+	defer w.Close()
+	pr := NewPageRank(g).Run(40, 0.85)
+	var sum float64
+	for _, r := range pr {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	// The max-degree vertex must outrank the median vertex decisively.
+	deg := map[uint64]int{}
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	var hub uint64
+	for v, d := range deg {
+		if d > deg[hub] {
+			hub = v
+		}
+	}
+	above := 0
+	for _, r := range pr {
+		if pr[hub] >= r {
+			above++
+		}
+	}
+	if float64(above) < 0.99*float64(len(pr)) {
+		t.Errorf("hub rank %v not near top (above %d/%d)", pr[hub], above, len(pr))
+	}
+}
+
+func TestPageRankMatchesSerial(t *testing.T) {
+	edges := gen.ErdosRenyi(40, 200, 21)
+	w, g := buildAdjGraph(t, 3, edges)
+	defer w.Close()
+	got := NewPageRank(g).Run(25, 0.85)
+
+	// Serial reference with identical dangling handling.
+	adj := map[uint64][]uint64{}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	// Dedup neighbor lists like the builder does.
+	for v := range adj {
+		seen := map[uint64]bool{}
+		out := adj[v][:0]
+		for _, n := range adj[v] {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+		adj[v] = out
+	}
+	n := float64(len(adj))
+	rank := map[uint64]float64{}
+	for v := range adj {
+		rank[v] = 1 / n
+	}
+	for it := 0; it < 25; it++ {
+		acc := map[uint64]float64{}
+		var dangling float64
+		for v, r := range rank {
+			if len(adj[v]) == 0 {
+				dangling += r
+				continue
+			}
+			share := r / float64(len(adj[v]))
+			for _, nb := range adj[v] {
+				acc[nb] += share
+			}
+		}
+		for v := range rank {
+			rank[v] = (1-0.85)/n + 0.85*(acc[v]+dangling/n)
+		}
+	}
+	for v, want := range rank {
+		if math.Abs(got[v]-want) > 1e-9 {
+			t.Errorf("rank(%d) = %v, want %v", v, got[v], want)
+		}
+	}
+}

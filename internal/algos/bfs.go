@@ -1,0 +1,108 @@
+package algos
+
+import (
+	"math"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Unreached marks vertices not reached by a traversal.
+const Unreached = math.MaxUint32
+
+// BFS computes single-source shortest hop distances with a
+// level-synchronous distributed traversal: each level's frontier sends
+// asynchronous visit messages to neighbor owners; the termination-
+// detecting barrier ends the level, and an all-reduce decides global
+// convergence. Returns each rank's local {vertex → depth} map gathered
+// into one map (Unreached vertices omitted).
+type BFS struct {
+	g      *AdjGraph
+	hVisit ygm.HandlerID
+	state  []bfsState
+}
+
+type bfsState struct {
+	depth []uint32
+	next  []int32 // local indices discovered this level
+}
+
+// NewBFS prepares a reusable BFS over g (registers handlers; call outside
+// parallel regions).
+func NewBFS(g *AdjGraph) *BFS {
+	b := &BFS{g: g, state: make([]bfsState, g.w.Size())}
+	b.hVisit = g.w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		v := d.Uvarint()
+		depth := uint32(d.Uvarint())
+		if d.Err() != nil {
+			panic("algos: corrupt BFS visit: " + d.Err().Error())
+		}
+		rl := &g.local[r.ID()]
+		i, ok := rl.index[v]
+		if !ok {
+			panic("algos: BFS visit for vertex not stored at its owner")
+		}
+		st := &b.state[r.ID()]
+		if depth < st.depth[i] {
+			st.depth[i] = depth
+			st.next = append(st.next, i)
+		}
+	})
+	return b
+}
+
+// Run executes a BFS from source collectively and returns the gathered
+// distance map on every rank.
+func (b *BFS) Run(source uint64) map[uint64]uint32 {
+	var out map[uint64]uint32
+	b.g.w.Parallel(func(r *ygm.Rank) {
+		rl := &b.g.local[r.ID()]
+		st := &b.state[r.ID()]
+		st.depth = make([]uint32, len(rl.ids))
+		for i := range st.depth {
+			st.depth[i] = Unreached
+		}
+		st.next = st.next[:0]
+		if b.g.Owner(source) == r.ID() {
+			if i, ok := rl.index[source]; ok {
+				st.depth[i] = 0
+				st.next = append(st.next, i)
+			}
+		}
+		r.Barrier()
+
+		for depth := uint32(1); ; depth++ {
+			frontier := st.next
+			st.next = nil
+			for _, i := range frontier {
+				for _, nbr := range rl.adj[i] {
+					e := r.Enc()
+					e.PutUvarint(nbr)
+					e.PutUvarint(uint64(depth))
+					r.Async(b.g.Owner(nbr), b.hVisit, e)
+				}
+			}
+			r.Barrier() // level settled; st.next holds the new frontier
+			if ygm.AllReduceSum(r, uint64(len(st.next))) == 0 {
+				break
+			}
+		}
+
+		local := map[uint64]uint32{}
+		for i, d := range st.depth {
+			if d != Unreached {
+				local[rl.ids[i]] = d
+			}
+		}
+		gathered := ygm.AllGather(r, local)
+		if r.ID() == 0 {
+			out = map[uint64]uint32{}
+			for _, m := range gathered {
+				for v, d := range m {
+					out[v] = d
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,102 @@
+package algos
+
+import (
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// ConnectedComponents labels every vertex with the minimum vertex id of
+// its component via asynchronous label propagation: whenever a vertex's
+// label shrinks, the new label is pushed to its neighbors; rounds continue
+// until a global all-reduce sees no change. Returns {vertex → component}.
+type ConnectedComponents struct {
+	g     *AdjGraph
+	hProp ygm.HandlerID
+	state []ccState
+}
+
+type ccState struct {
+	label   []uint64
+	dirty   []int32
+	inDirty []bool
+}
+
+// NewConnectedComponents prepares the algorithm (call outside regions).
+func NewConnectedComponents(g *AdjGraph) *ConnectedComponents {
+	c := &ConnectedComponents{g: g, state: make([]ccState, g.w.Size())}
+	c.hProp = g.w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		v := d.Uvarint()
+		label := d.Uvarint()
+		if d.Err() != nil {
+			panic("algos: corrupt CC message: " + d.Err().Error())
+		}
+		rl := &g.local[r.ID()]
+		i, ok := rl.index[v]
+		if !ok {
+			panic("algos: CC message for vertex not stored at its owner")
+		}
+		st := &c.state[r.ID()]
+		if label < st.label[i] {
+			st.label[i] = label
+			if !st.inDirty[i] {
+				st.inDirty[i] = true
+				st.dirty = append(st.dirty, i)
+			}
+		}
+	})
+	return c
+}
+
+// Run executes label propagation collectively and returns the gathered
+// component map.
+func (c *ConnectedComponents) Run() map[uint64]uint64 {
+	var out map[uint64]uint64
+	c.g.w.Parallel(func(r *ygm.Rank) {
+		rl := &c.g.local[r.ID()]
+		st := &c.state[r.ID()]
+		st.label = make([]uint64, len(rl.ids))
+		st.inDirty = make([]bool, len(rl.ids))
+		st.dirty = st.dirty[:0]
+		for i, id := range rl.ids {
+			st.label[i] = id
+			st.inDirty[i] = true
+			st.dirty = append(st.dirty, int32(i))
+		}
+		for {
+			work := st.dirty
+			st.dirty = nil
+			for _, i := range work {
+				st.inDirty[i] = false
+			}
+			for _, i := range work {
+				label := st.label[i]
+				for _, nbr := range rl.adj[i] {
+					if nbr > label { // only shrinkable neighbors need the update
+						e := r.Enc()
+						e.PutUvarint(nbr)
+						e.PutUvarint(label)
+						r.Async(c.g.Owner(nbr), c.hProp, e)
+					}
+				}
+			}
+			r.Barrier()
+			if ygm.AllReduceSum(r, uint64(len(st.dirty))) == 0 {
+				break
+			}
+		}
+		local := map[uint64]uint64{}
+		for i, l := range st.label {
+			local[rl.ids[i]] = l
+		}
+		gathered := ygm.AllGather(r, local)
+		if r.ID() == 0 {
+			out = map[uint64]uint64{}
+			for _, m := range gathered {
+				for v, l := range m {
+					out[v] = l
+				}
+			}
+		}
+	})
+	return out
+}

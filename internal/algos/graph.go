@@ -1,0 +1,118 @@
+// Package algos provides classic distributed graph algorithms — BFS,
+// connected components, PageRank — on the ygm substrate. TriPoll itself is
+// triangle-specific, but its communication layer is general (YGM ships
+// comparable utilities); these algorithms double as stress tests of the
+// runtime's async/barrier semantics and as building blocks for survey
+// post-processing (e.g. restricting a closure-time survey to the giant
+// component).
+package algos
+
+import (
+	"sort"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// AdjGraph is a distributed full-adjacency undirected graph (unlike the
+// DODGr, both directions of every edge are stored), hash-partitioned by
+// vertex.
+type AdjGraph struct {
+	w     *ygm.World
+	local []adjLocal
+	hEdge ygm.HandlerID
+
+	numVertices uint64
+	numEdges    uint64 // undirected count
+}
+
+type adjLocal struct {
+	index map[uint64]int32
+	ids   []uint64
+	adj   [][]uint64
+}
+
+// Owner returns the rank storing vertex v.
+func (g *AdjGraph) Owner(v uint64) int { return int(graph.Mix64(v) % uint64(g.w.Size())) }
+
+// World returns the communicator.
+func (g *AdjGraph) World() *ygm.World { return g.w }
+
+// NumVertices returns |V|.
+func (g *AdjGraph) NumVertices() uint64 { return g.numVertices }
+
+// NumEdges returns the undirected edge count after deduplication.
+func (g *AdjGraph) NumEdges() uint64 { return g.numEdges }
+
+// AdjBuilder ingests undirected edges; create outside parallel regions.
+type AdjBuilder struct {
+	g *AdjGraph
+}
+
+// NewAdjBuilder creates a builder over w.
+func NewAdjBuilder(w *ygm.World) *AdjBuilder {
+	g := &AdjGraph{w: w, local: make([]adjLocal, w.Size())}
+	for i := range g.local {
+		g.local[i].index = make(map[uint64]int32)
+	}
+	g.hEdge = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		u := d.Uvarint()
+		v := d.Uvarint()
+		if d.Err() != nil {
+			panic("algos: corrupt edge message: " + d.Err().Error())
+		}
+		rl := &g.local[r.ID()]
+		i, ok := rl.index[u]
+		if !ok {
+			i = int32(len(rl.ids))
+			rl.index[u] = i
+			rl.ids = append(rl.ids, u)
+			rl.adj = append(rl.adj, nil)
+		}
+		rl.adj[i] = append(rl.adj[i], v)
+	})
+	return &AdjBuilder{g: g}
+}
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are dropped.
+func (b *AdjBuilder) AddEdge(r *ygm.Rank, u, v uint64) {
+	if u == v {
+		return
+	}
+	for _, half := range [2][2]uint64{{u, v}, {v, u}} {
+		e := r.Enc()
+		e.PutUvarint(half[0])
+		e.PutUvarint(half[1])
+		r.Async(b.g.Owner(half[0]), b.g.hEdge, e)
+	}
+}
+
+// Build finalizes the graph collectively: dedups and sorts adjacency,
+// reduces global figures.
+func (b *AdjBuilder) Build(r *ygm.Rank) *AdjGraph {
+	r.Barrier()
+	g := b.g
+	rl := &g.local[r.ID()]
+	var localHalf uint64
+	for i := range rl.adj {
+		a := rl.adj[i]
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		out := a[:0]
+		for _, v := range a {
+			if n := len(out); n == 0 || out[n-1] != v {
+				out = append(out, v)
+			}
+		}
+		rl.adj[i] = out
+		localHalf += uint64(len(out))
+	}
+	nv := ygm.AllReduceSum(r, uint64(len(rl.ids)))
+	nh := ygm.AllReduceSum(r, localHalf)
+	if r.ID() == 0 {
+		g.numVertices = nv
+		g.numEdges = nh / 2
+	}
+	ygm.Rendezvous(r)
+	return g
+}

@@ -1,0 +1,99 @@
+package algos
+
+import (
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// PageRank runs synchronous power iterations distributed over the ranks:
+// every round each vertex scatters rank/degree to its neighbors' owners,
+// a barrier settles the round, and the new ranks incorporate the damping
+// term plus the uniformly redistributed dangling mass. Vertices here are
+// those present in the AdjGraph; isolated vertices (degree 0) contribute
+// dangling mass.
+type PageRank struct {
+	g     *AdjGraph
+	hScat ygm.HandlerID
+	state []prState
+}
+
+type prState struct {
+	rank []float64
+	acc  []float64
+}
+
+// NewPageRank prepares the algorithm (call outside regions).
+func NewPageRank(g *AdjGraph) *PageRank {
+	p := &PageRank{g: g, state: make([]prState, g.w.Size())}
+	p.hScat = g.w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		v := d.Uvarint()
+		share := d.Float64()
+		if d.Err() != nil {
+			panic("algos: corrupt PageRank message: " + d.Err().Error())
+		}
+		rl := &g.local[r.ID()]
+		i, ok := rl.index[v]
+		if !ok {
+			panic("algos: PageRank message for vertex not stored at its owner")
+		}
+		p.state[r.ID()].acc[i] += share
+	})
+	return p
+}
+
+// Run executes iters damped power iterations (damping d, typically 0.85)
+// and returns the gathered {vertex → rank} map, summing to 1.
+func (p *PageRank) Run(iters int, damping float64) map[uint64]float64 {
+	var out map[uint64]float64
+	n := float64(p.g.NumVertices())
+	p.g.w.Parallel(func(r *ygm.Rank) {
+		rl := &p.g.local[r.ID()]
+		st := &p.state[r.ID()]
+		st.rank = make([]float64, len(rl.ids))
+		st.acc = make([]float64, len(rl.ids))
+		for i := range st.rank {
+			st.rank[i] = 1 / n
+		}
+		r.Barrier()
+
+		for it := 0; it < iters; it++ {
+			var dangling float64
+			for i := range st.rank {
+				deg := len(rl.adj[i])
+				if deg == 0 {
+					dangling += st.rank[i]
+					continue
+				}
+				share := st.rank[i] / float64(deg)
+				for _, nbr := range rl.adj[i] {
+					e := r.Enc()
+					e.PutUvarint(nbr)
+					e.PutFloat64(share)
+					r.Async(p.g.Owner(nbr), p.hScat, e)
+				}
+			}
+			r.Barrier()
+			totalDangling := ygm.AllReduce(r, dangling, func(a, b float64) float64 { return a + b })
+			for i := range st.rank {
+				st.rank[i] = (1-damping)/n + damping*(st.acc[i]+totalDangling/n)
+				st.acc[i] = 0
+			}
+			ygm.Rendezvous(r) // ranks settled before the next scatter reads them
+		}
+
+		local := map[uint64]float64{}
+		for i, rv := range st.rank {
+			local[rl.ids[i]] = rv
+		}
+		gathered := ygm.AllGather(r, local)
+		if r.ID() == 0 {
+			out = map[uint64]float64{}
+			for _, m := range gathered {
+				for v, rv := range m {
+					out[v] = rv
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,206 @@
+// Package analysis implements downstream consumers of triangle surveys —
+// the applications the paper cites as motivation for local triangle
+// counting (§1, §5.3): k-truss decomposition [15] and triangle-based graph
+// summaries. The distributed survey produces the per-edge counts; the
+// decomposition itself is the standard single-machine peeling
+// post-processing step.
+package analysis
+
+import (
+	"sort"
+)
+
+// Edge is an undirected edge with canonical ordering (U < V).
+type Edge struct {
+	U, V uint64
+}
+
+// Canon returns the canonical form of {u, v}.
+func Canon(u, v uint64) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// TrussDecomposition computes the trussness of every edge: the largest k
+// such that the edge belongs to the k-truss (the maximal subgraph where
+// every edge supports at least k−2 triangles). Input is the undirected
+// simple edge set. Uses the standard peeling algorithm: repeatedly remove
+// the edge with minimum support, decrementing the support of the edges it
+// formed triangles with.
+//
+// Returns trussness per edge; isolated (triangle-free) edges have
+// trussness 2.
+func TrussDecomposition(edges []Edge) map[Edge]int {
+	// Adjacency sets for triangle queries during peeling.
+	adj := make(map[uint64]map[uint64]bool)
+	addDir := func(a, b uint64) {
+		m, ok := adj[a]
+		if !ok {
+			m = make(map[uint64]bool)
+			adj[a] = m
+		}
+		m[b] = true
+	}
+	edgeSet := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		c := Canon(e.U, e.V)
+		if edgeSet[c] {
+			continue
+		}
+		edgeSet[c] = true
+		addDir(c.U, c.V)
+		addDir(c.V, c.U)
+	}
+
+	// Initial support: triangles through each edge.
+	support := make(map[Edge]int, len(edgeSet))
+	for e := range edgeSet {
+		support[e] = countCommon(adj, e.U, e.V)
+	}
+
+	// Peeling with a simple bucket queue over support values.
+	trussness := make(map[Edge]int, len(edgeSet))
+	alive := make(map[Edge]bool, len(edgeSet))
+	for e := range edgeSet {
+		alive[e] = true
+	}
+	remaining := len(edgeSet)
+	k := 2
+	for remaining > 0 {
+		// Find the minimum support among alive edges.
+		min := 1 << 30
+		for e, ok := range alive {
+			if ok && support[e] < min {
+				min = support[e]
+			}
+		}
+		if min+2 > k {
+			k = min + 2
+		}
+		// Peel every alive edge with support ≤ k−2.
+		var queue []Edge
+		for e, ok := range alive {
+			if ok && support[e] <= k-2 {
+				queue = append(queue, e)
+			}
+		}
+		sort.Slice(queue, func(i, j int) bool {
+			if queue[i].U != queue[j].U {
+				return queue[i].U < queue[j].U
+			}
+			return queue[i].V < queue[j].V
+		})
+		for len(queue) > 0 {
+			e := queue[0]
+			queue = queue[1:]
+			if !alive[e] {
+				continue
+			}
+			alive[e] = false
+			trussness[e] = k
+			remaining--
+			// Each triangle (e.U, e.V, w) loses this edge; decrement the
+			// other two edges' support.
+			for w := range adj[e.U] {
+				if w == e.V || !adj[e.V][w] {
+					continue
+				}
+				for _, other := range []Edge{Canon(e.U, w), Canon(e.V, w)} {
+					if alive[other] {
+						support[other]--
+						if support[other] <= k-2 {
+							queue = append(queue, other)
+						}
+					}
+				}
+			}
+			delete(adj[e.U], e.V)
+			delete(adj[e.V], e.U)
+		}
+	}
+	return trussness
+}
+
+func countCommon(adj map[uint64]map[uint64]bool, u, v uint64) int {
+	a, b := adj[u], adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for w := range a {
+		if b[w] {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxTruss returns the largest trussness value present.
+func MaxTruss(trussness map[Edge]int) int {
+	max := 0
+	for _, k := range trussness {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// TrussSizes returns, for each k, how many edges have trussness ≥ k (the
+// size of the k-truss).
+func TrussSizes(trussness map[Edge]int) map[int]int {
+	out := map[int]int{}
+	maxK := MaxTruss(trussness)
+	for k := 2; k <= maxK; k++ {
+		for _, t := range trussness {
+			if t >= k {
+				out[k]++
+			}
+		}
+	}
+	return out
+}
+
+// TrussFromEdgeCounts seeds the peeling with externally computed per-edge
+// triangle counts (e.g. from the distributed LocalEdgeCounts survey) and
+// verifies them against the topology, returning an error count of
+// disagreements. This is the integration point between the distributed
+// survey and the decomposition.
+func TrussFromEdgeCounts(edges []Edge, counts map[Edge]uint64) (map[Edge]int, int) {
+	adj := make(map[uint64]map[uint64]bool)
+	addDir := func(a, b uint64) {
+		m, ok := adj[a]
+		if !ok {
+			m = make(map[uint64]bool)
+			adj[a] = m
+		}
+		m[b] = true
+	}
+	seen := make(map[Edge]bool)
+	var uniq []Edge
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		c := Canon(e.U, e.V)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		uniq = append(uniq, c)
+		addDir(c.U, c.V)
+		addDir(c.V, c.U)
+	}
+	disagreements := 0
+	for _, e := range uniq {
+		if int(counts[e]) != countCommon(adj, e.U, e.V) {
+			disagreements++
+		}
+	}
+	return TrussDecomposition(uniq), disagreements
+}

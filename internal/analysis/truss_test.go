@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"tripoll/internal/gen"
+)
+
+func edgesOf(raw [][2]uint64) []Edge {
+	out := make([]Edge, 0, len(raw))
+	for _, e := range raw {
+		out = append(out, Edge{U: e[0], V: e[1]})
+	}
+	return out
+}
+
+func TestCanon(t *testing.T) {
+	if Canon(5, 2) != (Edge{U: 2, V: 5}) || Canon(2, 5) != (Edge{U: 2, V: 5}) {
+		t.Error("Canon")
+	}
+}
+
+func TestTrussK4(t *testing.T) {
+	// K4 is a 4-truss: every edge supports 2 triangles.
+	tr := TrussDecomposition(edgesOf(gen.Complete(4)))
+	if len(tr) != 6 {
+		t.Fatalf("edges = %d", len(tr))
+	}
+	for e, k := range tr {
+		if k != 4 {
+			t.Errorf("edge %v trussness %d, want 4", e, k)
+		}
+	}
+	if MaxTruss(tr) != 4 {
+		t.Errorf("max truss = %d", MaxTruss(tr))
+	}
+}
+
+func TestTrussK5(t *testing.T) {
+	tr := TrussDecomposition(edgesOf(gen.Complete(5)))
+	for e, k := range tr {
+		if k != 5 {
+			t.Errorf("edge %v trussness %d, want 5", e, k)
+		}
+	}
+}
+
+func TestTrussTriangleWithTail(t *testing.T) {
+	// Triangle {0,1,2} is a 3-truss; pendant edge (2,3) is 2-truss only.
+	tr := TrussDecomposition(edgesOf([][2]uint64{{0, 1}, {1, 2}, {0, 2}, {2, 3}}))
+	if tr[Canon(0, 1)] != 3 || tr[Canon(1, 2)] != 3 || tr[Canon(0, 2)] != 3 {
+		t.Errorf("triangle edges: %v", tr)
+	}
+	if tr[Canon(2, 3)] != 2 {
+		t.Errorf("pendant edge trussness = %d, want 2", tr[Canon(2, 3)])
+	}
+}
+
+func TestTrussK4PlusTriangle(t *testing.T) {
+	// K4 on {0..3} plus a triangle {3,4,5} sharing one vertex: the K4
+	// stays a 4-truss, the extra triangle is a 3-truss.
+	raw := append(gen.Complete(4), [][2]uint64{{3, 4}, {4, 5}, {3, 5}}...)
+	tr := TrussDecomposition(edgesOf(raw))
+	if tr[Canon(0, 1)] != 4 {
+		t.Errorf("K4 edge trussness = %d", tr[Canon(0, 1)])
+	}
+	if tr[Canon(4, 5)] != 3 {
+		t.Errorf("triangle edge trussness = %d", tr[Canon(4, 5)])
+	}
+	sizes := TrussSizes(tr)
+	if sizes[4] != 6 { // exactly the K4's edges survive at k=4
+		t.Errorf("4-truss size = %d, want 6", sizes[4])
+	}
+	if sizes[3] != 9 { // all 9 edges are in the 3-truss
+		t.Errorf("3-truss size = %d, want 9", sizes[3])
+	}
+}
+
+func TestTrussMonotoneProperty(t *testing.T) {
+	// Trussness is sandwiched: 2 ≤ k(e) ≤ support(e)+2, and the k-truss
+	// subgraphs are nested. Verify on random graphs.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		raw := gen.ErdosRenyi(30, 200, int64(trial))
+		tr := TrussDecomposition(edgesOf(raw))
+		for e, k := range tr {
+			if k < 2 {
+				t.Fatalf("edge %v trussness %d < 2", e, k)
+			}
+		}
+		// Nestedness: recompute the (k=3)-truss subgraph directly; every
+		// edge with trussness ≥ 4 must be inside it.
+		var k3 []Edge
+		for e, k := range tr {
+			if k >= 3 {
+				k3 = append(k3, e)
+			}
+		}
+		tr3 := TrussDecomposition(k3)
+		for e, k := range tr {
+			if k >= 4 && tr3[e] < 4 {
+				t.Fatalf("trial %d: edge %v has trussness %d overall but %d in 3-truss", trial, e, k, tr3[e])
+			}
+		}
+	}
+	_ = rng
+}
+
+func TestTrussHandlesDuplicatesAndLoops(t *testing.T) {
+	tr := TrussDecomposition(edgesOf([][2]uint64{{0, 1}, {1, 0}, {1, 1}, {1, 2}, {0, 2}}))
+	if len(tr) != 3 {
+		t.Fatalf("edges = %d, want 3", len(tr))
+	}
+	if tr[Canon(0, 1)] != 3 {
+		t.Errorf("trussness = %v", tr)
+	}
+}
+
+func TestTrussEmpty(t *testing.T) {
+	if len(TrussDecomposition(nil)) != 0 {
+		t.Error("empty graph")
+	}
+	if MaxTruss(map[Edge]int{}) != 0 {
+		t.Error("empty max truss")
+	}
+}
+
+func TestTrussFromEdgeCountsVerifies(t *testing.T) {
+	raw := gen.Complete(4)
+	edges := edgesOf(raw)
+	good := map[Edge]uint64{}
+	for _, e := range edges {
+		good[Canon(e.U, e.V)] = 2 // every K4 edge supports 2 triangles
+	}
+	tr, bad := TrussFromEdgeCounts(edges, good)
+	if bad != 0 {
+		t.Errorf("disagreements = %d with correct counts", bad)
+	}
+	if tr[Canon(0, 1)] != 4 {
+		t.Errorf("trussness = %v", tr)
+	}
+	// Corrupt counts are detected.
+	good[Canon(0, 1)] = 99
+	_, bad = TrussFromEdgeCounts(edges, good)
+	if bad != 1 {
+		t.Errorf("disagreements = %d, want 1", bad)
+	}
+}

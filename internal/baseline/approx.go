@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Approximate counters. The paper's introduction notes that approximation
+// often suffices when per-triangle processing is not required ([6]); these
+// two classic estimators make that trade-off concrete and serve as ablation
+// baselines for "how much work does exactness cost".
+
+// DoulionCount estimates the triangle count by DOULION sparsification:
+// keep each undirected edge independently with probability p, count
+// triangles exactly on the sample, and scale by p⁻³. The estimator is
+// unbiased; variance shrinks as p → 1.
+func DoulionCount(edges [][2]uint64, p float64, seed int64) float64 {
+	if p <= 0 || p > 1 {
+		panic("baseline: DOULION probability must be in (0, 1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	und := make(map[[2]uint64]struct{}, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		und[[2]uint64{u, v}] = struct{}{}
+	}
+	// Deterministic iteration order for a reproducible sample.
+	keys := make([][2]uint64, 0, len(und))
+	for e := range und {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	sample := make([][2]uint64, 0, int(float64(len(keys))*p)+1)
+	for _, e := range keys {
+		if rng.Float64() < p {
+			sample = append(sample, e)
+		}
+	}
+	exact := SerialCount(sample)
+	scale := 1 / (p * p * p)
+	return float64(exact) * scale
+}
+
+// WedgeSampleCount estimates the triangle count by uniform wedge sampling:
+// draw k wedges (paths q—p—r) uniformly, measure the fraction that close,
+// and return closureFraction × |W| / 3 (each triangle closes three wedges).
+func WedgeSampleCount(edges [][2]uint64, k int, seed int64) float64 {
+	g := buildAdj(edges)
+	// Wedge counts per center vertex in G (undirected degree choose 2).
+	ids := g.ids
+	cum := make([]uint64, len(ids)+1)
+	for i, u := range ids {
+		d := uint64(g.deg[u])
+		cum[i+1] = cum[i] + d*(d-1)/2
+	}
+	totalWedges := cum[len(ids)]
+	if totalWedges == 0 || k <= 0 {
+		return 0
+	}
+	// Undirected adjacency for wedge endpoints and closure checks.
+	und := make(map[uint64][]uint64, len(ids))
+	for u, outs := range g.out {
+		for _, v := range outs {
+			und[u] = append(und[u], v)
+			und[v] = append(und[v], u)
+		}
+	}
+	for u := range und {
+		sort.Slice(und[u], func(i, j int) bool { return und[u][i] < und[u][j] })
+	}
+	contains := func(u, v uint64) bool {
+		a := und[u]
+		i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+		return i < len(a) && a[i] == v
+	}
+	rng := rand.New(rand.NewSource(seed))
+	closed := 0
+	for s := 0; s < k; s++ {
+		// Pick a wedge uniformly: a center weighted by its wedge count,
+		// then a uniform unordered neighbor pair.
+		w := uint64(rng.Int63n(int64(totalWedges)))
+		i := sort.Search(len(ids), func(i int) bool { return cum[i+1] > w })
+		center := ids[i]
+		nbrs := und[center]
+		a := rng.Intn(len(nbrs))
+		b := rng.Intn(len(nbrs) - 1)
+		if b >= a {
+			b++
+		}
+		if contains(nbrs[a], nbrs[b]) {
+			closed++
+		}
+	}
+	return float64(closed) / float64(k) * float64(totalWedges) / 3
+}

@@ -1,0 +1,198 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+func randomEdges(rng *rand.Rand, nv, ne int) [][2]uint64 {
+	edges := make([][2]uint64, ne)
+	for i := range edges {
+		edges[i] = [2]uint64{uint64(rng.Intn(nv)), uint64(rng.Intn(nv))}
+	}
+	return edges
+}
+
+func TestSerialCountKnown(t *testing.T) {
+	k4 := [][2]uint64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if got := SerialCount(k4); got != 4 {
+		t.Errorf("K4 = %d, want 4", got)
+	}
+	if got := SerialCount([][2]uint64{{0, 1}, {1, 2}}); got != 0 {
+		t.Errorf("path = %d, want 0", got)
+	}
+	// Duplicates and self-loops are tolerated.
+	if got := SerialCount([][2]uint64{{0, 1}, {1, 0}, {1, 2}, {0, 2}, {2, 2}}); got != 1 {
+		t.Errorf("dirty K3 = %d, want 1", got)
+	}
+	if got := SerialCount(nil); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+}
+
+func TestSerialTrianglesEnumeration(t *testing.T) {
+	tris := SerialTriangles([][2]uint64{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})
+	if len(tris) != 2 {
+		t.Fatalf("bowtie: %d triangles", len(tris))
+	}
+	for _, tri := range tris {
+		set := map[uint64]bool{tri[0]: true, tri[1]: true, tri[2]: true}
+		if len(set) != 3 {
+			t.Errorf("degenerate triangle %v", tri)
+		}
+	}
+}
+
+func TestSerialLocalCounts(t *testing.T) {
+	counts := SerialLocalCounts([][2]uint64{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})
+	if counts[2] != 2 || counts[0] != 1 || counts[4] != 1 {
+		t.Errorf("bowtie local counts = %v", counts)
+	}
+}
+
+func TestSharedMemMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := randomEdges(rng, 5+rng.Intn(50), rng.Intn(400))
+		return SharedMemCount(edges, 1+rng.Intn(8)) == SerialCount(edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildUnit(t testing.TB, nranks int, edges [][2]uint64) (*ygm.World, *graph.DODGr[serialize.Unit, serialize.Unit]) {
+	t.Helper()
+	w := ygm.MustWorld(nranks, ygm.Options{})
+	b := graph.NewBuilder(w, serialize.UnitCodec(), serialize.UnitCodec(), graph.BuilderOptions[serialize.Unit]{})
+	var g *graph.DODGr[serialize.Unit, serialize.Unit]
+	w.Parallel(func(r *ygm.Rank) {
+		for i, e := range edges {
+			if i%r.Size() == r.ID() {
+				b.AddEdge(r, e[0], e[1], serialize.Unit{})
+			}
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return w, g
+}
+
+func TestDistributedBaselinesMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 4; trial++ {
+		edges := randomEdges(rng, 20+rng.Intn(40), 100+rng.Intn(300))
+		want := SerialCount(edges)
+		for _, nranks := range []int{1, 3} {
+			w, g := buildUnit(t, nranks, edges)
+			if got := WedgeQueryCount(g); got.Triangles != want {
+				t.Errorf("trial %d WedgeQuery/%d: %d, want %d", trial, nranks, got.Triangles, want)
+			}
+			if got := ReplicatedCount(g); got.Triangles != want {
+				t.Errorf("trial %d Replicated/%d: %d, want %d", trial, nranks, got.Triangles, want)
+			}
+			if got := EdgeCentricCount(g); got.Triangles != want {
+				t.Errorf("trial %d EdgeCentric/%d: %d, want %d", trial, nranks, got.Triangles, want)
+			}
+			w.Close()
+		}
+	}
+}
+
+func TestWedgeQuerySendsPerWedgeMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	edges := randomEdges(rng, 30, 300)
+	w, g := buildUnit(t, 2, edges)
+	defer w.Close()
+	res := WedgeQueryCount(g)
+	if res.Messages != int64(g.NumWedges()) {
+		t.Errorf("messages = %d, want |W+| = %d", res.Messages, g.NumWedges())
+	}
+	if res.Bytes == 0 || res.Duration <= 0 {
+		t.Errorf("missing stats: %+v", res)
+	}
+}
+
+func TestReplicatedVolumeScalesWithRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	edges := randomEdges(rng, 40, 400)
+	w2, g2 := buildUnit(t, 2, edges)
+	defer w2.Close()
+	w4, g4 := buildUnit(t, 4, edges)
+	defer w4.Close()
+	r2, r4 := ReplicatedCount(g2), ReplicatedCount(g4)
+	// Full replication: broadcast volume must grow ~linearly with ranks.
+	if r4.Bytes < r2.Bytes*3/2 {
+		t.Errorf("replication volume did not scale: 2 ranks %d bytes, 4 ranks %d bytes", r2.Bytes, r4.Bytes)
+	}
+}
+
+func TestDoulionUnbiasedAtP1(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	edges := randomEdges(rng, 30, 300)
+	want := float64(SerialCount(edges))
+	if got := DoulionCount(edges, 1.0, 7); got != want {
+		t.Errorf("DOULION p=1 = %v, want %v", got, want)
+	}
+}
+
+func TestDoulionApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	// A dense-ish graph so the estimate concentrates.
+	edges := randomEdges(rng, 60, 2500)
+	want := float64(SerialCount(edges))
+	if want < 100 {
+		t.Fatalf("test graph too sparse: %v triangles", want)
+	}
+	// Average several seeds: the estimator is unbiased.
+	var sum float64
+	const runs = 30
+	for s := int64(0); s < runs; s++ {
+		sum += DoulionCount(edges, 0.7, s)
+	}
+	got := sum / runs
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("DOULION mean estimate %v too far from %v", got, want)
+	}
+}
+
+func TestDoulionPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DoulionCount([][2]uint64{{0, 1}}, 0, 1)
+}
+
+func TestWedgeSampleApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	edges := randomEdges(rng, 60, 2500)
+	want := float64(SerialCount(edges))
+	var sum float64
+	const runs = 20
+	for s := int64(0); s < runs; s++ {
+		sum += WedgeSampleCount(edges, 4000, s)
+	}
+	got := sum / runs
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("wedge-sample mean estimate %v too far from %v", got, want)
+	}
+}
+
+func TestWedgeSampleDegenerate(t *testing.T) {
+	if got := WedgeSampleCount([][2]uint64{{0, 1}}, 100, 1); got != 0 {
+		t.Errorf("no wedges → %v", got)
+	}
+	if got := WedgeSampleCount(nil, 0, 1); got != 0 {
+		t.Errorf("empty → %v", got)
+	}
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tripoll/internal/graph"
+)
+
+// csr is a compact shared-memory CSR of the degree-ordered directed graph,
+// the data structure the multicore triangle counters of §2 ([63]) operate
+// on.
+type csr struct {
+	ids     []uint64         // vertex ids, CSR order
+	keys    []graph.OrderKey // order key per vertex (CSR order)
+	offs    []int32          // CSR row offsets
+	tgts    []int32          // out-targets as CSR indices, sorted by order key
+	degOf   map[uint64]uint32
+	indexOf map[uint64]int32
+}
+
+func buildCSR(edges [][2]uint64) *csr {
+	und := make(map[[2]uint64]struct{}, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		und[[2]uint64{u, v}] = struct{}{}
+	}
+	deg := map[uint64]uint32{}
+	for e := range und {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	ids := make([]uint64, 0, len(deg))
+	for u := range deg {
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	index := make(map[uint64]int32, len(ids))
+	keys := make([]graph.OrderKey, len(ids))
+	for i, u := range ids {
+		index[u] = int32(i)
+		keys[i] = graph.KeyOf(deg[u], u)
+	}
+	counts := make([]int32, len(ids)+1)
+	orient := func(e [2]uint64) (src, dst int32) {
+		iu, iv := index[e[0]], index[e[1]]
+		if keys[iu].Less(keys[iv]) {
+			return iu, iv
+		}
+		return iv, iu
+	}
+	for e := range und {
+		s, _ := orient(e)
+		counts[s+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	offs := counts
+	tgts := make([]int32, len(und))
+	cursor := make([]int32, len(ids))
+	for e := range und {
+		s, d := orient(e)
+		tgts[offs[s]+cursor[s]] = d
+		cursor[s]++
+	}
+	for i := range ids {
+		row := tgts[offs[i]:offs[i+1]]
+		sort.Slice(row, func(a, b int) bool { return keys[row[a]].Less(keys[row[b]]) })
+	}
+	return &csr{ids: ids, keys: keys, offs: offs, tgts: tgts, degOf: deg, indexOf: index}
+}
+
+func (g *csr) row(i int32) []int32 { return g.tgts[g.offs[i]:g.offs[i+1]] }
+
+// SharedMemCount counts triangles with goroutine parallelism over a
+// shared-memory CSR — the multicore-CPU baseline family. workers ≤ 0 uses
+// GOMAXPROCS.
+func SharedMemCount(edges [][2]uint64, workers int) uint64 {
+	g := buildCSR(edges)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var total atomic.Uint64
+	var next atomic.Int64
+	const chunk = 256
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local uint64
+			for {
+				start := next.Add(chunk) - chunk
+				if start >= int64(len(g.ids)) {
+					break
+				}
+				end := start + chunk
+				if end > int64(len(g.ids)) {
+					end = int64(len(g.ids))
+				}
+				for p := int32(start); p < int32(end); p++ {
+					adj := g.row(p)
+					for i := 0; i+1 < len(adj); i++ {
+						local += g.intersectRows(adj[i], adj[i+1:])
+					}
+				}
+			}
+			total.Add(local)
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+func (g *csr) intersectRows(q int32, candidates []int32) uint64 {
+	qa := g.row(q)
+	var n uint64
+	k := 0
+	for _, c := range candidates {
+		ck := g.keys[c]
+		for k < len(qa) && g.keys[qa[k]].Less(ck) {
+			k++
+		}
+		if k < len(qa) && qa[k] == c {
+			n++
+			k++
+		}
+	}
+	return n
+}

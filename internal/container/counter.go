@@ -1,0 +1,158 @@
+// Package container provides the composable distributed containers built on
+// top of the ygm communication layer (§4.1.4 of the TriPoll paper). Each
+// container hash-partitions its items across ranks; mutating operations are
+// fire-and-forget RPCs that interleave freely with other message traffic,
+// which is what lets survey callbacks increment counters on remote ranks
+// without interfering with triangle identification messages.
+package container
+
+import (
+	"hash/maphash"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+var containerSeed = maphash.MakeSeed()
+
+// ownerOfBytes maps a serialized key to its owning rank.
+func ownerOfBytes(b []byte, n int) int {
+	return int(maphash.Bytes(containerSeed, b) % uint64(n))
+}
+
+// Counter is the distributed counting set of §4.1.4: it keeps one global
+// count per key, sharded across ranks by key hash. Each rank holds a small
+// write-back cache of recently incremented keys; cache entries are flushed
+// to their owning rank when the cache grows past a threshold or at
+// FlushCache/Barrier time. Counts are exact once a barrier has completed.
+type Counter[K comparable] struct {
+	w      *ygm.World
+	codec  serialize.Codec[K]
+	shards []map[K]uint64 // authoritative counts, indexed by owner rank
+	caches []counterCache[K]
+	hInc   ygm.HandlerID
+	limit  int
+}
+
+type counterCache[K comparable] struct {
+	pending map[K]uint64
+}
+
+// CounterOptions tunes the per-rank cache.
+type CounterOptions struct {
+	// CacheEntries is the flush threshold for each rank's write-back cache.
+	// Zero selects the default (4096).
+	CacheEntries int
+}
+
+// NewCounter creates a distributed counting set. Must be called outside a
+// parallel region (it registers a handler).
+func NewCounter[K comparable](w *ygm.World, codec serialize.Codec[K], opts CounterOptions) *Counter[K] {
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 4096
+	}
+	c := &Counter[K]{
+		w:      w,
+		codec:  codec,
+		shards: make([]map[K]uint64, w.Size()),
+		caches: make([]counterCache[K], w.Size()),
+		limit:  opts.CacheEntries,
+	}
+	for i := range c.shards {
+		c.shards[i] = make(map[K]uint64)
+		c.caches[i].pending = make(map[K]uint64)
+	}
+	c.hInc = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		k := c.codec.Decode(d)
+		delta := d.Uvarint()
+		if d.Err() != nil {
+			panic("container: corrupt counter increment: " + d.Err().Error())
+		}
+		c.shards[r.ID()][k] += delta
+	})
+	return c
+}
+
+// Add increments key by delta. The increment lands in the local cache; it
+// becomes globally visible after the cache flushes and a barrier completes.
+func (c *Counter[K]) Add(r *ygm.Rank, key K, delta uint64) {
+	cache := &c.caches[r.ID()]
+	cache.pending[key] += delta
+	if len(cache.pending) >= c.limit {
+		c.FlushCache(r)
+	}
+}
+
+// Inc increments key by one (the counters.increment of Alg. 3/4).
+func (c *Counter[K]) Inc(r *ygm.Rank, key K) { c.Add(r, key, 1) }
+
+// FlushCache sends all cached increments to their owning ranks.
+func (c *Counter[K]) FlushCache(r *ygm.Rank) {
+	cache := &c.caches[r.ID()]
+	if len(cache.pending) == 0 {
+		return
+	}
+	for k, delta := range cache.pending {
+		e := r.Enc()
+		c.codec.Encode(e, k)
+		owner := ownerOfBytes(e.Bytes(), r.Size())
+		e.PutUvarint(delta)
+		r.Async(owner, c.hInc, e)
+	}
+	clear(cache.pending)
+}
+
+// Barrier flushes every rank's cache and waits for global quiescence. All
+// ranks must call it collectively; afterwards counts are exact.
+func (c *Counter[K]) Barrier(r *ygm.Rank) {
+	c.FlushCache(r)
+	r.Barrier()
+	// Handlers triggered by other ranks' flushes may have run during the
+	// barrier; a second flush is unnecessary because handlers write straight
+	// to shards, never to caches.
+}
+
+// LocalShard returns the authoritative counts owned by rank r. The map must
+// only be read between barriers.
+func (c *Counter[K]) LocalShard(r *ygm.Rank) map[K]uint64 { return c.shards[r.ID()] }
+
+// LocalSize returns the number of distinct keys owned by rank r.
+func (c *Counter[K]) LocalSize(r *ygm.Rank) int { return len(c.shards[r.ID()]) }
+
+// GlobalSize returns the number of distinct keys across all ranks
+// (collective call).
+func (c *Counter[K]) GlobalSize(r *ygm.Rank) uint64 {
+	return ygm.AllReduceSum(r, uint64(len(c.shards[r.ID()])))
+}
+
+// GlobalTotal returns the sum of all counts (collective call).
+func (c *Counter[K]) GlobalTotal(r *ygm.Rank) uint64 {
+	var local uint64
+	for _, v := range c.shards[r.ID()] {
+		local += v
+	}
+	return ygm.AllReduceSum(r, local)
+}
+
+// Gather returns the full key→count map on every rank (collective call).
+// Intended for post-processing of survey results; keys must be modest in
+// number.
+func (c *Counter[K]) Gather(r *ygm.Rank) map[K]uint64 {
+	shards := ygm.AllGather(r, c.shards[r.ID()])
+	out := make(map[K]uint64)
+	for _, m := range shards {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Reset clears all shards and caches (collective call between regions is
+// the intended usage; within a region all ranks must call it together).
+func (c *Counter[K]) Reset(r *ygm.Rank) {
+	ygm.Rendezvous(r)
+	clear(c.shards[r.ID()])
+	clear(c.caches[r.ID()].pending)
+	ygm.Rendezvous(r)
+}

@@ -1,0 +1,66 @@
+package container
+
+import (
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Bag is a distributed multiset of items with no placement semantics:
+// items land on a rank chosen round-robin by the sender, which spreads load
+// for later ForAllLocal processing. It is the standard YGM staging
+// container for distributed ingestion (edge lists stream through a Bag in
+// the graph builder's tests and tools).
+type Bag[T any] struct {
+	w      *ygm.World
+	codec  serialize.Codec[T]
+	shards [][]T
+	next   []int // per-rank round-robin cursor
+	hAdd   ygm.HandlerID
+}
+
+// NewBag creates a distributed bag.
+func NewBag[T any](w *ygm.World, codec serialize.Codec[T]) *Bag[T] {
+	b := &Bag[T]{
+		w:      w,
+		codec:  codec,
+		shards: make([][]T, w.Size()),
+		next:   make([]int, w.Size()),
+	}
+	b.hAdd = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		v := b.codec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt bag add: " + d.Err().Error())
+		}
+		b.shards[r.ID()] = append(b.shards[r.ID()], v)
+	})
+	return b
+}
+
+// Add places item on the next rank in round-robin order.
+func (b *Bag[T]) Add(r *ygm.Rank, item T) {
+	dest := b.next[r.ID()]
+	b.next[r.ID()] = (dest + 1) % r.Size()
+	e := r.Enc()
+	b.codec.Encode(e, item)
+	r.Async(dest, b.hAdd, e)
+}
+
+// AddLocal appends item to the local shard with no communication.
+func (b *Bag[T]) AddLocal(r *ygm.Rank, item T) {
+	b.shards[r.ID()] = append(b.shards[r.ID()], item)
+}
+
+// Local returns the local shard; read between barriers.
+func (b *Bag[T]) Local(r *ygm.Rank) []T { return b.shards[r.ID()] }
+
+// GlobalSize returns the total number of items (collective call).
+func (b *Bag[T]) GlobalSize(r *ygm.Rank) uint64 {
+	return ygm.AllReduceSum(r, uint64(len(b.shards[r.ID()])))
+}
+
+// ForAllLocal applies fn to every local item.
+func (b *Bag[T]) ForAllLocal(r *ygm.Rank, fn func(item T)) {
+	for _, v := range b.shards[r.ID()] {
+		fn(v)
+	}
+}

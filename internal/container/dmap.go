@@ -1,0 +1,140 @@
+package container
+
+import (
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Map is the distributed hash map of §4.1.4: key→value pairs stored at
+// deterministic ranks chosen by key hash. Mutations and visits are
+// fire-and-forget RPCs with the visit pattern TriPoll's graph storage is
+// built around: rather than fetching a value, computation is shipped to it.
+type Map[K comparable, V any] struct {
+	w      *ygm.World
+	kCodec serialize.Codec[K]
+	shards []map[K]V
+
+	hInsert ygm.HandlerID
+	hUpsert ygm.HandlerID
+	hVisit  ygm.HandlerID
+
+	insertCodec serialize.Codec[V]
+	mergeFn     func(old, new V) V
+	visitors    []VisitFunc[K, V]
+}
+
+// VisitFunc runs at the owning rank with the key, the value (present
+// reports whether the key exists), and the argument stream of the visit
+// message. It returns the new value and whether to store it.
+type VisitFunc[K comparable, V any] func(r *ygm.Rank, key K, value V, present bool, args *serialize.Decoder) (V, bool)
+
+// NewMap creates a distributed map. Visitor functions are registered up
+// front (deterministically on all ranks) and referenced by index in visit
+// messages, mirroring how YGM ships lambda offsets.
+func NewMap[K comparable, V any](w *ygm.World, kCodec serialize.Codec[K], vCodec serialize.Codec[V], merge func(old, new V) V, visitors ...VisitFunc[K, V]) *Map[K, V] {
+	m := &Map[K, V]{
+		w:           w,
+		kCodec:      kCodec,
+		shards:      make([]map[K]V, w.Size()),
+		insertCodec: vCodec,
+		mergeFn:     merge,
+		visitors:    visitors,
+	}
+	for i := range m.shards {
+		m.shards[i] = make(map[K]V)
+	}
+	m.hInsert = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		k := m.kCodec.Decode(d)
+		v := m.insertCodec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt map insert: " + d.Err().Error())
+		}
+		m.shards[r.ID()][k] = v
+	})
+	m.hUpsert = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		k := m.kCodec.Decode(d)
+		v := m.insertCodec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt map upsert: " + d.Err().Error())
+		}
+		shard := m.shards[r.ID()]
+		if old, ok := shard[k]; ok && m.mergeFn != nil {
+			shard[k] = m.mergeFn(old, v)
+		} else {
+			shard[k] = v
+		}
+	})
+	m.hVisit = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		idx := d.Uvarint()
+		k := m.kCodec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt map visit: " + d.Err().Error())
+		}
+		shard := m.shards[r.ID()]
+		v, ok := shard[k]
+		nv, store := m.visitors[idx](r, k, v, ok, d)
+		if store {
+			shard[k] = nv
+		}
+	})
+	return m
+}
+
+// Owner returns the rank that stores key.
+func (m *Map[K, V]) Owner(key K) int {
+	var e serialize.Encoder
+	m.kCodec.Encode(&e, key)
+	return ownerOfBytes(e.Bytes(), m.w.Size())
+}
+
+// Insert stores key→value, overwriting any existing value.
+func (m *Map[K, V]) Insert(r *ygm.Rank, key K, value V) {
+	e := r.Enc()
+	m.kCodec.Encode(e, key)
+	owner := ownerOfBytes(e.Bytes(), r.Size())
+	m.insertCodec.Encode(e, value)
+	r.Async(owner, m.hInsert, e)
+}
+
+// Upsert stores key→value, combining with the existing value through the
+// merge function supplied at construction.
+func (m *Map[K, V]) Upsert(r *ygm.Rank, key K, value V) {
+	e := r.Enc()
+	m.kCodec.Encode(e, key)
+	owner := ownerOfBytes(e.Bytes(), r.Size())
+	m.insertCodec.Encode(e, value)
+	r.Async(owner, m.hUpsert, e)
+}
+
+// Visit ships computation to the key's owner: visitor (by registration
+// index) runs there with the args encoded by fill. This is the
+// DODGr.visit(v, func, args) primitive of §4.2.
+func (m *Map[K, V]) Visit(r *ygm.Rank, key K, visitor int, fill func(e *serialize.Encoder)) {
+	ke := r.Enc()
+	m.kCodec.Encode(ke, key)
+	owner := ownerOfBytes(ke.Bytes(), r.Size())
+	r.ReleaseEnc(ke)
+
+	e := r.Enc()
+	e.PutUvarint(uint64(visitor))
+	m.kCodec.Encode(e, key)
+	if fill != nil {
+		fill(e)
+	}
+	r.Async(owner, m.hVisit, e)
+}
+
+// LocalShard returns the pairs owned by rank r; read between barriers.
+func (m *Map[K, V]) LocalShard(r *ygm.Rank) map[K]V { return m.shards[r.ID()] }
+
+// GlobalSize returns the number of keys across all ranks (collective call).
+func (m *Map[K, V]) GlobalSize(r *ygm.Rank) uint64 {
+	return ygm.AllReduceSum(r, uint64(len(m.shards[r.ID()])))
+}
+
+// ForAllLocal applies fn to every locally owned pair.
+func (m *Map[K, V]) ForAllLocal(r *ygm.Rank, fn func(key K, value V)) {
+	for k, v := range m.shards[r.ID()] {
+		fn(k, v)
+	}
+}

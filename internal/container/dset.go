@@ -1,0 +1,103 @@
+package container
+
+import (
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Set is a distributed set of keys, hash-partitioned like Map. It supports
+// the asynchronous operations that fit the fire-and-forget model: insert,
+// remove, and visit-if-member (membership tests that need an answer are
+// expressed as a continuation message rather than a reply).
+type Set[K comparable] struct {
+	w        *ygm.World
+	codec    serialize.Codec[K]
+	shards   []map[K]struct{}
+	hInsert  ygm.HandlerID
+	hRemove  ygm.HandlerID
+	hIfIn    ygm.HandlerID
+	visitors []func(r *ygm.Rank, key K, member bool, args *serialize.Decoder)
+}
+
+// NewSet creates a distributed set. Visitors run at the key's owner with
+// the membership verdict; they are registered up front like Map visitors.
+func NewSet[K comparable](w *ygm.World, codec serialize.Codec[K], visitors ...func(r *ygm.Rank, key K, member bool, args *serialize.Decoder)) *Set[K] {
+	s := &Set[K]{
+		w:        w,
+		codec:    codec,
+		shards:   make([]map[K]struct{}, w.Size()),
+		visitors: visitors,
+	}
+	for i := range s.shards {
+		s.shards[i] = make(map[K]struct{})
+	}
+	s.hInsert = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		k := s.codec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt set insert: " + d.Err().Error())
+		}
+		s.shards[r.ID()][k] = struct{}{}
+	})
+	s.hRemove = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		k := s.codec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt set remove: " + d.Err().Error())
+		}
+		delete(s.shards[r.ID()], k)
+	})
+	s.hIfIn = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		idx := d.Uvarint()
+		k := s.codec.Decode(d)
+		if d.Err() != nil {
+			panic("container: corrupt set visit: " + d.Err().Error())
+		}
+		_, member := s.shards[r.ID()][k]
+		s.visitors[idx](r, k, member, d)
+	})
+	return s
+}
+
+func (s *Set[K]) ownerOf(r *ygm.Rank, key K) int {
+	e := r.Enc()
+	s.codec.Encode(e, key)
+	owner := ownerOfBytes(e.Bytes(), r.Size())
+	r.ReleaseEnc(e)
+	return owner
+}
+
+// Insert adds key to the set.
+func (s *Set[K]) Insert(r *ygm.Rank, key K) {
+	e := r.Enc()
+	s.codec.Encode(e, key)
+	owner := ownerOfBytes(e.Bytes(), r.Size())
+	r.Async(owner, s.hInsert, e)
+}
+
+// Remove deletes key from the set.
+func (s *Set[K]) Remove(r *ygm.Rank, key K) {
+	e := r.Enc()
+	s.codec.Encode(e, key)
+	owner := ownerOfBytes(e.Bytes(), r.Size())
+	r.Async(owner, s.hRemove, e)
+}
+
+// VisitIfMember runs visitor (by index) at key's owner with the membership
+// verdict and the extra args encoded by fill.
+func (s *Set[K]) VisitIfMember(r *ygm.Rank, key K, visitor int, fill func(e *serialize.Encoder)) {
+	owner := s.ownerOf(r, key)
+	e := r.Enc()
+	e.PutUvarint(uint64(visitor))
+	s.codec.Encode(e, key)
+	if fill != nil {
+		fill(e)
+	}
+	r.Async(owner, s.hIfIn, e)
+}
+
+// LocalShard returns the locally owned members; read between barriers.
+func (s *Set[K]) LocalShard(r *ygm.Rank) map[K]struct{} { return s.shards[r.ID()] }
+
+// GlobalSize returns the set cardinality (collective call).
+func (s *Set[K]) GlobalSize(r *ygm.Rank) uint64 {
+	return ygm.AllReduceSum(r, uint64(len(s.shards[r.ID()])))
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"tripoll/internal/container"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/stats"
+	"tripoll/internal/ygm"
+)
+
+// Count runs a survey with no callback — the simple triangle counting of
+// Alg. 2, the "subset of the functionality" used for all of the paper's
+// performance comparisons.
+func Count[VM, EM any](g *graph.DODGr[VM, EM], opts Options) Result {
+	return NewSurvey(g, opts, nil).Run()
+}
+
+// LocalVertexCounts computes per-vertex triangle participation counts (the
+// local counting used by truss decomposition and clustering-coefficient
+// applications, §5.3) by pairing a counting-set callback with the survey.
+// The returned map is the gathered global result.
+func LocalVertexCounts[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (map[uint64]uint64, Result) {
+	w := g.World()
+	counter := container.NewCounter[uint64](w, serialize.Uint64Codec(), container.CounterOptions{})
+	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, EM]) {
+		counter.Inc(r, t.P)
+		counter.Inc(r, t.Q)
+		counter.Inc(r, t.R)
+	})
+	res := s.Run()
+	var gathered map[uint64]uint64
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			gathered = m
+		}
+	})
+	return gathered, res
+}
+
+// ClusteringStats holds the output of ClusteringCoefficients.
+type ClusteringStats struct {
+	// Average is the mean of per-vertex clustering coefficients
+	// cc(v) = 2·t(v) / (d(v)·(d(v)−1)) over vertices with d(v) ≥ 2.
+	Average float64
+	// Global is the transitivity 3·|T| / |wedges of G|.
+	Global float64
+	// Triangles is |T(G)|.
+	Triangles uint64
+	// Wedges counts unordered neighbor pairs Σ_v C(d(v), 2) in G (not G⁺).
+	Wedges uint64
+}
+
+// ClusteringCoefficients derives clustering statistics from local triangle
+// counts — one of the standard downstream consumers of per-vertex counts
+// the paper cites ([7]).
+func ClusteringCoefficients[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (ClusteringStats, Result) {
+	counts, res := LocalVertexCounts(g, opts)
+	w := g.World()
+	var out ClusteringStats
+	w.Parallel(func(r *ygm.Rank) {
+		var ccSum float64
+		var ccVerts, wedges uint64
+		for _, v := range g.LocalVertices(r) {
+			d := uint64(v.Deg)
+			if d < 2 {
+				continue
+			}
+			pairs := d * (d - 1) / 2
+			wedges += pairs
+			ccVerts++
+			ccSum += float64(counts[v.ID]) / float64(pairs)
+		}
+		totSum := ygm.AllReduce(r, ccSum, func(a, b float64) float64 { return a + b })
+		totVerts := ygm.AllReduceSum(r, ccVerts)
+		totWedges := ygm.AllReduceSum(r, wedges)
+		if r.ID() == 0 {
+			if totVerts > 0 {
+				out.Average = totSum / float64(totVerts)
+			}
+			out.Wedges = totWedges
+			if totWedges > 0 {
+				out.Global = 3 * float64(res.Triangles) / float64(totWedges)
+			}
+		}
+	})
+	out.Triangles = res.Triangles
+	return out, res
+}
+
+// MaxEdgeLabelDistribution is Alg. 3: among triangles whose three vertex
+// labels are pairwise distinct, the distribution of the maximum edge label.
+func MaxEdgeLabelDistribution[VM comparable](g *graph.DODGr[VM, uint64], opts Options) (map[uint64]uint64, Result) {
+	w := g.World()
+	counter := container.NewCounter[uint64](w, serialize.Uint64Codec(), container.CounterOptions{})
+	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
+		if t.MetaP == t.MetaQ || t.MetaQ == t.MetaR || t.MetaP == t.MetaR {
+			return
+		}
+		max := t.MetaPQ
+		if t.MetaPR > max {
+			max = t.MetaPR
+		}
+		if t.MetaQR > max {
+			max = t.MetaQR
+		}
+		counter.Inc(r, max)
+	})
+	res := s.Run()
+	var gathered map[uint64]uint64
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			gathered = m
+		}
+	})
+	return gathered, res
+}
+
+// TimePair is a (⌈log₂ Δt_open⌉, ⌈log₂ Δt_close⌉) bucket pair.
+type TimePair = serialize.Pair[int64, int64]
+
+// ClosureTimes is Alg. 4 — the Reddit experiment of §5.7. Edge metadata
+// must be timestamps. For each triangle with edge times t1 ≤ t2 ≤ t3 it
+// buckets the wedge opening time Δt_open = t2 − t1 and triangle closing
+// time Δt_close = t3 − t1 into ceil-log₂ bins and counts the joint pair.
+//
+// (Alg. 4 line 7 repeats Alg. 3's distinct-vertex-label guard, but §5.7
+// states the Reddit survey uses no vertex metadata; the guard is a
+// pseudocode artifact and is omitted here.)
+func ClosureTimes[VM any](g *graph.DODGr[VM, uint64], opts Options) (*stats.Joint2D, Result) {
+	w := g.World()
+	codec := serialize.PairCodec(serialize.Int64Codec(), serialize.Int64Codec())
+	counter := container.NewCounter[TimePair](w, codec, container.CounterOptions{})
+	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
+		t1, t2, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
+		open := int64(stats.CeilLog2(t2 - t1))
+		close := int64(stats.CeilLog2(t3 - t1))
+		counter.Inc(r, TimePair{First: open, Second: close})
+	})
+	res := s.Run()
+	joint := stats.NewJoint2D()
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			for k, c := range m {
+				joint.Add(int(k.First), int(k.Second), c)
+			}
+		}
+	})
+	return joint, res
+}
+
+// sort3 returns a, b, c in ascending order.
+func sort3(a, b, c uint64) (uint64, uint64, uint64) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// DegreeTriple is a (⌈log₂ d(p)⌉, ⌈log₂ d(q)⌉, ⌈log₂ d(r)⌉) bucket triple.
+type DegreeTriple = serialize.Triple[int64, int64, int64]
+
+// DegreeTriples is the §5.9 metadata-impact survey: vertex metadata is the
+// vertex's degree, and the callback counts log₂-bucketed degree triples
+// across all triangles. VM must therefore be uint64 holding d(v).
+func DegreeTriples[EM any](g *graph.DODGr[uint64, EM], opts Options) (map[DegreeTriple]uint64, Result) {
+	w := g.World()
+	codec := serialize.TripleCodec(serialize.Int64Codec(), serialize.Int64Codec(), serialize.Int64Codec())
+	counter := container.NewCounter[DegreeTriple](w, codec, container.CounterOptions{})
+	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[uint64, EM]) {
+		counter.Inc(r, DegreeTriple{
+			First:  int64(stats.CeilLog2(t.MetaP)),
+			Second: int64(stats.CeilLog2(t.MetaQ)),
+			Third:  int64(stats.CeilLog2(t.MetaR)),
+		})
+	})
+	res := s.Run()
+	var gathered map[DegreeTriple]uint64
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			gathered = m
+		}
+	})
+	return gathered, res
+}

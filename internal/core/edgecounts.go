@@ -1,0 +1,45 @@
+package core
+
+import (
+	"tripoll/internal/container"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// EdgeKey canonically names an undirected edge (smaller endpoint first).
+type EdgeKey = serialize.Pair[uint64, uint64]
+
+// CanonEdge returns the canonical key for {u, v}.
+func CanonEdge(u, v uint64) EdgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return EdgeKey{First: u, Second: v}
+}
+
+// LocalEdgeCounts computes per-edge triangle participation counts — the
+// quantity truss decomposition consumes (§5.3: "distributed versions of
+// computing truss decompositions, where counts of triangles are desired at
+// edges"). The returned map is the gathered global result keyed by
+// canonical edge.
+func LocalEdgeCounts[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (map[EdgeKey]uint64, Result) {
+	w := g.World()
+	codec := serialize.PairCodec(serialize.Uint64Codec(), serialize.Uint64Codec())
+	counter := container.NewCounter[EdgeKey](w, codec, container.CounterOptions{})
+	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, EM]) {
+		counter.Inc(r, CanonEdge(t.P, t.Q))
+		counter.Inc(r, CanonEdge(t.P, t.R))
+		counter.Inc(r, CanonEdge(t.Q, t.R))
+	})
+	res := s.Run()
+	var gathered map[EdgeKey]uint64
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			gathered = m
+		}
+	})
+	return gathered, res
+}

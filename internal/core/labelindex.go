@@ -1,0 +1,64 @@
+package core
+
+import (
+	"tripoll/internal/container"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Labeled triangle indexing (Reza et al. [45], cited in §1/§5.3): for
+// interactive labeled pattern matching it pays to precompute, per edge,
+// how many triangles close over that edge with each vertex label. A query
+// like "triangles on (u,v) whose third vertex is labeled X" then reads one
+// counter instead of intersecting adjacency lists.
+
+// LabelIndexKey identifies one (edge, third-vertex-label) bucket.
+type LabelIndexKey[VM comparable] struct {
+	Edge  EdgeKey
+	Label VM
+}
+
+// LabelIndex is the gathered index: counts per (edge, closing label).
+type LabelIndex[VM comparable] map[LabelIndexKey[VM]]uint64
+
+// Query returns the number of triangles over {u, v} whose third vertex
+// carries label.
+func (ix LabelIndex[VM]) Query(u, v uint64, label VM) uint64 {
+	return ix[LabelIndexKey[VM]{Edge: CanonEdge(u, v), Label: label}]
+}
+
+// BuildLabelIndex surveys the graph once, producing the labeled triangle
+// index. VM is the vertex label type.
+func BuildLabelIndex[VM comparable, EM any](g *graph.DODGr[VM, EM], opts Options, labelCodec serialize.Codec[VM]) (LabelIndex[VM], Result) {
+	w := g.World()
+	keyCodec := serialize.Codec[LabelIndexKey[VM]]{
+		Encode: func(e *serialize.Encoder, k LabelIndexKey[VM]) {
+			e.PutUvarint(k.Edge.First)
+			e.PutUvarint(k.Edge.Second)
+			labelCodec.Encode(e, k.Label)
+		},
+		Decode: func(d *serialize.Decoder) LabelIndexKey[VM] {
+			return LabelIndexKey[VM]{
+				Edge:  EdgeKey{First: d.Uvarint(), Second: d.Uvarint()},
+				Label: labelCodec.Decode(d),
+			}
+		},
+	}
+	counter := container.NewCounter[LabelIndexKey[VM]](w, keyCodec, container.CounterOptions{})
+	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, EM]) {
+		counter.Inc(r, LabelIndexKey[VM]{Edge: CanonEdge(t.P, t.Q), Label: t.MetaR})
+		counter.Inc(r, LabelIndexKey[VM]{Edge: CanonEdge(t.P, t.R), Label: t.MetaQ})
+		counter.Inc(r, LabelIndexKey[VM]{Edge: CanonEdge(t.Q, t.R), Label: t.MetaP})
+	})
+	res := s.Run()
+	var ix LabelIndex[VM]
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			ix = m
+		}
+	})
+	return ix, res
+}

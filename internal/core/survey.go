@@ -1,0 +1,418 @@
+package core
+
+import (
+	"time"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Options configures a survey.
+type Options struct {
+	// Mode selects Push-Only (Alg. 1) or Push-Pull (§4.4).
+	Mode Mode
+	// PullFactor scales the pull side of the dry-run comparison: a target
+	// vertex q is pulled by a source rank when
+	//     |Adj⁺(q)| · PullFactor  <  Σ_{p local to source} |candidates → q|.
+	// 1.0 reproduces the paper's inequality; other values are exposed for
+	// the ablation study of the decision threshold. Zero means 1.0.
+	PullFactor float64
+}
+
+// PhaseStats describes one phase of a survey run: its wall-clock duration
+// and the communication it generated (Table 4 reports exactly these).
+type PhaseStats struct {
+	Duration time.Duration
+	Bytes    int64
+	Messages int64
+	Batches  int64
+}
+
+// Result summarizes a survey run.
+type Result struct {
+	Mode      Mode
+	Triangles uint64 // total callback firings == |T(G)|
+
+	// DryRun, Push and Pull break the run into the paper's three phases
+	// (Fig. 7). Push-Only runs populate only Push.
+	DryRun PhaseStats
+	Push   PhaseStats
+	Pull   PhaseStats
+
+	Total time.Duration
+
+	// PullsGranted counts (target vertex, source rank) pairs that chose
+	// pull; divided by world size it is Table 3's "Avg. Pulls Per Rank".
+	PullsGranted    uint64
+	AvgPullsPerRank float64
+
+	// WedgeChecks counts candidate comparisons actually performed, the
+	// algorithm's unit of work (|W⁺| when nothing is skipped).
+	WedgeChecks uint64
+	// MaxRankWedgeChecks is the largest number of wedge checks any single
+	// rank performed — the critical-path work measure. On a simulated-rank
+	// runtime (ranks are goroutines, possibly on few physical cores) this,
+	// not wall clock, is the quantity strong scaling should be judged by.
+	MaxRankWedgeChecks uint64
+	// WorkBalance is WedgeChecks / (ranks · MaxRankWedgeChecks) ∈ (0, 1]:
+	// 1.0 means perfectly balanced intersection work.
+	WorkBalance float64
+}
+
+// Survey is a reusable triangle survey over one DODGr. Construct outside a
+// parallel region (handlers are registered); Run as many times as desired.
+type Survey[VM, EM any] struct {
+	g    *graph.DODGr[VM, EM]
+	w    *ygm.World
+	opts Options
+	cb   Callback[VM, EM]
+
+	hPush    ygm.HandlerID
+	hPropose ygm.HandlerID
+	hDecline ygm.HandlerID
+	hPull    ygm.HandlerID
+
+	state []rankState[VM, EM]
+}
+
+// reqRef locates a (p, q) wedge source on the requesting rank: the local
+// vertex index of p and the adjacency position of q within Adj⁺ᵐ(p).
+type reqRef struct {
+	vert int32
+	pos  int32
+}
+
+type pullEntry[EM any] struct {
+	id  uint64
+	deg uint32
+	em  EM
+}
+
+type rankState[VM, EM any] struct {
+	// Source side (dry run → push/pull bookkeeping).
+	targVol  map[uint64]uint64   // target vertex → proposed push volume (edges)
+	targReq  map[uint64][]reqRef // target vertex → local wedge sources
+	declined map[uint64]bool     // target vertex → owner declined the pull
+
+	// Target side.
+	pullGrants map[int32][]int32 // local vertex index → granting source ranks
+	numGrants  uint64
+
+	// Work accounting.
+	triangles   uint64
+	wedgeChecks uint64
+
+	scratchTri  Triangle[VM, EM]
+	scratchPull []pullEntry[EM]
+}
+
+// NewSurvey prepares a survey of g invoking cb on every triangle. cb may be
+// nil for pure counting (Result.Triangles is maintained either way).
+func NewSurvey[VM, EM any](g *graph.DODGr[VM, EM], opts Options, cb Callback[VM, EM]) *Survey[VM, EM] {
+	if opts.PullFactor == 0 {
+		opts.PullFactor = 1.0
+	}
+	s := &Survey[VM, EM]{g: g, w: g.World(), opts: opts, cb: cb}
+	s.state = make([]rankState[VM, EM], s.w.Size())
+	s.hPush = s.w.RegisterHandler(s.onPush)
+	s.hPropose = s.w.RegisterHandler(s.onPropose)
+	s.hDecline = s.w.RegisterHandler(s.onDecline)
+	s.hPull = s.w.RegisterHandler(s.onPull)
+	return s
+}
+
+// Run executes the survey collectively and returns aggregate statistics.
+// It must be called outside parallel regions; it resets the world's
+// communication statistics to attribute traffic per phase.
+func (s *Survey[VM, EM]) Run() Result {
+	for i := range s.state {
+		st := &s.state[i]
+		st.targVol = make(map[uint64]uint64)
+		st.targReq = make(map[uint64][]reqRef)
+		st.declined = make(map[uint64]bool)
+		st.pullGrants = make(map[int32][]int32)
+		st.numGrants = 0
+		st.triangles = 0
+		st.wedgeChecks = 0
+	}
+	s.w.ResetStats()
+
+	res := Result{Mode: s.opts.Mode}
+	t0 := time.Now()
+	var prev ygm.Stats
+
+	phase := func(dst *PhaseStats, body func(r *ygm.Rank)) {
+		start := time.Now()
+		s.w.Parallel(body)
+		dst.Duration = time.Since(start)
+		now := s.w.Stats()
+		d := now.Sub(prev)
+		prev = now
+		dst.Bytes = d.BytesSent
+		dst.Messages = d.MessagesSent
+		dst.Batches = d.BatchesSent
+	}
+
+	if s.opts.Mode == PushPull {
+		phase(&res.DryRun, s.dryRunPhase)
+	}
+	phase(&res.Push, s.pushPhase)
+	if s.opts.Mode == PushPull {
+		phase(&res.Pull, s.pullPhase)
+	}
+
+	res.Total = time.Since(t0)
+	for i := range s.state {
+		res.Triangles += s.state[i].triangles
+		res.PullsGranted += s.state[i].numGrants
+		res.WedgeChecks += s.state[i].wedgeChecks
+		if s.state[i].wedgeChecks > res.MaxRankWedgeChecks {
+			res.MaxRankWedgeChecks = s.state[i].wedgeChecks
+		}
+	}
+	res.AvgPullsPerRank = float64(res.PullsGranted) / float64(s.w.Size())
+	if res.MaxRankWedgeChecks > 0 {
+		res.WorkBalance = float64(res.WedgeChecks) / (float64(s.w.Size()) * float64(res.MaxRankWedgeChecks))
+	}
+	return res
+}
+
+// --- Dry-run phase (§4.4, "Push vs Pull Dry-Run") ---------------------
+
+// dryRunPhase mimics the push pass over adjacency lists without moving any
+// adjacency data: it accumulates, per target vertex, the number of edges
+// this rank would push, remembers where each wedge source lives (so pulls
+// can be served locally later), and proposes aggregate volumes to target
+// owners.
+func (s *Survey[VM, EM]) dryRunPhase(r *ygm.Rank) {
+	st := &s.state[r.ID()]
+	verts := s.g.LocalVertices(r)
+	for vi := range verts {
+		p := &verts[vi]
+		for j := 0; j+1 < len(p.Adj); j++ {
+			q := p.Adj[j].Target
+			vol := uint64(len(p.Adj) - j - 1)
+			st.targVol[q] += vol
+			st.targReq[q] = append(st.targReq[q], reqRef{vert: int32(vi), pos: int32(j)})
+		}
+	}
+	for q, vol := range st.targVol {
+		e := r.Enc()
+		e.PutUvarint(q)
+		e.PutUvarint(vol)
+		e.PutUvarint(uint64(r.ID()))
+		r.Async(s.g.Owner(q), s.hPropose, e)
+	}
+}
+
+// onPropose runs at the target vertex's owner: grant the pull when sending
+// Adj⁺ᵐ(q) once beats receiving the proposed volume, otherwise tell the
+// source to push as usual.
+func (s *Survey[VM, EM]) onPropose(r *ygm.Rank, d *serialize.Decoder) {
+	q := d.Uvarint()
+	vol := d.Uvarint()
+	src := int(d.Uvarint())
+	if d.Err() != nil {
+		panic("core: corrupt propose message: " + d.Err().Error())
+	}
+	st := &s.state[r.ID()]
+	v, ok := s.g.Lookup(r, q)
+	if !ok {
+		panic("core: propose for vertex not stored at its owner")
+	}
+	if float64(len(v.Adj))*s.opts.PullFactor < float64(vol) {
+		vi := s.g.LocalIndex(r, q)
+		st.pullGrants[vi] = append(st.pullGrants[vi], int32(src))
+		st.numGrants++
+		return
+	}
+	e := r.Enc()
+	e.PutUvarint(q)
+	r.Async(src, s.hDecline, e)
+}
+
+func (s *Survey[VM, EM]) onDecline(r *ygm.Rank, d *serialize.Decoder) {
+	q := d.Uvarint()
+	if d.Err() != nil {
+		panic("core: corrupt decline message: " + d.Err().Error())
+	}
+	s.state[r.ID()].declined[q] = true
+}
+
+// --- Push phase (Alg. 1; §4.3) -----------------------------------------
+
+// pushPhase streams, for every local pivot p and every q ∈ Adj⁺(p), the
+// <+-suffix of Adj⁺ᵐ(p) after q to Rank(q), where onPush intersects it with
+// Adj⁺ᵐ(q). In Push-Pull mode, targets granted a pull are skipped.
+func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
+	st := &s.state[r.ID()]
+	pushPull := s.opts.Mode == PushPull
+	emC, vmC := s.g.EdgeCodec(), s.g.VertexCodec()
+	verts := s.g.LocalVertices(r)
+	for vi := range verts {
+		p := &verts[vi]
+		for j := 0; j+1 < len(p.Adj); j++ {
+			q := p.Adj[j]
+			if pushPull && !st.declined[q.Target] {
+				continue // granted pull: the pull phase covers this wedge batch
+			}
+			e := r.Enc()
+			e.PutUvarint(p.ID)
+			vmC.Encode(e, p.Meta)
+			e.PutUvarint(q.Target)
+			emC.Encode(e, q.EMeta)
+			// Candidate entries carry (r, d(r), meta(p,r)) but not meta(r):
+			// Rank(q) already stores meta(r) for any r closing a triangle
+			// (§4.3: "this extra metadata is never actually transmitted").
+			rest := p.Adj[j+1:]
+			e.PutUvarint(uint64(len(rest)))
+			for k := range rest {
+				c := &rest[k]
+				e.PutUvarint(c.Target)
+				e.PutUvarint(uint64(c.TDeg))
+				emC.Encode(e, c.EMeta)
+			}
+			r.Async(s.g.Owner(q.Target), s.hPush, e)
+		}
+	}
+}
+
+// onPush runs at Rank(q): a streaming merge-path intersection of the
+// received candidate list (sorted, a suffix of Adj⁺ᵐ(p)) against Adj⁺ᵐ(q).
+// Each match is a triangle Δpqr; all six metadata items are on hand —
+// meta(p), meta(p,q), meta(p,r) from the message, meta(q), meta(q,r),
+// meta(r) from local storage (§4.3).
+func (s *Survey[VM, EM]) onPush(r *ygm.Rank, d *serialize.Decoder) {
+	st := &s.state[r.ID()]
+	emC, vmC := s.g.EdgeCodec(), s.g.VertexCodec()
+
+	pid := d.Uvarint()
+	metaP := vmC.Decode(d)
+	qid := d.Uvarint()
+	metaPQ := emC.Decode(d)
+	count := int(d.Uvarint())
+	if d.Err() != nil {
+		panic("core: corrupt push header: " + d.Err().Error())
+	}
+	q, ok := s.g.Lookup(r, qid)
+	if !ok {
+		panic("core: push for vertex not stored at its owner")
+	}
+	adj := q.Adj
+	k := 0
+	for i := 0; i < count; i++ {
+		cid := d.Uvarint()
+		cdeg := uint32(d.Uvarint())
+		metaPR := emC.Decode(d)
+		if d.Err() != nil {
+			panic("core: corrupt push candidate: " + d.Err().Error())
+		}
+		ck := graph.KeyOf(cdeg, cid)
+		for k < len(adj) && adj[k].Key().Less(ck) {
+			k++
+		}
+		st.wedgeChecks++
+		if k < len(adj) && adj[k].Target == cid {
+			o := &adj[k]
+			st.triangles++
+			if s.cb != nil {
+				t := &st.scratchTri
+				t.P, t.Q, t.R = pid, qid, cid
+				t.MetaP, t.MetaQ, t.MetaR = metaP, q.Meta, o.TMeta
+				t.MetaPQ, t.MetaPR, t.MetaQR = metaPQ, metaPR, o.EMeta
+				s.cb(r, t)
+			}
+			k++
+		}
+	}
+}
+
+// --- Pull phase (§4.4) ---------------------------------------------------
+
+// pullPhase ships each granted Adj⁺ᵐ(q) — once per granting (q, source
+// rank) pair — to the source, where onPull completes every wedge batch that
+// was parked during the dry run. Target vertex metadata of pulled entries
+// is not transmitted: the puller already stores meta(r) for every candidate
+// r in its own Adj⁺ᵐ(p) (the same redundancy §4.3 notes for pushes).
+func (s *Survey[VM, EM]) pullPhase(r *ygm.Rank) {
+	st := &s.state[r.ID()]
+	emC, vmC := s.g.EdgeCodec(), s.g.VertexCodec()
+	verts := s.g.LocalVertices(r)
+	for vi, srcs := range st.pullGrants {
+		q := &verts[vi]
+		for _, src := range srcs {
+			e := r.Enc()
+			e.PutUvarint(q.ID)
+			vmC.Encode(e, q.Meta)
+			e.PutUvarint(uint64(len(q.Adj)))
+			for k := range q.Adj {
+				o := &q.Adj[k]
+				e.PutUvarint(o.Target)
+				e.PutUvarint(uint64(o.TDeg))
+				emC.Encode(e, o.EMeta)
+			}
+			r.Async(int(src), s.hPull, e)
+		}
+	}
+}
+
+// onPull runs back at the source rank (the rank that hosts the pivots):
+// intersect the pulled Adj⁺ᵐ(q) against every parked local suffix for q.
+// The callback fires at Rank(p) here — metadata colocation still holds:
+// meta(p), meta(p,q), meta(p,r), meta(r) are local, meta(q) and meta(q,r)
+// arrive with the pull.
+func (s *Survey[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
+	st := &s.state[r.ID()]
+	emC, vmC := s.g.EdgeCodec(), s.g.VertexCodec()
+
+	qid := d.Uvarint()
+	metaQ := vmC.Decode(d)
+	count := int(d.Uvarint())
+	if d.Err() != nil {
+		panic("core: corrupt pull header: " + d.Err().Error())
+	}
+	pulled := st.scratchPull[:0]
+	for i := 0; i < count; i++ {
+		var pe pullEntry[EM]
+		pe.id = d.Uvarint()
+		pe.deg = uint32(d.Uvarint())
+		pe.em = emC.Decode(d)
+		if d.Err() != nil {
+			panic("core: corrupt pull entry: " + d.Err().Error())
+		}
+		pulled = append(pulled, pe)
+	}
+	st.scratchPull = pulled
+
+	verts := s.g.LocalVertices(r)
+	for _, ref := range st.targReq[qid] {
+		p := &verts[ref.vert]
+		suffix := p.Adj[ref.pos+1:]
+		metaPQ := p.Adj[ref.pos].EMeta
+		k := 0
+		for i := range suffix {
+			c := &suffix[i]
+			ck := c.Key()
+			for k < len(pulled) && keyOfPull(&pulled[k]).Less(ck) {
+				k++
+			}
+			st.wedgeChecks++
+			if k < len(pulled) && pulled[k].id == c.Target {
+				st.triangles++
+				if s.cb != nil {
+					t := &st.scratchTri
+					t.P, t.Q, t.R = p.ID, qid, c.Target
+					t.MetaP, t.MetaQ, t.MetaR = p.Meta, metaQ, c.TMeta
+					t.MetaPQ, t.MetaPR, t.MetaQR = metaPQ, c.EMeta, pulled[k].em
+					s.cb(r, t)
+				}
+				k++
+			}
+		}
+	}
+}
+
+func keyOfPull[EM any](p *pullEntry[EM]) graph.OrderKey {
+	return graph.KeyOf(p.deg, p.id)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"tripoll/internal/gen"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+func buildTimestamped(t testing.TB, nranks int, edges []graph.TemporalEdge) (*ygm.World, *graph.DODGr[serialize.Unit, uint64]) {
+	t.Helper()
+	w := ygm.MustWorld(nranks, ygm.Options{})
+	b := graph.NewBuilder(w, serialize.UnitCodec(), serialize.Uint64Codec(), graph.BuilderOptions[uint64]{
+		MergeEdgeMeta: func(a, c uint64) uint64 {
+			if a < c {
+				return a
+			}
+			return c
+		},
+	})
+	var g *graph.DODGr[serialize.Unit, uint64]
+	w.Parallel(func(r *ygm.Rank) {
+		for i, e := range edges {
+			if i%r.Size() == r.ID() {
+				b.AddEdge(r, e.U, e.V, e.Time)
+			}
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return w, g
+}
+
+func TestTemporalWindowCountSmall(t *testing.T) {
+	// Two triangles: one spanning 10 time units, one spanning 1000.
+	edges := []graph.TemporalEdge{
+		{U: 0, V: 1, Time: 100}, {U: 1, V: 2, Time: 105}, {U: 0, V: 2, Time: 110},
+		{U: 5, V: 6, Time: 100}, {U: 6, V: 7, Time: 600}, {U: 5, V: 7, Time: 1100},
+	}
+	w, g := buildTimestamped(t, 3, edges)
+	defer w.Close()
+	within, total, _ := TemporalWindowCount(g, 10, Options{})
+	if total != 2 || within != 1 {
+		t.Errorf("delta=10: within=%d total=%d", within, total)
+	}
+	// The tight triangle spans exactly 10; delta 9 excludes it.
+	within, _, _ = TemporalWindowCount(g, 9, Options{})
+	if within != 0 {
+		t.Errorf("delta=9: within=%d, want 0", within)
+	}
+	within, _, _ = TemporalWindowCount(g, 1000, Options{})
+	if within != 2 {
+		t.Errorf("delta=1000: within=%d, want 2", within)
+	}
+}
+
+func TestTemporalWindowSweepMonotone(t *testing.T) {
+	p := gen.DefaultRedditParams()
+	p.Users = 500
+	p.Events = 6000
+	edges := gen.RedditLike(p)
+	w, g := buildTimestamped(t, 4, edges)
+	defer w.Close()
+	deltas := []uint64{0, 100, 10_000, 1 << 40}
+	counts, res := TemporalWindowSweep(g, deltas, Options{})
+	if counts[1<<40] != res.Triangles {
+		t.Errorf("unbounded window %d != total %d", counts[1<<40], res.Triangles)
+	}
+	// Monotone in delta.
+	prev := uint64(0)
+	for _, d := range deltas {
+		if counts[d] < prev {
+			t.Errorf("window counts not monotone: %v", counts)
+		}
+		prev = counts[d]
+	}
+	// Sweep agrees with individual windows.
+	for _, d := range deltas[:3] {
+		within, _, _ := TemporalWindowCount(g, d, Options{})
+		if within != counts[d] {
+			t.Errorf("sweep[%d] = %d, individual = %d", d, counts[d], within)
+		}
+	}
+}

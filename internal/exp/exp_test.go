@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{Scale: 0.02, MaxRanks: 2}
+}
+
+// assertClean fails on the sentinel strings drivers emit when a
+// cross-check fails, making every experiment a self-verifying integration
+// test.
+func assertClean(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Output == "" {
+		t.Fatalf("%s: empty output", rep.ID)
+	}
+	full := rep.Render()
+	for _, bad := range []string{"MISMATCH", "UNEXPECTED"} {
+		if strings.Contains(full, bad) {
+			t.Errorf("%s: verification failure:\n%s", rep.ID, full)
+		}
+	}
+}
+
+func TestAllExperimentsTiny(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			rep := r.Run(tinyConfig())
+			if rep.ID != r.ID {
+				t.Errorf("report id %q != runner id %q", rep.ID, r.ID)
+			}
+			assertClean(t, rep)
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table2"); !ok {
+		t.Error("table2 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestDatasetsScaleDown(t *testing.T) {
+	small := Datasets(Config{Scale: 0.02, MaxRanks: 2})
+	if len(small) != 4 {
+		t.Fatalf("datasets = %d", len(small))
+	}
+	for _, d := range small {
+		if len(d.Edges) == 0 {
+			t.Errorf("%s: empty", d.Name)
+		}
+		if len(d.Edges) > 200_000 {
+			t.Errorf("%s: %d edges at tiny scale", d.Name, len(d.Edges))
+		}
+		if d.Analog == "" {
+			t.Errorf("%s: missing paper analog", d.Name)
+		}
+	}
+}
+
+func TestRankSweep(t *testing.T) {
+	c := Config{MaxRanks: 8}.withDefaults()
+	got := c.rankSweep()
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v", got)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 || c.MaxRanks != 8 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.scaled(100, 5) != 100 {
+		t.Error("scaled at 1.0")
+	}
+	if (Config{Scale: 0.001}).withDefaults().scaled(100, 5) != 5 {
+		t.Error("floor not applied")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{ID: "x", Title: "T", Output: "body\n"}
+	rep.notef("note %d", 1)
+	out := rep.Render()
+	for _, want := range []string{"==== x — T ====", "body", "note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (§5) on the synthetic stand-in
+// datasets, plus ablation studies of TriPoll's design choices. Each driver
+// returns a Report whose Output is the rendered table/figure; cmd/tripoll-
+// bench prints them and bench_test.go wraps them in testing.B benchmarks.
+//
+// DESIGN.md's experiment index maps paper artifact → driver; EXPERIMENTS.md
+// records paper-vs-measured shape for each.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"tripoll/internal/ygm"
+)
+
+// Config controls experiment sizing so the same drivers serve quick tests
+// (Scale ≪ 1), benchmarks (Scale = 1) and longer studies (Scale > 1).
+type Config struct {
+	// Scale multiplies dataset sizes. 1.0 is the default benchmark size
+	// (each driver finishes in seconds on a laptop); tests use ~0.05.
+	Scale float64
+	// MaxRanks caps the rank counts used by scaling experiments (they
+	// sweep 1, 2, 4, ... up to MaxRanks). Zero selects 8.
+	MaxRanks int
+	// Transport selects the ygm transport for all worlds.
+	Transport ygm.TransportKind
+	// Verbose adds per-step progress lines to the report output.
+	Verbose bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.MaxRanks == 0 {
+		c.MaxRanks = 8
+	}
+	return c
+}
+
+// rankSweep returns 1, 2, 4, ..., MaxRanks.
+func (c Config) rankSweep() []int {
+	var out []int
+	for n := 1; n <= c.MaxRanks; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// scaled applies the size multiplier with a floor of lo.
+func (c Config) scaled(base int, lo int) int {
+	v := int(float64(base) * c.Scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Report is one regenerated artifact.
+type Report struct {
+	// ID matches DESIGN.md's experiment index (e.g. "table2", "fig6").
+	ID string
+	// Title restates what the paper artifact shows.
+	Title string
+	// Output is the rendered table/figure text.
+	Output string
+	// Notes records shape observations for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Render formats the full report.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "==== %s — %s ====\n", r.ID, r.Title)
+	sb.WriteString(r.Output)
+	if len(r.Notes) > 0 {
+		sb.WriteString("notes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "  - %s\n", n)
+		}
+	}
+	return sb.String()
+}
+
+func (r *Report) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner names an experiment driver.
+type Runner struct {
+	ID   string
+	Run  func(Config) *Report
+	Desc string
+}
+
+// All lists every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", Table1, "dataset overview: |V|, |E|, |T|, dmax, dmax+"},
+		{"fig4", Fig4, "strong scaling of push-pull triangle counting"},
+		{"fig5", Fig5, "weak scaling on R-MAT graphs"},
+		{"table2", Table2, "end-to-end comparison with related work"},
+		{"fig6", Fig6, "Reddit-like triangle closure time distributions"},
+		{"fig7", Fig7, "closure survey strong scaling + Table 3 pulls/rank"},
+		{"fig8", Fig8, "FQDN survey on the web-host graph"},
+		{"fig9", Fig9, "impact of metadata on weak scaling"},
+		{"table4", Table4, "push-only vs push-pull: runtime and comm volume"},
+		{"pullfactor", AblationPullFactor, "ablation: pull decision threshold sweep"},
+		{"buffer", AblationBuffer, "ablation: YGM buffer size sweep"},
+		{"transport", AblationTransport, "ablation: channel vs TCP transport"},
+		{"grouping", AblationGrouping, "ablation: node-level message aggregation"},
+		{"partition", AblationPartition, "ablation: hash vs cyclic vertex partitioning"},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,98 @@
+// Package gen provides synthetic dataset generators: classic random-graph
+// models for testing (Erdős–Rényi, Barabási–Albert, Watts–Strogatz) and the
+// two dataset stand-ins the experiments need — a Reddit-like temporal
+// interaction multigraph (§5.2/§5.7) and a Web-Data-Commons-like host graph
+// with FQDN string metadata (§5.8). All generators are deterministic in
+// their seed.
+package gen
+
+import (
+	"math/rand"
+
+	"tripoll/internal/graph"
+)
+
+// ErdosRenyi generates m undirected edges drawn uniformly from n vertices
+// (duplicates and self-loops possible, as in G(n, m) sampling with
+// replacement; the builder deduplicates).
+func ErdosRenyi(n uint64, m int, seed int64) [][2]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]uint64, m)
+	for i := range edges {
+		edges[i] = [2]uint64{uint64(rng.Int63n(int64(n))), uint64(rng.Int63n(int64(n)))}
+	}
+	return edges
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: n vertices,
+// each new vertex attaching m edges to existing vertices with probability
+// proportional to degree. Produces the heavy-tailed degree distribution of
+// social graphs (a LiveJournal/Friendster-shaped topology at small scale).
+func BarabasiAlbert(n uint64, m int, seed int64) [][2]uint64 {
+	if n < 2 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// endpoint list: every edge endpoint appears once, so uniform sampling
+	// from it is degree-proportional sampling.
+	endpoints := make([]uint64, 0, 2*int(n)*m)
+	edges := make([][2]uint64, 0, int(n)*m)
+	endpoints = append(endpoints, 0, 1)
+	edges = append(edges, [2]uint64{0, 1})
+	for v := uint64(2); v < n; v++ {
+		attach := m
+		if int(v) < m {
+			attach = int(v)
+		}
+		seen := map[uint64]bool{}
+		for k := 0; k < attach; k++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if u == v || seen[u] {
+				continue // skip rather than resample: keeps loop bounded
+			}
+			seen[u] = true
+			edges = append(edges, [2]uint64{v, u})
+			endpoints = append(endpoints, v, u)
+		}
+	}
+	return edges
+}
+
+// WattsStrogatz generates a small-world ring lattice of n vertices with k
+// neighbors per side, rewiring each edge with probability beta.
+func WattsStrogatz(n uint64, k int, beta float64, seed int64) [][2]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]uint64
+	for v := uint64(0); v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + uint64(j)) % n
+			if rng.Float64() < beta {
+				u = uint64(rng.Int63n(int64(n)))
+			}
+			if u != v {
+				edges = append(edges, [2]uint64{v, u})
+			}
+		}
+	}
+	return edges
+}
+
+// Complete returns K_n; handy for tests with known triangle counts.
+func Complete(n uint64) [][2]uint64 {
+	var edges [][2]uint64
+	for u := uint64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]uint64{u, v})
+		}
+	}
+	return edges
+}
+
+// ToTemporal attaches zero timestamps to a topology-only edge list.
+func ToTemporal(edges [][2]uint64) []graph.TemporalEdge {
+	out := make([]graph.TemporalEdge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.TemporalEdge{U: e[0], V: e[1]}
+	}
+	return out
+}

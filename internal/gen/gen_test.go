@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"tripoll/internal/baseline"
+	"tripoll/internal/stats"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	edges := ErdosRenyi(100, 500, 1)
+	if len(edges) != 500 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] >= 100 || e[1] >= 100 {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+	// Determinism.
+	again := ErdosRenyi(100, 500, 1)
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	other := ErdosRenyi(100, 500, 2)
+	same := 0
+	for i := range edges {
+		if edges[i] == other[i] {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("seeds too correlated: %d identical", same)
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	edges := BarabasiAlbert(2000, 4, 3)
+	deg := map[uint64]int{}
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	var max, total int
+	for _, d := range deg {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(total) / float64(len(deg))
+	if float64(max) < 8*mean {
+		t.Errorf("BA max degree %d vs mean %.1f: no hub", max, mean)
+	}
+	if BarabasiAlbert(1, 3, 1) != nil {
+		t.Error("n<2 should return nil")
+	}
+}
+
+func TestWattsStrogatzTriangleRich(t *testing.T) {
+	// beta = 0 keeps the lattice: k=3 ring has many triangles.
+	edges := WattsStrogatz(300, 3, 0, 1)
+	if baseline.SerialCount(edges) == 0 {
+		t.Error("WS lattice should be triangle-rich")
+	}
+	// Full rewire keeps edge count but destroys most structure.
+	rew := WattsStrogatz(300, 3, 1.0, 1)
+	if len(rew) == 0 {
+		t.Error("rewired WS empty")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	k5 := Complete(5)
+	if len(k5) != 10 {
+		t.Fatalf("K5 edges = %d", len(k5))
+	}
+	if baseline.SerialCount(k5) != 10 {
+		t.Errorf("K5 triangles = %d", baseline.SerialCount(k5))
+	}
+}
+
+func TestToTemporal(t *testing.T) {
+	te := ToTemporal([][2]uint64{{1, 2}})
+	if len(te) != 1 || te[0].U != 1 || te[0].V != 2 || te[0].Time != 0 {
+		t.Errorf("ToTemporal = %v", te)
+	}
+}
+
+func TestRedditLikeProperties(t *testing.T) {
+	p := DefaultRedditParams()
+	p.Users = 2000
+	p.Events = 20000
+	edges := RedditLike(p)
+	if len(edges) < p.Events {
+		t.Fatalf("events = %d, want >= %d", len(edges), p.Events)
+	}
+	// Timestamps strictly ordered by event (monotonically increasing).
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Time < edges[i-1].Time {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+	// Multigraph: duplicates must exist (repeat interactions).
+	seen := map[[2]uint64]int{}
+	for _, e := range edges {
+		k := normPair(e.U, e.V)
+		seen[k]++
+	}
+	dups := 0
+	for _, c := range seen {
+		if c > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("no repeated interactions — not a multigraph")
+	}
+	// Triangle-rich once reduced.
+	flat := make([][2]uint64, 0, len(seen))
+	for k := range seen {
+		flat = append(flat, k)
+	}
+	if baseline.SerialCount(flat) < 100 {
+		t.Errorf("reduced graph has too few triangles: %d", baseline.SerialCount(flat))
+	}
+	// Determinism.
+	again := RedditLike(p)
+	if len(again) != len(edges) || again[100] != edges[100] {
+		t.Error("not deterministic")
+	}
+	if RedditLike(RedditParams{Users: 1, Events: 5}) != nil {
+		t.Error("degenerate params should return nil")
+	}
+}
+
+func TestRedditReferenceAgreesWithDirectComputation(t *testing.T) {
+	p := DefaultRedditParams()
+	p.Users = 300
+	p.Events = 3000
+	edges := RedditLike(p)
+	ref := RedditReference(edges)
+	var total uint64
+	for _, c := range ref {
+		total += c
+	}
+	// Total closure pairs == triangle count of the reduced graph.
+	seen := map[[2]uint64]bool{}
+	for _, e := range edges {
+		seen[normPair(e.U, e.V)] = true
+	}
+	flat := make([][2]uint64, 0, len(seen))
+	for k := range seen {
+		flat = append(flat, k)
+	}
+	if want := baseline.SerialCount(flat); total != want {
+		t.Errorf("reference total %d != triangles %d", total, want)
+	}
+	// Buckets must use the shared CeilLog2 convention.
+	for k := range ref {
+		if k[0] > k[1] {
+			t.Errorf("open bucket %d > close bucket %d", k[0], k[1])
+		}
+	}
+}
+
+func TestCeilLog2MatchesStats(t *testing.T) {
+	for x := uint64(0); x < 1000; x++ {
+		if ceilLog2(x) != stats.CeilLog2(x) {
+			t.Fatalf("ceilLog2(%d) = %d, stats = %d", x, ceilLog2(x), stats.CeilLog2(x))
+		}
+	}
+}
+
+func TestWebHostLikeProperties(t *testing.T) {
+	p := DefaultWebHostParams()
+	p.Pages = 5000
+	p.IntraEdges = 20000
+	p.InterEdges = 30000
+	wh := WebHostLike(p)
+	if len(wh.FQDN) != int(p.Pages) || len(wh.DomainOf) != int(p.Pages) {
+		t.Fatal("metadata arrays wrong length")
+	}
+	for v, f := range wh.FQDN {
+		if f == "" {
+			t.Fatalf("vertex %d has empty FQDN", v)
+		}
+		if wh.DomainOf[v] < 0 || wh.DomainOf[v] >= p.Domains {
+			t.Fatalf("vertex %d bad domain %d", v, wh.DomainOf[v])
+		}
+		if !strings.HasSuffix(f, ".example") {
+			t.Fatalf("FQDN %q not in .example", f)
+		}
+	}
+	// The hub domain must be far better connected than the median domain.
+	hubTouches := 0
+	for _, e := range wh.Edges {
+		if wh.FQDN[e[0]] == HubFQDNs[0] || wh.FQDN[e[1]] == HubFQDNs[0] {
+			hubTouches++
+		}
+	}
+	if hubTouches < len(wh.Edges)/50 {
+		t.Errorf("hub domain touches only %d/%d edges", hubTouches, len(wh.Edges))
+	}
+	// Triangle-rich (co-citation plus intra-domain density).
+	if baseline.SerialCount(wh.Edges) < 1000 {
+		t.Errorf("webhost too few triangles: %d", baseline.SerialCount(wh.Edges))
+	}
+	// Determinism.
+	again := WebHostLike(p)
+	if len(again.Edges) != len(wh.Edges) || again.Edges[10] != wh.Edges[10] {
+		t.Error("not deterministic")
+	}
+}
+
+func TestFQDNOfDomain(t *testing.T) {
+	if FQDNOfDomain(0, 5) != "amazon.example" {
+		t.Error("hub 0 must be the amazon analog")
+	}
+	if FQDNOfDomain(7, 5) != "site0007.example" {
+		t.Errorf("non-hub FQDN = %q", FQDNOfDomain(7, 5))
+	}
+}

@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// WebHostParams shapes the Web-Data-Commons stand-in (§5.8): a hyperlink
+// host graph whose vertices carry FQDN strings as metadata. The real graph
+// has 3.56B pages / 224B edges; the generator reproduces its structural
+// traits at small scale — Zipf-sized domain communities, dense intra-domain
+// linking, a handful of hub domains (the "amazon.com" of Fig. 8) that are
+// linked from everywhere, and hub-correlated co-citation (sites linking to
+// a hub product page also link to the competing retailer), which is what
+// makes the hub-conditioned pair distribution of Fig. 8 interesting.
+type WebHostParams struct {
+	// Pages is the number of vertices.
+	Pages uint64
+	// Domains is the number of FQDN communities.
+	Domains int
+	// Hubs is how many domains are global hubs (domain ids 0..Hubs-1).
+	Hubs int
+	// IntraEdges and InterEdges set the edge budget of each flavor.
+	IntraEdges int
+	InterEdges int
+	// ZipfS is the Zipf exponent of the domain-size distribution.
+	ZipfS float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// DefaultWebHostParams returns a configuration with pronounced hub
+// structure at laptop scale.
+func DefaultWebHostParams() WebHostParams {
+	return WebHostParams{
+		Pages:      40_000,
+		Domains:    400,
+		Hubs:       5,
+		IntraEdges: 150_000,
+		InterEdges: 250_000,
+		ZipfS:      1.3,
+		Seed:       7,
+	}
+}
+
+// HubFQDNs names the hub domains; index 0 plays the "amazon.com" role of
+// Fig. 8 and the rest are its satellite/competitor domains.
+var HubFQDNs = []string{
+	"amazon.example",
+	"amazon-uk.example",
+	"audible.example",
+	"abebooks.example",
+	"books-lib.example",
+}
+
+// WebHost is the generated host graph: edges plus per-vertex FQDN strings.
+type WebHost struct {
+	Edges [][2]uint64
+	// FQDN[v] is vertex v's fully qualified domain name.
+	FQDN []string
+	// DomainOf[v] is the community index of vertex v.
+	DomainOf []int
+}
+
+// FQDNOfDomain renders the metadata string of a domain index.
+func FQDNOfDomain(d, hubs int) string {
+	if d < hubs && d < len(HubFQDNs) {
+		return HubFQDNs[d]
+	}
+	return fmt.Sprintf("site%04d.example", d)
+}
+
+// WebHostLike generates the host graph.
+func WebHostLike(p WebHostParams) *WebHost {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.Hubs > len(HubFQDNs) {
+		p.Hubs = len(HubFQDNs)
+	}
+	if p.Domains < p.Hubs+1 {
+		p.Domains = p.Hubs + 1
+	}
+
+	// Assign pages to domains: hubs get a fixed small share; the rest
+	// follow a Zipf distribution over non-hub domains.
+	domainOf := make([]int, p.Pages)
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Domains-p.Hubs-1))
+	for v := range domainOf {
+		if rng.Float64() < 0.02*float64(p.Hubs) {
+			domainOf[v] = rng.Intn(p.Hubs)
+		} else {
+			domainOf[v] = p.Hubs + int(zipf.Uint64())
+		}
+	}
+	// Bucket pages by domain for intra-domain edge sampling.
+	pagesOf := make([][]uint64, p.Domains)
+	for v, d := range domainOf {
+		pagesOf[d] = append(pagesOf[d], uint64(v))
+	}
+
+	edges := make([][2]uint64, 0, p.IntraEdges+p.InterEdges)
+
+	// Intra-domain edges: pick a domain weighted by size (endpoint-list
+	// style via uniform page pick), then a second page of the same domain.
+	for i := 0; i < p.IntraEdges; i++ {
+		u := uint64(rng.Int63n(int64(p.Pages)))
+		peers := pagesOf[domainOf[u]]
+		if len(peers) < 2 {
+			continue
+		}
+		v := peers[rng.Intn(len(peers))]
+		edges = append(edges, [2]uint64{u, v})
+	}
+
+	// Inter-domain edges: a page links to a hub page with high
+	// probability; when it does, with probability 0.5 it also links to a
+	// page of a *different* hub (co-citation — the Fig. 8 competitor rows).
+	hubPages := make([][]uint64, p.Hubs)
+	for d := 0; d < p.Hubs; d++ {
+		hubPages[d] = pagesOf[d]
+	}
+	for i := 0; i < p.InterEdges; i++ {
+		u := uint64(rng.Int63n(int64(p.Pages)))
+		if rng.Float64() < 0.6 && p.Hubs > 0 {
+			hd := rng.Intn(p.Hubs)
+			if len(hubPages[hd]) == 0 {
+				continue
+			}
+			h := hubPages[hd][rng.Intn(len(hubPages[hd]))]
+			edges = append(edges, [2]uint64{u, h})
+			if rng.Float64() < 0.5 && p.Hubs > 1 {
+				hd2 := rng.Intn(p.Hubs - 1)
+				if hd2 >= hd {
+					hd2++
+				}
+				if len(hubPages[hd2]) > 0 {
+					h2 := hubPages[hd2][rng.Intn(len(hubPages[hd2]))]
+					edges = append(edges, [2]uint64{u, h2})
+				}
+			}
+		} else {
+			v := uint64(rng.Int63n(int64(p.Pages)))
+			edges = append(edges, [2]uint64{u, v})
+		}
+	}
+
+	fqdn := make([]string, p.Pages)
+	for v := range fqdn {
+		fqdn[v] = FQDNOfDomain(domainOf[v], p.Hubs)
+	}
+	return &WebHost{Edges: edges, FQDN: fqdn, DomainOf: domainOf}
+}

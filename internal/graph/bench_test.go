@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"testing"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// BenchmarkBuildDODGr measures distributed graph construction end to end
+// (ingest, symmetrize, dedup, degree exchange, orientation, sort).
+func BenchmarkBuildDODGr(b *testing.B) {
+	// A deterministic pseudo-random edge list, heavy on duplicates.
+	const nv, ne = 20_000, 200_000
+	edges := make([][2]uint64, ne)
+	for i := range edges {
+		edges[i] = [2]uint64{Mix64(uint64(i)) % nv, Mix64(uint64(i)+ne) % nv}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := ygm.MustWorld(4, ygm.Options{})
+		bl := NewBuilder(w, serialize.UnitCodec(), serialize.UnitCodec(), BuilderOptions[serialize.Unit]{})
+		var g *DODGr[serialize.Unit, serialize.Unit]
+		w.Parallel(func(r *ygm.Rank) {
+			for j := r.ID(); j < len(edges); j += r.Size() {
+				bl.AddEdge(r, edges[j][0], edges[j][1], serialize.Unit{})
+			}
+			gg := bl.Build(r)
+			if r.ID() == 0 {
+				g = gg
+			}
+		})
+		if g.NumVertices() == 0 {
+			b.Fatal("empty graph")
+		}
+		w.Close()
+	}
+	b.SetBytes(int64(ne * 16))
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Mix64(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkOrderKeyLess(b *testing.B) {
+	keys := make([]OrderKey, 1024)
+	for i := range keys {
+		keys[i] = KeyOf(uint32(i%64), uint64(i*2654435761))
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		a, c := keys[i%1024], keys[(i*7)%1024]
+		if a.Less(c) {
+			n++
+		}
+	}
+	_ = n
+}

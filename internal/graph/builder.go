@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"sort"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Builder performs distributed graph construction. Usage (SPMD, inside one
+// or more parallel regions):
+//
+//	b := graph.NewBuilder(w, vmCodec, emCodec, opts)   // outside regions
+//	w.Parallel(func(r *ygm.Rank) {
+//	    for each locally produced edge { b.AddEdge(r, u, v, em) }
+//	    for each locally produced vertex { b.SetVertexMeta(r, v, vm) }
+//	    g = b.Build(r)                                  // collective
+//	})
+//
+// Build runs the construction pipeline of §4.2:
+//
+//  1. ingestion routes each undirected edge to both endpoint owners
+//     (symmetrization), merging duplicate edges with MergeEdgeMeta — the
+//     keep-chronologically-first reduction §5.2 applies to Reddit is
+//     MergeEdgeMeta = min-by-timestamp;
+//  2. every owner now knows d(u) for its vertices; each edge (u,v) is
+//     walked once more, sending (v, u, d(u), meta(u,v), meta(u)) to
+//     Rank(v), which appends u to Adj⁺ᵐ(v) iff v <+ u — every undirected
+//     edge lands in G⁺ exactly once, at its <+-smaller endpoint;
+//  3. adjacency lists are sorted by target order key, and global figures
+//     (|V|, |E|, |W⁺|, d_max, d_max⁺) are reduced.
+type Builder[VM, EM any] struct {
+	w    *ygm.World
+	part Partitioner
+	vm   serialize.Codec[VM]
+	em   serialize.Codec[EM]
+	opts BuilderOptions[EM]
+
+	ingest  []ingestState[VM, EM]
+	hEdge   ygm.HandlerID
+	hVMeta  ygm.HandlerID
+	hOrient ygm.HandlerID
+
+	built *DODGr[VM, EM] // assembled by Build; identical pointer on all ranks
+}
+
+// BuilderOptions configures construction.
+type BuilderOptions[EM any] struct {
+	// Partitioner places vertices on ranks; nil selects HashPartition.
+	Partitioner Partitioner
+	// MergeEdgeMeta combines metadata when the same undirected edge is
+	// inserted more than once (multigraph reduction). It must be
+	// commutative and associative so the result is independent of message
+	// arrival order. Nil keeps an arbitrary duplicate's metadata.
+	MergeEdgeMeta func(a, b EM) EM
+}
+
+type halfEdge[EM any] struct {
+	nbr  uint64
+	meta EM
+}
+
+type ingestState[VM, EM any] struct {
+	half      map[uint64][]halfEdge[EM]
+	vmeta     map[uint64]VM
+	selfLoops uint64
+	merged    uint64
+}
+
+// NewBuilder creates a builder; must be called outside parallel regions.
+func NewBuilder[VM, EM any](w *ygm.World, vm serialize.Codec[VM], em serialize.Codec[EM], opts BuilderOptions[EM]) *Builder[VM, EM] {
+	if opts.Partitioner == nil {
+		opts.Partitioner = HashPartition{}
+	}
+	b := &Builder[VM, EM]{w: w, part: opts.Partitioner, vm: vm, em: em, opts: opts}
+	b.ingest = make([]ingestState[VM, EM], w.Size())
+	for i := range b.ingest {
+		b.ingest[i].half = make(map[uint64][]halfEdge[EM])
+		b.ingest[i].vmeta = make(map[uint64]VM)
+	}
+	b.hEdge = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		u := d.Uvarint()
+		v := d.Uvarint()
+		em := b.em.Decode(d)
+		if d.Err() != nil {
+			panic("graph: corrupt edge message: " + d.Err().Error())
+		}
+		st := &b.ingest[r.ID()]
+		st.half[u] = append(st.half[u], halfEdge[EM]{nbr: v, meta: em})
+	})
+	b.hVMeta = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		v := d.Uvarint()
+		vm := b.vm.Decode(d)
+		if d.Err() != nil {
+			panic("graph: corrupt vertex-meta message: " + d.Err().Error())
+		}
+		b.ingest[r.ID()].vmeta[v] = vm
+	})
+	// Orientation message: (v, u, d(u), meta(u,v), meta(u)) appended to
+	// Adj⁺ᵐ(v) iff v <+ u. The DODGr local shards are filled in place.
+	b.hOrient = w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+		v := d.Uvarint()
+		u := d.Uvarint()
+		du := uint32(d.Uvarint())
+		em := b.em.Decode(d)
+		vm := b.vm.Decode(d)
+		if d.Err() != nil {
+			panic("graph: corrupt orientation message: " + d.Err().Error())
+		}
+		rl := &b.built.local[r.ID()]
+		i, ok := rl.index[v]
+		if !ok {
+			panic("graph: orientation message for unknown vertex")
+		}
+		rec := &rl.verts[i]
+		if Less(rec.Deg, v, du, u) {
+			rec.Adj = append(rec.Adj, OutEdge[VM, EM]{Target: u, TDeg: du, EMeta: em, TMeta: vm})
+		}
+	})
+	return b
+}
+
+// AddEdge inserts the undirected edge {u, v} with metadata em. Self-loops
+// are dropped (and counted). May be called from any rank; ownership routing
+// is handled here.
+func (b *Builder[VM, EM]) AddEdge(r *ygm.Rank, u, v uint64, em EM) {
+	if u == v {
+		b.ingest[r.ID()].selfLoops++
+		return
+	}
+	b.sendHalf(r, u, v, em)
+	b.sendHalf(r, v, u, em)
+}
+
+func (b *Builder[VM, EM]) sendHalf(r *ygm.Rank, u, v uint64, em EM) {
+	e := r.Enc()
+	e.PutUvarint(u)
+	e.PutUvarint(v)
+	b.em.Encode(e, em)
+	r.Async(b.part.Owner(u, r.Size()), b.hEdge, e)
+}
+
+// SetVertexMeta records metadata for vertex v. Vertices never named by
+// SetVertexMeta carry the zero value of VM.
+func (b *Builder[VM, EM]) SetVertexMeta(r *ygm.Rank, v uint64, vm VM) {
+	e := r.Enc()
+	e.PutUvarint(v)
+	b.vm.Encode(e, vm)
+	r.Async(b.part.Owner(v, r.Size()), b.hVMeta, e)
+}
+
+// Build completes construction collectively and returns the immutable
+// DODGr. All ranks must call it; every rank receives the same graph object.
+// The builder must not be reused afterwards.
+func (b *Builder[VM, EM]) Build(r *ygm.Rank) *DODGr[VM, EM] {
+	r.Barrier() // ingestion settled everywhere
+
+	if r.ID() == 0 {
+		g := &DODGr[VM, EM]{w: b.w, part: b.part, vm: b.vm, em: b.em}
+		g.local = make([]rankLocal[VM, EM], b.w.Size())
+		b.built = g
+	}
+	ygm.Rendezvous(r)
+	g := b.built
+
+	// Local pass: collapse the half-edge multimap into deduplicated,
+	// degree-known vertex records sorted by id (deterministic layout).
+	st := &b.ingest[r.ID()]
+	rl := &g.local[r.ID()]
+	ids := make([]uint64, 0, len(st.half)+len(st.vmeta))
+	for u := range st.half {
+		ids = append(ids, u)
+	}
+	for u := range st.vmeta {
+		if _, ok := st.half[u]; !ok {
+			ids = append(ids, u) // isolated vertex with explicit metadata
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	rl.index = make(map[uint64]int32, len(ids))
+	rl.verts = make([]Vertex[VM, EM], len(ids))
+	var merged uint64
+	for i, u := range ids {
+		nbrs := st.half[u]
+		sort.Slice(nbrs, func(a, c int) bool { return nbrs[a].nbr < nbrs[c].nbr })
+		// Dedup-merge runs of the same neighbor.
+		out := nbrs[:0]
+		for _, h := range nbrs {
+			if n := len(out); n > 0 && out[n-1].nbr == h.nbr {
+				merged++
+				if b.opts.MergeEdgeMeta != nil {
+					out[n-1].meta = b.opts.MergeEdgeMeta(out[n-1].meta, h.meta)
+				}
+				continue
+			}
+			out = append(out, h)
+		}
+		st.half[u] = out
+		rl.index[u] = int32(i)
+		rl.verts[i] = Vertex[VM, EM]{ID: u, Deg: uint32(len(out)), Meta: st.vmeta[u]}
+	}
+	// Each undirected edge is seen at both endpoints, so merged duplicates
+	// are double-counted across the world; the global sum is halved below.
+	localSelf := st.selfLoops
+	localMerged := merged
+	ygm.Rendezvous(r) // all records exist before orientation messages fly
+
+	// Orientation pass: walk every local half-edge once, shipping the
+	// source's degree and metadata to the neighbor's owner.
+	for i := range rl.verts {
+		rec := &rl.verts[i]
+		for _, h := range st.half[rec.ID] {
+			e := r.Enc()
+			e.PutUvarint(h.nbr)
+			e.PutUvarint(rec.ID)
+			e.PutUvarint(uint64(rec.Deg))
+			b.em.Encode(e, h.meta)
+			b.vm.Encode(e, rec.Meta)
+			r.Async(b.part.Owner(h.nbr, r.Size()), b.hOrient, e)
+		}
+	}
+	r.Barrier()
+
+	// Release ingestion memory before sorting adjacency lists.
+	st.half = nil
+	st.vmeta = nil
+
+	var localDirected, localPlus, localWedges uint64
+	var localMaxDeg, localMaxOut uint32
+	for i := range rl.verts {
+		rec := &rl.verts[i]
+		sort.Slice(rec.Adj, func(a, c int) bool { return rec.Adj[a].Key().Less(rec.Adj[c].Key()) })
+		localDirected += uint64(rec.Deg)
+		dp := uint64(len(rec.Adj))
+		localPlus += dp
+		localWedges += dp * (dp - 1) / 2
+		if rec.Deg > localMaxDeg {
+			localMaxDeg = rec.Deg
+		}
+		if uint32(dp) > localMaxOut {
+			localMaxOut = uint32(dp)
+		}
+	}
+
+	nv := ygm.AllReduceSum(r, uint64(len(rl.verts)))
+	nd := ygm.AllReduceSum(r, localDirected)
+	np := ygm.AllReduceSum(r, localPlus)
+	nw := ygm.AllReduceSum(r, localWedges)
+	md := ygm.AllReduceMax(r, uint64(localMaxDeg))
+	mo := ygm.AllReduceMax(r, uint64(localMaxOut))
+	sl := ygm.AllReduceSum(r, localSelf)
+	mg := ygm.AllReduceSum(r, localMerged)
+	if r.ID() == 0 {
+		g.numVertices = nv
+		g.numDirectedEdges = nd
+		g.numPlusEdges = np
+		g.numWedges = nw
+		g.maxDeg = uint32(md)
+		g.maxOutDeg = uint32(mo)
+		g.selfLoopsDropped = sl
+		g.multiEdgesMerged = mg / 2
+	}
+	ygm.Rendezvous(r)
+	return g
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Directed-input support (§4 of the paper): TriPoll's algorithms run on
+// the symmetrized graph, so a directed input graph is handled by recording
+// each edge's original directionality in "an additional two bits" of edge
+// metadata, available to the callback when orientation matters.
+//
+// Directionality is stored relative to the edge's canonical form (smaller
+// endpoint first): DirForward means the arc min→max existed in the input,
+// DirBackward means max→min, DirBoth means both.
+
+// Direction is the two-bit original-directionality tag.
+type Direction uint8
+
+const (
+	// DirNone marks an edge inserted undirected.
+	DirNone Direction = 0
+	// DirForward is the arc from the smaller to the larger endpoint id.
+	DirForward Direction = 1
+	// DirBackward is the arc from the larger to the smaller endpoint id.
+	DirBackward Direction = 2
+	// DirBoth marks a bidirectional pair.
+	DirBoth Direction = 3
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirNone:
+		return "undirected"
+	case DirForward:
+		return "forward"
+	case DirBackward:
+		return "backward"
+	case DirBoth:
+		return "both"
+	default:
+		return "invalid"
+	}
+}
+
+// Directed wraps edge metadata with the original directionality.
+type Directed[EM any] struct {
+	Dir  Direction
+	Meta EM
+}
+
+// ArcMeta builds the Directed metadata for the input arc u→v (canonical
+// direction bit chosen relative to min/max endpoint order).
+func ArcMeta[EM any](u, v uint64, meta EM) Directed[EM] {
+	d := DirForward
+	if u > v {
+		d = DirBackward
+	}
+	return Directed[EM]{Dir: d, Meta: meta}
+}
+
+// HasArc reports whether the original graph contained the arc from → to,
+// given the Directed metadata of the undirected edge {from, to}.
+func HasArc[EM any](d Directed[EM], from, to uint64) bool {
+	if from < to {
+		return d.Dir&DirForward != 0
+	}
+	return d.Dir&DirBackward != 0
+}
+
+// DirectedCodec serializes the directionality bits alongside the wrapped
+// metadata.
+func DirectedCodec[EM any](em serialize.Codec[EM]) serialize.Codec[Directed[EM]] {
+	return serialize.Codec[Directed[EM]]{
+		Encode: func(e *serialize.Encoder, v Directed[EM]) {
+			e.PutUint8(uint8(v.Dir))
+			em.Encode(e, v.Meta)
+		},
+		Decode: func(d *serialize.Decoder) Directed[EM] {
+			return Directed[EM]{Dir: Direction(d.Uint8()), Meta: em.Decode(d)}
+		},
+	}
+}
+
+// MergeDirected builds the multi-edge merge function for directed inputs:
+// directionality bits are OR-ed (a forward and a backward insertion of the
+// same undirected edge become DirBoth) and the payloads are combined with
+// mergeMeta (nil keeps the first payload).
+func MergeDirected[EM any](mergeMeta func(a, b EM) EM) func(a, b Directed[EM]) Directed[EM] {
+	return func(a, b Directed[EM]) Directed[EM] {
+		out := Directed[EM]{Dir: a.Dir | b.Dir, Meta: a.Meta}
+		if mergeMeta != nil {
+			out.Meta = mergeMeta(a.Meta, b.Meta)
+		}
+		return out
+	}
+}
+
+// AddArc inserts the directed arc u→v into a builder whose edge metadata
+// is Directed[EM]. The edge is symmetrized for triangle identification
+// (§3: algorithms operate on G⁺ of the symmetrized graph); the original
+// orientation survives in the metadata. Builders used with AddArc should
+// set MergeEdgeMeta to MergeDirected so opposing arcs combine into
+// DirBoth.
+func AddArc[VM, EM any](b *Builder[VM, Directed[EM]], r *ygm.Rank, u, v uint64, meta EM) {
+	b.AddEdge(r, u, v, ArcMeta(u, v, meta))
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"testing"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+func TestDirectionString(t *testing.T) {
+	for d, want := range map[Direction]string{
+		DirNone: "undirected", DirForward: "forward",
+		DirBackward: "backward", DirBoth: "both", Direction(9): "invalid",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q", d, d.String())
+		}
+	}
+}
+
+func TestArcMetaAndHasArc(t *testing.T) {
+	f := ArcMeta(2, 7, "x") // arc 2→7, canonical forward
+	if f.Dir != DirForward || !HasArc(f, 2, 7) || HasArc(f, 7, 2) {
+		t.Errorf("forward arc: %+v", f)
+	}
+	b := ArcMeta(7, 2, "y") // arc 7→2, canonical backward
+	if b.Dir != DirBackward || !HasArc(b, 7, 2) || HasArc(b, 2, 7) {
+		t.Errorf("backward arc: %+v", b)
+	}
+	both := MergeDirected[string](nil)(f, b)
+	if both.Dir != DirBoth || !HasArc(both, 2, 7) || !HasArc(both, 7, 2) {
+		t.Errorf("merged: %+v", both)
+	}
+	if both.Meta != "x" { // nil merge keeps the first payload
+		t.Errorf("merged meta = %q", both.Meta)
+	}
+}
+
+func TestMergeDirectedCombinesPayloads(t *testing.T) {
+	m := MergeDirected(func(a, b uint64) uint64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	got := m(Directed[uint64]{Dir: DirForward, Meta: 50}, Directed[uint64]{Dir: DirForward, Meta: 20})
+	if got.Dir != DirForward || got.Meta != 20 {
+		t.Errorf("merge = %+v", got)
+	}
+}
+
+func TestDirectedCodecRoundTrip(t *testing.T) {
+	c := DirectedCodec(serialize.StringCodec())
+	v := Directed[string]{Dir: DirBoth, Meta: "edge payload"}
+	if got := c.RoundTrip(v); got != v {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestDirectedGraphBuild(t *testing.T) {
+	// A directed triangle 0→1→2→0 plus a bidirectional chord 0↔3.
+	w := ygm.MustWorld(3, ygm.Options{})
+	defer w.Close()
+	b := NewBuilder(w, serialize.UnitCodec(), DirectedCodec(serialize.UnitCodec()),
+		BuilderOptions[Directed[serialize.Unit]]{
+			MergeEdgeMeta: MergeDirected[serialize.Unit](nil),
+		})
+	var g *DODGr[serialize.Unit, Directed[serialize.Unit]]
+	w.Parallel(func(r *ygm.Rank) {
+		if r.ID() == 0 {
+			AddArc(b, r, 0, 1, serialize.Unit{})
+			AddArc(b, r, 1, 2, serialize.Unit{})
+			AddArc(b, r, 2, 0, serialize.Unit{})
+			AddArc(b, r, 0, 3, serialize.Unit{})
+			AddArc(b, r, 3, 0, serialize.Unit{})
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	if g.NumUndirectedEdges() != 4 {
+		t.Fatalf("G+ edges = %d, want 4", g.NumUndirectedEdges())
+	}
+	// One pair of opposing arcs merged into DirBoth.
+	if g.MultiEdgesMerged() != 1 {
+		t.Errorf("merged = %d, want 1", g.MultiEdgesMerged())
+	}
+	// Inspect orientation bits on the stored edges.
+	w.Parallel(func(r *ygm.Rank) {
+		for _, v := range g.LocalVertices(r) {
+			for _, o := range v.Adj {
+				lo, hi := v.ID, o.Target
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				switch [2]uint64{lo, hi} {
+				case [2]uint64{0, 1}:
+					if !HasArc(o.EMeta, 0, 1) || HasArc(o.EMeta, 1, 0) {
+						t.Errorf("edge (0,1) dir = %v", o.EMeta.Dir)
+					}
+				case [2]uint64{0, 2}:
+					if !HasArc(o.EMeta, 2, 0) || HasArc(o.EMeta, 0, 2) {
+						t.Errorf("edge (0,2) dir = %v", o.EMeta.Dir)
+					}
+				case [2]uint64{0, 3}:
+					if o.EMeta.Dir != DirBoth {
+						t.Errorf("edge (0,3) dir = %v, want both", o.EMeta.Dir)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,442 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Error("Mix64 not deterministic")
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Error("suspicious collision")
+	}
+	if Mix64(0) == 0 {
+		t.Error("Mix64(0) should not be 0")
+	}
+}
+
+func TestLessIsTotalOrder(t *testing.T) {
+	type vert struct {
+		d  uint32
+		id uint64
+	}
+	vs := []vert{{1, 5}, {1, 9}, {3, 2}, {3, 7}, {2, 2}, {7, 0}, {1, 1}}
+	// Antisymmetry + totality on distinct vertices.
+	for i, a := range vs {
+		for j, b := range vs {
+			if i == j {
+				continue
+			}
+			ab := Less(a.d, a.id, b.d, b.id)
+			ba := Less(b.d, b.id, a.d, a.id)
+			if ab == ba {
+				t.Errorf("Less not antisymmetric for %v vs %v", a, b)
+			}
+		}
+	}
+	// Degree dominates.
+	if !Less(1, 100, 2, 1) {
+		t.Error("lower degree must sort first")
+	}
+	// Equal everything → not less.
+	if Less(3, 9, 3, 9) {
+		t.Error("irreflexive violated")
+	}
+}
+
+func TestOrderKeyCompare(t *testing.T) {
+	a, b := KeyOf(2, 10), KeyOf(5, 3)
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare inconsistent")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less inconsistent")
+	}
+}
+
+func TestPartitioners(t *testing.T) {
+	for _, p := range []Partitioner{HashPartition{}, CyclicPartition{}} {
+		counts := make([]int, 7)
+		for v := uint64(0); v < 7000; v++ {
+			o := p.Owner(v, 7)
+			if o < 0 || o >= 7 {
+				t.Fatalf("%s: owner out of range", p.Name())
+			}
+			counts[o]++
+		}
+		for i, c := range counts {
+			if c < 500 || c > 1500 {
+				t.Errorf("%s: rank %d owns %d of 7000 (imbalanced)", p.Name(), i, c)
+			}
+		}
+	}
+	if (CyclicPartition{}).Owner(15, 4) != 3 {
+		t.Error("cyclic owner wrong")
+	}
+}
+
+// buildTestGraph constructs a DODGr over nranks from an explicit edge list
+// with meta(v) = v*3+1 and meta(u,v) = min(u,v)*1000 + max(u,v).
+func buildTestGraph(t *testing.T, nranks int, edges [][2]uint64) (*ygm.World, *DODGr[uint64, uint64]) {
+	t.Helper()
+	w := ygm.MustWorld(nranks, ygm.Options{})
+	b := NewBuilder(w, serialize.Uint64Codec(), serialize.Uint64Codec(), BuilderOptions[uint64]{})
+	var g *DODGr[uint64, uint64]
+	w.Parallel(func(r *ygm.Rank) {
+		for i, e := range edges {
+			if i%r.Size() == r.ID() { // spread insertion across ranks
+				u, v := e[0], e[1]
+				lo, hi := u, v
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				b.AddEdge(r, u, v, lo*1000+hi)
+			}
+		}
+		vset := map[uint64]bool{}
+		for _, e := range edges {
+			vset[e[0]] = true
+			vset[e[1]] = true
+		}
+		for v := range vset {
+			if v%uint64(r.Size()) == uint64(r.ID()) {
+				b.SetVertexMeta(r, v, v*3+1)
+			}
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return w, g
+}
+
+func TestBuildTriangleGraph(t *testing.T) {
+	// K3 plus a pendant: vertices 0,1,2 forming a triangle, 3 hanging off 2.
+	w, g := buildTestGraph(t, 3, [][2]uint64{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	defer w.Close()
+	if g.NumVertices() != 4 {
+		t.Errorf("|V| = %d, want 4", g.NumVertices())
+	}
+	if g.NumDirectedEdges() != 8 {
+		t.Errorf("|E| directed = %d, want 8", g.NumDirectedEdges())
+	}
+	if g.NumUndirectedEdges() != 4 {
+		t.Errorf("G+ edges = %d, want 4", g.NumUndirectedEdges())
+	}
+	if g.MaxDegree() != 3 { // vertex 2
+		t.Errorf("dmax = %d, want 3", g.MaxDegree())
+	}
+	w.Parallel(func(r *ygm.Rank) {
+		plus, err := g.CheckInvariants(r)
+		if err != nil {
+			t.Error(err)
+		}
+		total := ygm.AllReduceSum(r, plus)
+		if total != 4 {
+			t.Errorf("sum of local G+ edges = %d, want 4", total)
+		}
+	})
+}
+
+func TestBuildMetadataPlacement(t *testing.T) {
+	w, g := buildTestGraph(t, 4, [][2]uint64{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 0}})
+	defer w.Close()
+	w.Parallel(func(r *ygm.Rank) {
+		for _, v := range g.LocalVertices(r) {
+			if v.Meta != v.ID*3+1 {
+				t.Errorf("vertex %d has meta %d, want %d", v.ID, v.Meta, v.ID*3+1)
+			}
+			for _, o := range v.Adj {
+				if o.TMeta != o.Target*3+1 {
+					t.Errorf("edge (%d,%d): target meta %d, want %d", v.ID, o.Target, o.TMeta, o.Target*3+1)
+				}
+				lo, hi := v.ID, o.Target
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if o.EMeta != lo*1000+hi {
+					t.Errorf("edge (%d,%d): edge meta %d, want %d", v.ID, o.Target, o.EMeta, lo*1000+hi)
+				}
+			}
+		}
+	})
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	w, g := buildTestGraph(t, 2, [][2]uint64{{0, 1}, {1, 1}, {2, 2}, {1, 2}})
+	defer w.Close()
+	if g.SelfLoopsDropped() != 2 {
+		t.Errorf("self loops = %d, want 2", g.SelfLoopsDropped())
+	}
+	if g.NumUndirectedEdges() != 2 {
+		t.Errorf("G+ edges = %d, want 2", g.NumUndirectedEdges())
+	}
+}
+
+func TestMultiEdgeMergeKeepsMin(t *testing.T) {
+	// Reddit-style reduction: duplicate edges keep the earliest timestamp.
+	w := ygm.MustWorld(3, ygm.Options{})
+	defer w.Close()
+	b := NewBuilder(w, serialize.UnitCodec(), serialize.Uint64Codec(), BuilderOptions[uint64]{
+		MergeEdgeMeta: func(a, c uint64) uint64 {
+			if a < c {
+				return a
+			}
+			return c
+		},
+	})
+	var g *DODGr[serialize.Unit, uint64]
+	w.Parallel(func(r *ygm.Rank) {
+		// Every rank inserts the same edge with a different timestamp; the
+		// merged edge must carry the global minimum.
+		b.AddEdge(r, 7, 9, uint64(100+r.ID()*10))
+		b.AddEdge(r, 7, 8, uint64(50-r.ID()))
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	if g.NumUndirectedEdges() != 2 {
+		t.Fatalf("G+ edges = %d, want 2", g.NumUndirectedEdges())
+	}
+	if g.MultiEdgesMerged() != 4 { // 3 copies each of 2 edges → 4 merges
+		t.Errorf("merged = %d, want 4", g.MultiEdgesMerged())
+	}
+	w.Parallel(func(r *ygm.Rank) {
+		for _, v := range g.LocalVertices(r) {
+			for _, o := range v.Adj {
+				lo, hi := v.ID, o.Target
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				switch {
+				case lo == 7 && hi == 9:
+					if o.EMeta != 100 {
+						t.Errorf("edge (7,9) meta %d, want 100", o.EMeta)
+					}
+				case lo == 7 && hi == 8:
+					if o.EMeta != 48 {
+						t.Errorf("edge (7,8) meta %d, want 48", o.EMeta)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestIsolatedVertexWithMeta(t *testing.T) {
+	w := ygm.MustWorld(2, ygm.Options{})
+	defer w.Close()
+	b := NewBuilder(w, serialize.StringCodec(), serialize.UnitCodec(), BuilderOptions[serialize.Unit]{})
+	var g *DODGr[string, serialize.Unit]
+	w.Parallel(func(r *ygm.Rank) {
+		if r.ID() == 0 {
+			b.AddEdge(r, 1, 2, serialize.Unit{})
+			b.SetVertexMeta(r, 99, "lonely.example")
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	if g.NumVertices() != 3 {
+		t.Errorf("|V| = %d, want 3", g.NumVertices())
+	}
+	found := false
+	w.Parallel(func(r *ygm.Rank) {
+		if v, ok := g.Lookup(r, 99); ok {
+			if v.Meta != "lonely.example" || v.Deg != 0 {
+				t.Errorf("isolated vertex: %+v", v)
+			}
+			found = true
+		}
+		r.Barrier()
+	})
+	if !found {
+		t.Error("isolated vertex not stored anywhere")
+	}
+}
+
+func TestWedgeCount(t *testing.T) {
+	// Star K1,4 has no G+ wedges at the hub (hub is highest degree, all
+	// edges point toward it). Leaves have d+=1 → 0 wedges. Total |W+|=0.
+	w, g := buildTestGraph(t, 2, [][2]uint64{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	defer w.Close()
+	if g.NumWedges() != 0 {
+		t.Errorf("star wedges = %d, want 0", g.NumWedges())
+	}
+	// K4: each vertex degree 3. G+ out-degrees are 3,2,1,0 in <+ order →
+	// wedges = C(3,2)+C(2,2)+0+0 = 3+1 = 4.
+	w2, g2 := buildTestGraph(t, 3, [][2]uint64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	defer w2.Close()
+	if g2.NumWedges() != 4 {
+		t.Errorf("K4 wedges = %d, want 4", g2.NumWedges())
+	}
+}
+
+func TestDODGrInvariantsRandomGraphsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		nv := 2 + rng.Intn(40)
+		ne := rng.Intn(150)
+		edges := make([][2]uint64, 0, ne)
+		undirected := map[[2]uint64]bool{}
+		for i := 0; i < ne; i++ {
+			u, v := uint64(rng.Intn(nv)), uint64(rng.Intn(nv))
+			edges = append(edges, [2]uint64{u, v})
+			if u != v {
+				lo, hi := u, v
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				undirected[[2]uint64{lo, hi}] = true
+			}
+		}
+		w, g := buildTestGraph(t, n, edges)
+		defer w.Close()
+		if g.NumUndirectedEdges() != uint64(len(undirected)) {
+			return false
+		}
+		bad := false
+		w.Parallel(func(r *ygm.Rank) {
+			plus, err := g.CheckInvariants(r)
+			if err != nil {
+				bad = true
+			}
+			if total := ygm.AllReduceSum(r, plus); total != uint64(len(undirected)) {
+				bad = true
+			}
+			// Degree sanity: Σ deg == 2 × undirected edges.
+			var degSum uint64
+			for _, v := range g.LocalVertices(r) {
+				degSum += uint64(v.Deg)
+			}
+			if got := ygm.AllReduceSum(r, degSum); got != 2*uint64(len(undirected)) {
+				bad = true
+			}
+		})
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicPartitionBuild(t *testing.T) {
+	w := ygm.MustWorld(4, ygm.Options{})
+	defer w.Close()
+	b := NewBuilder(w, serialize.UnitCodec(), serialize.UnitCodec(), BuilderOptions[serialize.Unit]{
+		Partitioner: CyclicPartition{},
+	})
+	var g *DODGr[serialize.Unit, serialize.Unit]
+	w.Parallel(func(r *ygm.Rank) {
+		if r.ID() == 0 {
+			for v := uint64(0); v < 16; v++ {
+				b.AddEdge(r, v, (v+1)%16, serialize.Unit{})
+			}
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	w.Parallel(func(r *ygm.Rank) {
+		for _, v := range g.LocalVertices(r) {
+			if v.ID%4 != uint64(r.ID()) {
+				t.Errorf("vertex %d on rank %d under cyclic partition", v.ID, r.ID())
+			}
+		}
+	})
+}
+
+func TestLocalVerticesSortedByID(t *testing.T) {
+	w, g := buildTestGraph(t, 2, [][2]uint64{{5, 1}, {9, 2}, {3, 8}, {1, 9}, {2, 3}})
+	defer w.Close()
+	w.Parallel(func(r *ygm.Rank) {
+		vs := g.LocalVertices(r)
+		if !sort.SliceIsSorted(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID }) {
+			t.Errorf("rank %d vertices not sorted", r.ID())
+		}
+	})
+}
+
+func TestParseEdgeLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TemporalEdge
+		ok   bool
+		err  bool
+	}{
+		{"1 2", TemporalEdge{1, 2, 0}, true, false},
+		{"1 2 300", TemporalEdge{1, 2, 300}, true, false},
+		{"  7\t8  ", TemporalEdge{7, 8, 0}, true, false},
+		{"# comment", TemporalEdge{}, false, false},
+		{"% matrix market", TemporalEdge{}, false, false},
+		{"", TemporalEdge{}, false, false},
+		{"1", TemporalEdge{}, false, true},
+		{"a b", TemporalEdge{}, false, true},
+		{"1 b", TemporalEdge{}, false, true},
+		{"1 2 x", TemporalEdge{}, false, true},
+	}
+	for _, c := range cases {
+		e, ok, err := ParseEdgeLine(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("%q: err = %v", c.in, err)
+			continue
+		}
+		if ok != c.ok || e != c.want {
+			t.Errorf("%q: got %+v ok=%v", c.in, e, ok)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	edges := []TemporalEdge{{1, 2, 10}, {2, 3, 20}, {3, 1, 30}}
+	var sb strings.Builder
+	if err := WriteEdgeList(&sb, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != edges[2] {
+		t.Errorf("round trip = %v", got)
+	}
+	// Non-temporal graphs omit the timestamp column.
+	var sb2 strings.Builder
+	if err := WriteEdgeList(&sb2, []TemporalEdge{{4, 5, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb2.String()) != "4 5" {
+		t.Errorf("non-temporal output = %q", sb2.String())
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/edges.txt"
+	edges := []TemporalEdge{{1, 2, 5}, {9, 8, 7}}
+	if err := WriteEdgeListFile(path, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != edges[0] || got[1] != edges[1] {
+		t.Errorf("file round trip = %v", got)
+	}
+	if _, err := ReadEdgeListFile(path + ".missing"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// TemporalEdge is the on-disk edge form used by the command-line tools:
+// two endpoints and an optional integer timestamp (0 when absent). The
+// text format is one edge per line, whitespace-separated, '#' comments.
+type TemporalEdge struct {
+	U, V uint64
+	Time uint64
+}
+
+// ParseEdgeLine parses "u v [t]". It returns ok=false for blank and
+// comment lines.
+func ParseEdgeLine(line string) (e TemporalEdge, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+		return TemporalEdge{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return TemporalEdge{}, false, fmt.Errorf("graph: bad edge line %q", line)
+	}
+	u, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return TemporalEdge{}, false, fmt.Errorf("graph: bad source in %q: %w", line, err)
+	}
+	v, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return TemporalEdge{}, false, fmt.Errorf("graph: bad target in %q: %w", line, err)
+	}
+	var t uint64
+	if len(fields) >= 3 {
+		t, err = strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return TemporalEdge{}, false, fmt.Errorf("graph: bad timestamp in %q: %w", line, err)
+		}
+	}
+	return TemporalEdge{U: u, V: v, Time: t}, true, nil
+}
+
+// ReadEdgeList reads a whole edge-list stream.
+func ReadEdgeList(rd io.Reader) ([]TemporalEdge, error) {
+	var edges []TemporalEdge
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		e, ok, err := ParseEdgeLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ok {
+			edges = append(edges, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// ReadEdgeListFile reads an edge-list file.
+func ReadEdgeListFile(path string) ([]TemporalEdge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes edges in the text format, with timestamps when any
+// edge has a nonzero one.
+func WriteEdgeList(w io.Writer, edges []TemporalEdge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	temporal := false
+	for _, e := range edges {
+		if e.Time != 0 {
+			temporal = true
+			break
+		}
+	}
+	for _, e := range edges {
+		var err error
+		if temporal {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.Time)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes edges to path.
+func WriteEdgeListFile(path string, edges []TemporalEdge) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, edges); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

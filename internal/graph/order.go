@@ -1,0 +1,65 @@
+// Package graph implements TriPoll's distributed graph storage: ingestion
+// of undirected metadata-carrying edge lists, and the degree-ordered
+// directed graph (DODGr, §3 of the paper) with metadata-augmented adjacency
+// lists Adj⁺ᵐ (§4.2) partitioned across ranks.
+package graph
+
+// Mix64 is the splitmix64 finalizer, the deterministic hash used to break
+// degree ties in the <+ vertex ordering (§3).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Less reports u <+ v for vertices u, v with degrees du, dv: degree first,
+// then hash, then raw id as a final tiebreak so <+ is a total order even
+// under (astronomically unlikely) hash collisions.
+func Less(du uint32, u uint64, dv uint32, v uint64) bool {
+	if du != dv {
+		return du < dv
+	}
+	hu, hv := Mix64(u), Mix64(v)
+	if hu != hv {
+		return hu < hv
+	}
+	return u < v
+}
+
+// OrderKey is the sortable form of a vertex's position in <+; adjacency
+// lists are kept sorted by the order key of their targets so merge-path
+// intersection works on any suffix (§4.3).
+type OrderKey struct {
+	Deg  uint32
+	Hash uint64
+	ID   uint64
+}
+
+// KeyOf builds the order key for a vertex.
+func KeyOf(deg uint32, id uint64) OrderKey {
+	return OrderKey{Deg: deg, Hash: Mix64(id), ID: id}
+}
+
+// Less reports whether k sorts before o in <+.
+func (k OrderKey) Less(o OrderKey) bool {
+	if k.Deg != o.Deg {
+		return k.Deg < o.Deg
+	}
+	if k.Hash != o.Hash {
+		return k.Hash < o.Hash
+	}
+	return k.ID < o.ID
+}
+
+// Compare returns -1, 0, or +1 ordering k against o.
+func (k OrderKey) Compare(o OrderKey) int {
+	switch {
+	case k.Less(o):
+		return -1
+	case o.Less(k):
+		return 1
+	default:
+		return 0
+	}
+}

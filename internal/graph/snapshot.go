@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// Snapshots persist a built DODGr to disk so expensive construction
+// (ingest, symmetrize, degree exchange, sort) runs once and many surveys
+// can reload the result — the workflow the paper's FQDN study implies
+// (§5.8 runs a 1694s survey over a graph that took long to build).
+//
+// Layout: <dir>/meta.tpg holds global figures and the partitioner name;
+// <dir>/shard-<rank>.tpg holds one rank's vertices. World size and
+// metadata codecs must match between Save and Load.
+
+const snapshotMagic = "TPDG1"
+
+// Save writes the graph to dir (created if needed). Collective over the
+// graph's world; returns the first error from any rank.
+func (g *DODGr[VM, EM]) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	errs := make([]error, g.w.Size())
+	g.w.Parallel(func(r *ygm.Rank) {
+		errs[r.ID()] = g.saveShard(r, dir)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return g.saveMeta(dir)
+}
+
+func (g *DODGr[VM, EM]) saveMeta(dir string) error {
+	var e serialize.Encoder
+	e.PutString(snapshotMagic)
+	e.PutUvarint(uint64(g.w.Size()))
+	e.PutString(g.part.Name())
+	e.PutUvarint(g.numVertices)
+	e.PutUvarint(g.numDirectedEdges)
+	e.PutUvarint(g.numPlusEdges)
+	e.PutUvarint(g.numWedges)
+	e.PutUvarint(uint64(g.maxDeg))
+	e.PutUvarint(uint64(g.maxOutDeg))
+	e.PutUvarint(g.selfLoopsDropped)
+	e.PutUvarint(g.multiEdgesMerged)
+	return os.WriteFile(filepath.Join(dir, "meta.tpg"), e.Bytes(), 0o644)
+}
+
+func (g *DODGr[VM, EM]) saveShard(r *ygm.Rank, dir string) error {
+	f, err := os.Create(shardPath(dir, r.ID()))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var e serialize.Encoder
+	rl := &g.local[r.ID()]
+	e.PutUvarint(uint64(len(rl.verts)))
+	for i := range rl.verts {
+		v := &rl.verts[i]
+		e.PutUvarint(v.ID)
+		e.PutUvarint(uint64(v.Deg))
+		g.vm.Encode(&e, v.Meta)
+		e.PutUvarint(uint64(len(v.Adj)))
+		for k := range v.Adj {
+			o := &v.Adj[k]
+			e.PutUvarint(o.Target)
+			e.PutUvarint(uint64(o.TDeg))
+			g.em.Encode(&e, o.EMeta)
+			g.vm.Encode(&e, o.TMeta)
+		}
+		// Flush per vertex to keep the encoder small on huge shards.
+		if e.Len() > 1<<20 {
+			if _, err := bw.Write(e.Bytes()); err != nil {
+				f.Close()
+				return err
+			}
+			e.Reset()
+		}
+	}
+	if _, err := bw.Write(e.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func shardPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.tpg", rank))
+}
+
+// Load reads a snapshot written by Save into a graph over w. The world
+// size must match the snapshot's; codecs must be the ones used to save.
+func Load[VM, EM any](w *ygm.World, dir string, vm serialize.Codec[VM], em serialize.Codec[EM]) (*DODGr[VM, EM], error) {
+	metaRaw, err := os.ReadFile(filepath.Join(dir, "meta.tpg"))
+	if err != nil {
+		return nil, err
+	}
+	d := serialize.NewDecoder(metaRaw)
+	if magic := d.String(); magic != snapshotMagic {
+		return nil, fmt.Errorf("graph: %s is not a DODGr snapshot (magic %q)", dir, magic)
+	}
+	nranks := int(d.Uvarint())
+	if nranks != w.Size() {
+		return nil, fmt.Errorf("graph: snapshot has %d ranks, world has %d", nranks, w.Size())
+	}
+	partName := d.String()
+	var part Partitioner
+	switch partName {
+	case HashPartition{}.Name():
+		part = HashPartition{}
+	case CyclicPartition{}.Name():
+		part = CyclicPartition{}
+	default:
+		return nil, fmt.Errorf("graph: unknown partitioner %q in snapshot", partName)
+	}
+	g := &DODGr[VM, EM]{w: w, part: part, vm: vm, em: em}
+	g.local = make([]rankLocal[VM, EM], w.Size())
+	g.numVertices = d.Uvarint()
+	g.numDirectedEdges = d.Uvarint()
+	g.numPlusEdges = d.Uvarint()
+	g.numWedges = d.Uvarint()
+	g.maxDeg = uint32(d.Uvarint())
+	g.maxOutDeg = uint32(d.Uvarint())
+	g.selfLoopsDropped = d.Uvarint()
+	g.multiEdgesMerged = d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("graph: corrupt snapshot meta: %w", d.Err())
+	}
+
+	errs := make([]error, w.Size())
+	w.Parallel(func(r *ygm.Rank) {
+		errs[r.ID()] = g.loadShard(r, dir)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (g *DODGr[VM, EM]) loadShard(r *ygm.Rank, dir string) error {
+	raw, err := os.ReadFile(shardPath(dir, r.ID()))
+	if err != nil {
+		return err
+	}
+	d := serialize.NewDecoder(raw)
+	n := int(d.Uvarint())
+	if d.Err() != nil {
+		return fmt.Errorf("graph: corrupt shard %d: %w", r.ID(), d.Err())
+	}
+	rl := &g.local[r.ID()]
+	rl.index = make(map[uint64]int32, n)
+	rl.verts = make([]Vertex[VM, EM], n)
+	for i := 0; i < n; i++ {
+		v := &rl.verts[i]
+		v.ID = d.Uvarint()
+		v.Deg = uint32(d.Uvarint())
+		v.Meta = g.vm.Decode(d)
+		adjLen := int(d.Uvarint())
+		if d.Err() != nil {
+			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", r.ID(), i, d.Err())
+		}
+		v.Adj = make([]OutEdge[VM, EM], adjLen)
+		for k := 0; k < adjLen; k++ {
+			o := &v.Adj[k]
+			o.Target = d.Uvarint()
+			o.TDeg = uint32(d.Uvarint())
+			o.EMeta = g.em.Decode(d)
+			o.TMeta = g.vm.Decode(d)
+		}
+		if d.Err() != nil {
+			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", r.ID(), i, d.Err())
+		}
+		rl.index[v.ID] = int32(i)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("graph: shard %d has %d trailing bytes", r.ID(), d.Remaining())
+	}
+	return nil
+}

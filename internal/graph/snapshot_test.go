@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	edges := [][2]uint64{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}, {4, 5}}
+	w, g := buildTestGraph(t, 3, edges)
+	defer w.Close()
+	dir := t.TempDir() + "/snap"
+	if err := g.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := Load(w, dir, serialize.Uint64Codec(), serialize.Uint64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() ||
+		g2.NumDirectedEdges() != g.NumDirectedEdges() ||
+		g2.NumUndirectedEdges() != g.NumUndirectedEdges() ||
+		g2.NumWedges() != g.NumWedges() ||
+		g2.MaxDegree() != g.MaxDegree() ||
+		g2.MaxOutDegree() != g.MaxOutDegree() {
+		t.Errorf("global figures differ: %+v vs %+v", g2, g)
+	}
+
+	// Shard contents identical.
+	w.Parallel(func(r *ygm.Rank) {
+		a, b := g.LocalVertices(r), g2.LocalVertices(r)
+		if len(a) != len(b) {
+			t.Errorf("rank %d: %d vs %d vertices", r.ID(), len(a), len(b))
+			return
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Deg != b[i].Deg || a[i].Meta != b[i].Meta {
+				t.Errorf("rank %d vertex %d differs", r.ID(), i)
+			}
+			if len(a[i].Adj) != len(b[i].Adj) {
+				t.Errorf("rank %d vertex %d adjacency length differs", r.ID(), i)
+				continue
+			}
+			for k := range a[i].Adj {
+				if a[i].Adj[k] != b[i].Adj[k] {
+					t.Errorf("rank %d vertex %d edge %d differs", r.ID(), i, k)
+				}
+			}
+		}
+		if _, err := g2.CheckInvariants(r); err != nil {
+			t.Errorf("loaded graph invariants: %v", err)
+		}
+	})
+}
+
+func TestSnapshotStringMetadata(t *testing.T) {
+	w := ygm.MustWorld(2, ygm.Options{})
+	defer w.Close()
+	b := NewBuilder(w, serialize.StringCodec(), serialize.StringCodec(), BuilderOptions[string]{})
+	var g *DODGr[string, string]
+	w.Parallel(func(r *ygm.Rank) {
+		if r.ID() == 0 {
+			b.AddEdge(r, 1, 2, "edge-1-2")
+			b.AddEdge(r, 2, 3, "edge-2-3")
+			b.SetVertexMeta(r, 1, "site1.example")
+			b.SetVertexMeta(r, 2, "site2.example")
+			b.SetVertexMeta(r, 3, "site3.example")
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	dir := t.TempDir()
+	if err := g.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(w, dir, serialize.StringCodec(), serialize.StringCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	w.Parallel(func(r *ygm.Rank) {
+		if v, ok := g2.Lookup(r, 2); ok {
+			if v.Meta != "site2.example" {
+				t.Errorf("vertex meta = %q", v.Meta)
+			}
+			found = true
+		}
+		r.Barrier()
+	})
+	if !found {
+		t.Error("vertex 2 missing after load")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	w := ygm.MustWorld(2, ygm.Options{})
+	defer w.Close()
+	// Missing directory.
+	if _, err := Load(w, t.TempDir()+"/nope", serialize.Uint64Codec(), serialize.Uint64Codec()); err == nil {
+		t.Error("expected error for missing snapshot")
+	}
+	// Wrong magic.
+	dir := t.TempDir()
+	var e serialize.Encoder
+	e.PutString("WRONG")
+	if err := os.WriteFile(filepath.Join(dir, "meta.tpg"), e.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(w, dir, serialize.Uint64Codec(), serialize.Uint64Codec()); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	// World-size mismatch.
+	edges := [][2]uint64{{0, 1}, {1, 2}}
+	w3, g := buildTestGraph(t, 3, edges)
+	defer w3.Close()
+	dir2 := t.TempDir()
+	if err := g.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(w, dir2, serialize.Uint64Codec(), serialize.Uint64Codec()); err == nil {
+		t.Error("expected error for rank-count mismatch")
+	}
+	// Truncated shard.
+	shard := shardPath(dir2, 0)
+	raw, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) > 2 {
+		if err := os.WriteFile(shard, raw[:len(raw)-2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(w3, dir2, serialize.Uint64Codec(), serialize.Uint64Codec()); err == nil {
+			t.Error("expected error for truncated shard")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package rmat implements the recursive-matrix (R-MAT) generator of
+// Chakrabarti et al. [13], the synthetic scale-free workload the paper's
+// weak-scaling experiments use (§5.5: "a scale 24 R-MAT per compute node").
+//
+// Generation is embarrassingly parallel and deterministic: every edge index
+// seeds its own tiny PRNG, so any rank can generate any contiguous slice of
+// the edge stream without coordination — the property distributed weak
+// scaling needs.
+package rmat
+
+import (
+	"fmt"
+
+	"tripoll/internal/graph"
+)
+
+// Params configures a generator.
+type Params struct {
+	// Scale gives |V| = 2^Scale.
+	Scale int
+	// EdgeFactor gives |E| = EdgeFactor · |V| generated edges (before any
+	// deduplication downstream). Zero selects the Graph500 default of 16.
+	EdgeFactor int
+	// A, B, C, D are the recursive quadrant probabilities. Zeros select
+	// the Graph500 defaults (0.57, 0.19, 0.19, 0.05).
+	A, B, C, D float64
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Scramble applies a hash permutation to vertex ids, destroying the
+	// locality-by-id artifact of the recursive construction (Graph500's
+	// vertex scrambling).
+	Scramble bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.EdgeFactor == 0 {
+		p.EdgeFactor = 16
+	}
+	if p.A == 0 && p.B == 0 && p.C == 0 && p.D == 0 {
+		p.A, p.B, p.C, p.D = 0.57, 0.19, 0.19, 0.05
+	}
+	return p
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.Scale < 1 || p.Scale > 40 {
+		return fmt.Errorf("rmat: scale %d out of range [1, 40]", p.Scale)
+	}
+	if p.EdgeFactor < 1 {
+		return fmt.Errorf("rmat: edge factor %d < 1", p.EdgeFactor)
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: quadrant probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// NumVertices returns 2^Scale.
+func (p Params) NumVertices() uint64 { return 1 << uint(p.Scale) }
+
+// NumEdges returns the number of generated edges.
+func (p Params) NumEdges() uint64 {
+	return p.withDefaults().NumVertices() * uint64(p.withDefaults().EdgeFactor)
+}
+
+// xorshift128+ is the per-edge PRNG; 2·Scale draws per edge keeps state
+// tiny and seeding cheap.
+type xorshift struct{ s0, s1 uint64 }
+
+func newXorshift(seed uint64) xorshift {
+	// Two rounds of splitmix64 expansion; avoid the all-zero state.
+	a := graph.Mix64(seed)
+	b := graph.Mix64(seed ^ 0x9e3779b97f4a7c15)
+	if a == 0 && b == 0 {
+		a = 1
+	}
+	return xorshift{s0: a, s1: b}
+}
+
+func (x *xorshift) next() uint64 {
+	a, b := x.s0, x.s1
+	x.s0 = b
+	a ^= a << 23
+	a ^= a >> 17
+	a ^= b ^ (b >> 26)
+	x.s1 = a
+	return a + b
+}
+
+// float64 in [0, 1).
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+// Edge returns the i-th edge of the stream — identical no matter which
+// rank asks.
+func (p Params) Edge(i uint64) (u, v uint64) {
+	q := p.withDefaults()
+	rng := newXorshift(uint64(q.Seed) ^ graph.Mix64(i+0x5851f42d4c957f2d))
+	for level := 0; level < q.Scale; level++ {
+		r := rng.float()
+		u <<= 1
+		v <<= 1
+		switch {
+		case r < q.A:
+			// top-left: neither bit set
+		case r < q.A+q.B:
+			v |= 1
+		case r < q.A+q.B+q.C:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	if q.Scramble {
+		mask := q.NumVertices() - 1
+		u = graph.Mix64(u^uint64(q.Seed)) & mask
+		v = graph.Mix64(v^uint64(q.Seed)) & mask
+	}
+	return u, v
+}
+
+// Generate emits edges [start, end) of the stream.
+func (p Params) Generate(start, end uint64, emit func(u, v uint64)) {
+	for i := start; i < end; i++ {
+		u, v := p.Edge(i)
+		emit(u, v)
+	}
+}
+
+// RankRange splits the edge stream evenly among n ranks and returns rank
+// r's half-open slice.
+func (p Params) RankRange(rank, n int) (start, end uint64) {
+	total := p.NumEdges()
+	per := total / uint64(n)
+	rem := total % uint64(n)
+	ur := uint64(rank)
+	start = per*ur + min64(ur, rem)
+	end = start + per
+	if ur < rem {
+		end++
+	}
+	return start, end
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

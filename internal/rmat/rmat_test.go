@@ -1,0 +1,133 @@
+package rmat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Scale: 10}).Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	if err := (Params{Scale: 0}).Validate(); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	if err := (Params{Scale: 10, A: 0.9, B: 0.3, C: 0.1, D: 0.1}).Validate(); err == nil {
+		t.Error("bad probabilities should fail")
+	}
+	if err := (Params{Scale: 10, EdgeFactor: -1}).Validate(); err == nil {
+		t.Error("negative edge factor should fail")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	p := Params{Scale: 8, EdgeFactor: 16}
+	if p.NumVertices() != 256 {
+		t.Errorf("vertices = %d", p.NumVertices())
+	}
+	if p.NumEdges() != 4096 {
+		t.Errorf("edges = %d", p.NumEdges())
+	}
+	if (Params{Scale: 8}).NumEdges() != 4096 {
+		t.Error("default edge factor not applied")
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	p := Params{Scale: 10, Seed: 5}
+	for i := uint64(0); i < 500; i++ {
+		u1, v1 := p.Edge(i)
+		u2, v2 := p.Edge(i)
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("edge %d not deterministic", i)
+		}
+	}
+}
+
+func TestEdgesInRange(t *testing.T) {
+	for _, scramble := range []bool{false, true} {
+		p := Params{Scale: 9, Seed: 3, Scramble: scramble}
+		n := p.NumVertices()
+		p.Generate(0, 2000, func(u, v uint64) {
+			if u >= n || v >= n {
+				t.Fatalf("edge (%d,%d) out of range %d (scramble=%v)", u, v, n, scramble)
+			}
+		})
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := Params{Scale: 10, Seed: 1}
+	b := Params{Scale: 10, Seed: 2}
+	same := 0
+	for i := uint64(0); i < 200; i++ {
+		au, av := a.Edge(i)
+		bu, bv := b.Edge(i)
+		if au == bu && av == bv {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Errorf("%d/200 identical edges across seeds", same)
+	}
+}
+
+func TestSkewedDegreeDistribution(t *testing.T) {
+	// R-MAT with Graph500 parameters concentrates edges on low ids; the
+	// max-degree vertex must dominate the mean by a large factor.
+	p := Params{Scale: 12, Seed: 9}
+	deg := map[uint64]int{}
+	p.Generate(0, p.NumEdges(), func(u, v uint64) {
+		deg[u]++
+		deg[v]++
+	})
+	var max, total int
+	for _, d := range deg {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(total) / float64(len(deg))
+	if float64(max) < 20*mean {
+		t.Errorf("max degree %d vs mean %.1f: not scale-free-ish", max, mean)
+	}
+}
+
+func TestRankRangePartition(t *testing.T) {
+	f := func(scaleSeed uint8, nRanks uint8) bool {
+		scale := 4 + int(scaleSeed%6)
+		n := 1 + int(nRanks%9)
+		p := Params{Scale: scale}
+		var covered uint64
+		prevEnd := uint64(0)
+		for r := 0; r < n; r++ {
+			s, e := p.RankRange(r, n)
+			if s != prevEnd || e < s {
+				return false
+			}
+			covered += e - s
+			prevEnd = e
+		}
+		return covered == p.NumEdges() && prevEnd == p.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrambleChangesIDsNotCount(t *testing.T) {
+	plain := Params{Scale: 8, Seed: 4}
+	scr := Params{Scale: 8, Seed: 4, Scramble: true}
+	diff := 0
+	for i := uint64(0); i < 200; i++ {
+		pu, pv := plain.Edge(i)
+		su, sv := scr.Edge(i)
+		if pu != su || pv != sv {
+			diff++
+		}
+	}
+	if diff < 150 {
+		t.Errorf("scramble changed only %d/200 edges", diff)
+	}
+}

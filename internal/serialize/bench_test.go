@@ -1,0 +1,72 @@
+package serialize
+
+import "testing"
+
+func BenchmarkEncodeUvarint(b *testing.B) {
+	e := NewEncoder(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for k := uint64(0); k < 1000; k++ {
+			e.PutUvarint(k * 7919)
+		}
+	}
+	b.SetBytes(int64(e.Len()))
+}
+
+func BenchmarkDecodeUvarint(b *testing.B) {
+	e := NewEncoder(1 << 16)
+	for k := uint64(0); k < 1000; k++ {
+		e.PutUvarint(k * 7919)
+	}
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		d.Reset(buf)
+		for k := 0; k < 1000; k++ {
+			_ = d.Uvarint()
+		}
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+func BenchmarkEncodeString(b *testing.B) {
+	e := NewEncoder(1 << 16)
+	s := "www.some-long-domain-name.example.com"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for k := 0; k < 100; k++ {
+			e.PutString(s)
+		}
+	}
+	b.SetBytes(int64(e.Len()))
+}
+
+func BenchmarkPushMessageRoundTrip(b *testing.B) {
+	// The shape of one push-phase candidate entry: id, degree, edge meta.
+	e := NewEncoder(1 << 16)
+	d := NewDecoder(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for k := uint64(0); k < 64; k++ {
+			e.PutUvarint(k * 104729)
+			e.PutUvarint(k % 4096)
+			e.PutUvarint(1600000000 + k)
+		}
+		d.Reset(e.Bytes())
+		for k := 0; k < 64; k++ {
+			_ = d.Uvarint()
+			_ = d.Uvarint()
+			_ = d.Uvarint()
+		}
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}

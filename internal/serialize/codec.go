@@ -1,0 +1,180 @@
+package serialize
+
+// Codec bundles the encode and decode halves for a metadata or key type.
+// TriPoll is generic over vertex- and edge-metadata types; a Codec is the
+// runtime evidence that a type can cross rank boundaries, playing the role
+// cereal's serialize functions play in the C++ implementation.
+type Codec[T any] struct {
+	Encode func(*Encoder, T)
+	Decode func(*Decoder) T
+}
+
+// RoundTrip encodes v and decodes it again; primarily useful in tests and
+// for deep-copying metadata between rank-local stores.
+func (c Codec[T]) RoundTrip(v T) T {
+	var e Encoder
+	c.Encode(&e, v)
+	return c.Decode(NewDecoder(e.Bytes()))
+}
+
+// Unit carries no information; it is the "dummy metadata" the paper affixes
+// to vertices and edges for simple triangle counting (§5.3 uses booleans; a
+// zero-byte unit is the honest Go equivalent and we provide Bool too).
+type Unit = struct{}
+
+// UnitCodec encodes nothing.
+func UnitCodec() Codec[Unit] {
+	return Codec[Unit]{
+		Encode: func(*Encoder, Unit) {},
+		Decode: func(*Decoder) Unit { return Unit{} },
+	}
+}
+
+// BoolCodec encodes a single byte, matching §5.3's boolean dummy metadata.
+func BoolCodec() Codec[bool] {
+	return Codec[bool]{
+		Encode: func(e *Encoder, v bool) { e.PutBool(v) },
+		Decode: func(d *Decoder) bool { return d.Bool() },
+	}
+}
+
+// Uint8Codec encodes a byte label.
+func Uint8Codec() Codec[uint8] {
+	return Codec[uint8]{
+		Encode: func(e *Encoder, v uint8) { e.PutUint8(v) },
+		Decode: func(d *Decoder) uint8 { return d.Uint8() },
+	}
+}
+
+// Uint32Codec encodes a fixed-width uint32.
+func Uint32Codec() Codec[uint32] {
+	return Codec[uint32]{
+		Encode: func(e *Encoder, v uint32) { e.PutUint32(v) },
+		Decode: func(d *Decoder) uint32 { return d.Uint32() },
+	}
+}
+
+// Uint64Codec encodes a varint uint64 (ids, timestamps, counters).
+func Uint64Codec() Codec[uint64] {
+	return Codec[uint64]{
+		Encode: func(e *Encoder, v uint64) { e.PutUvarint(v) },
+		Decode: func(d *Decoder) uint64 { return d.Uvarint() },
+	}
+}
+
+// Int64Codec encodes a zig-zag varint int64.
+func Int64Codec() Codec[int64] {
+	return Codec[int64]{
+		Encode: func(e *Encoder, v int64) { e.PutVarint(v) },
+		Decode: func(d *Decoder) int64 { return d.Varint() },
+	}
+}
+
+// Float64Codec encodes IEEE-754 bits (ratings, weights).
+func Float64Codec() Codec[float64] {
+	return Codec[float64]{
+		Encode: func(e *Encoder, v float64) { e.PutFloat64(v) },
+		Decode: func(d *Decoder) float64 { return d.Float64() },
+	}
+}
+
+// StringCodec encodes a length-prefixed string with no padding — the
+// arbitrary-length metadata capability exercised by the FQDN survey (§5.8).
+func StringCodec() Codec[string] {
+	return Codec[string]{
+		Encode: func(e *Encoder, v string) { e.PutString(v) },
+		Decode: func(d *Decoder) string { return d.String() },
+	}
+}
+
+// BytesCodec encodes a length-prefixed byte slice. Decoded slices are copied
+// out of the message buffer so they may be retained.
+func BytesCodec() Codec[[]byte] {
+	return Codec[[]byte]{
+		Encode: func(e *Encoder, v []byte) { e.PutBytes(v) },
+		Decode: func(d *Decoder) []byte {
+			b := d.Bytes()
+			if b == nil {
+				return nil
+			}
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out
+		},
+	}
+}
+
+// Pair is a generic two-field composite; PairCodec serializes it
+// field-by-field. Used by surveys that count pairs (e.g. the joint
+// open/close-time distribution of Alg. 4).
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// PairCodec composes codecs for the two fields.
+func PairCodec[A, B any](a Codec[A], b Codec[B]) Codec[Pair[A, B]] {
+	return Codec[Pair[A, B]]{
+		Encode: func(e *Encoder, v Pair[A, B]) {
+			a.Encode(e, v.First)
+			b.Encode(e, v.Second)
+		},
+		Decode: func(d *Decoder) Pair[A, B] {
+			return Pair[A, B]{First: a.Decode(d), Second: b.Decode(d)}
+		},
+	}
+}
+
+// Triple is a generic three-field composite (e.g. the log₂-degree triples of
+// §5.9 or FQDN 3-tuples of §5.8).
+type Triple[A, B, C any] struct {
+	First  A
+	Second B
+	Third  C
+}
+
+// TripleCodec composes codecs for the three fields.
+func TripleCodec[A, B, C any](a Codec[A], b Codec[B], c Codec[C]) Codec[Triple[A, B, C]] {
+	return Codec[Triple[A, B, C]]{
+		Encode: func(e *Encoder, v Triple[A, B, C]) {
+			a.Encode(e, v.First)
+			b.Encode(e, v.Second)
+			c.Encode(e, v.Third)
+		},
+		Decode: func(d *Decoder) Triple[A, B, C] {
+			return Triple[A, B, C]{First: a.Decode(d), Second: b.Decode(d), Third: c.Decode(d)}
+		},
+	}
+}
+
+// SliceCodec encodes a uvarint count followed by each element.
+func SliceCodec[T any](elem Codec[T]) Codec[[]T] {
+	return Codec[[]T]{
+		Encode: func(e *Encoder, v []T) {
+			e.PutUvarint(uint64(len(v)))
+			for _, x := range v {
+				elem.Encode(e, x)
+			}
+		},
+		Decode: func(d *Decoder) []T {
+			n := d.Uvarint()
+			if d.Err() != nil {
+				return nil
+			}
+			// Guard against adversarial counts: never pre-allocate more
+			// elements than bytes remaining could possibly encode.
+			capHint := int(n)
+			if rem := d.Remaining(); capHint > rem {
+				capHint = rem
+			}
+			out := make([]T, 0, capHint)
+			for i := uint64(0); i < n; i++ {
+				out = append(out, elem.Decode(d))
+				if d.Err() != nil {
+					return nil
+				}
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,164 @@
+package serialize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Decoder reads primitive values from a byte slice produced by Encoder.
+//
+// Malformed input (truncation, varint overflow) does not panic: the decoder
+// latches an error, every subsequent Get returns a zero value, and the error
+// is reported by Err. Message-processing loops check Err once per message
+// rather than after every field.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder positioned at the start of buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset repoints the decoder at buf and clears any latched error.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
+
+// Err returns the first decoding error encountered, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int {
+	if d.off >= len(d.buf) {
+		return 0
+	}
+	return len(d.buf) - d.off
+}
+
+// Offset returns the current read position.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("serialize: truncated or malformed %s at offset %d (len %d)", what, d.off, len(d.buf))
+	}
+}
+
+func (d *Decoder) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+// Uint8 reads a single byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1, "uint8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Uint16 reads a fixed-width little-endian uint16.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2, "uint16")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// Uint32 reads a fixed-width little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4, "uint32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Uint64 reads a fixed-width little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8, "uint64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Float64 reads IEEE-754 bits.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Bool reads a 0/1 byte.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// String reads a uvarint-length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("string")
+		return ""
+	}
+	b := d.take(int(n), "string")
+	return string(b)
+}
+
+// Bytes reads a uvarint-length-prefixed byte slice. The returned slice
+// aliases the decoder's buffer; callers that retain it must copy.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("bytes")
+		return nil
+	}
+	return d.take(int(n), "bytes")
+}
+
+// Raw reads n bytes verbatim. The returned slice aliases the decoder's
+// buffer.
+func (d *Decoder) Raw(n int) []byte { return d.take(n, "raw") }

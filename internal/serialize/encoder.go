@@ -1,0 +1,94 @@
+// Package serialize implements the binary serialization layer used for all
+// inter-rank messages, mirroring the role the cereal C++ library plays in
+// YGM (§4.1.2 of the TriPoll paper): structured, variable-length payloads
+// (including strings without padding) are flattened to byte arrays that the
+// communication layer concatenates into large batches.
+//
+// The format is a simple little-endian / unsigned-varint stream with no
+// self-description; sender and receiver agree on layout through the handler
+// they registered, exactly as RPC argument marshalling does in YGM.
+package serialize
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Encoder appends primitive values to a growable byte buffer. The zero value
+// is ready to use. Encoders are not safe for concurrent use; in practice each
+// rank owns a small pool of them.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice is only valid until the next
+// mutating call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the contents but keeps the underlying storage.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUvarint appends x in unsigned-varint encoding.
+func (e *Encoder) PutUvarint(x uint64) {
+	e.buf = binary.AppendUvarint(e.buf, x)
+}
+
+// PutVarint appends x in zig-zag signed-varint encoding.
+func (e *Encoder) PutVarint(x int64) {
+	e.buf = binary.AppendVarint(e.buf, x)
+}
+
+// PutUint8 appends a single byte.
+func (e *Encoder) PutUint8(x uint8) { e.buf = append(e.buf, x) }
+
+// PutUint16 appends a fixed-width little-endian uint16.
+func (e *Encoder) PutUint16(x uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, x)
+}
+
+// PutUint32 appends a fixed-width little-endian uint32.
+func (e *Encoder) PutUint32(x uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, x)
+}
+
+// PutUint64 appends a fixed-width little-endian uint64.
+func (e *Encoder) PutUint64(x uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, x)
+}
+
+// PutFloat64 appends the IEEE-754 bits of x.
+func (e *Encoder) PutFloat64(x float64) { e.PutUint64(math.Float64bits(x)) }
+
+// PutBool appends a single 0/1 byte.
+func (e *Encoder) PutBool(x bool) {
+	if x {
+		e.PutUint8(1)
+	} else {
+		e.PutUint8(0)
+	}
+}
+
+// PutString appends a uvarint length followed by the raw bytes — no padding,
+// the capability §5.8 of the paper relies on for FQDN metadata.
+func (e *Encoder) PutString(s string) {
+	e.PutUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a uvarint length followed by the raw bytes.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutRaw appends b verbatim with no length prefix. The decoder must know the
+// length from context.
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }

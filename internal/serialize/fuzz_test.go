@@ -1,0 +1,72 @@
+package serialize
+
+import (
+	"testing"
+)
+
+// FuzzDecoderRobustness feeds arbitrary bytes through every decoding path;
+// the decoder must never panic or read out of bounds, only latch an error.
+// Runs the seed corpus under plain `go test`; fuzz with
+// `go test -fuzz FuzzDecoderRobustness ./internal/serialize`.
+func FuzzDecoderRobustness(f *testing.F) {
+	var seed Encoder
+	seed.PutUvarint(300)
+	seed.PutString("seed")
+	seed.PutUint64(42)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte{0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.Uvarint()
+		_ = d.Varint()
+		_ = d.String()
+		_ = d.Bytes()
+		_ = d.Uint8()
+		_ = d.Uint16()
+		_ = d.Uint32()
+		_ = d.Uint64()
+		_ = d.Float64()
+		_ = d.Bool()
+		_ = d.Raw(3)
+		// Slice codec with adversarial counts must not over-allocate or
+		// panic either.
+		_ = SliceCodec(Uint64Codec()).Decode(NewDecoder(data))
+		_ = SliceCodec(StringCodec()).Decode(NewDecoder(data))
+		// After any of the above, remaining must be within bounds.
+		if d.Remaining() < 0 || d.Remaining() > len(data) {
+			t.Fatalf("Remaining out of bounds: %d of %d", d.Remaining(), len(data))
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any (value-encoded) buffer decodes back to the
+// values that produced it, even when followed by junk.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(7), "x", int64(-9), []byte{1, 2})
+	f.Fuzz(func(t *testing.T, a uint64, s string, v int64, junk []byte) {
+		var e Encoder
+		e.PutUvarint(a)
+		e.PutString(s)
+		e.PutVarint(v)
+		e.PutRaw(junk)
+		d := NewDecoder(e.Bytes())
+		if got := d.Uvarint(); got != a {
+			t.Fatalf("uvarint %d != %d", got, a)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("string %q != %q", got, s)
+		}
+		if got := d.Varint(); got != v {
+			t.Fatalf("varint %d != %d", got, v)
+		}
+		if d.Err() != nil {
+			t.Fatalf("unexpected error: %v", d.Err())
+		}
+		if d.Remaining() != len(junk) {
+			t.Fatalf("remaining %d != %d", d.Remaining(), len(junk))
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package serialize
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodePrimitives(t *testing.T) {
+	var e Encoder
+	e.PutUvarint(300)
+	e.PutVarint(-7)
+	e.PutUint8(0xAB)
+	e.PutUint16(0xBEEF)
+	e.PutUint32(0xDEADBEEF)
+	e.PutUint64(0x0123456789ABCDEF)
+	e.PutFloat64(3.14159)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutString("hello, 世界")
+	e.PutBytes([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d, want 300", got)
+	}
+	if got := d.Varint(); got != -7 {
+		t.Errorf("Varint = %d, want -7", got)
+	}
+	if got := d.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x, want 0xAB", got)
+	}
+	if got := d.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %#x, want 0xBEEF", got)
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := d.Uint64(); got != 0x0123456789ABCDEF {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := d.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	b := d.Bytes()
+	if len(b) != 3 || b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Errorf("Bytes = %v", b)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+	if d.Err() != nil {
+		t.Errorf("Err = %v", d.Err())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.PutUint64(42)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.Uint64()
+		if d.Err() == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+		// After an error every further read stays zero and errors persist.
+		if got := d.Uint32(); got != 0 {
+			t.Errorf("cut=%d: post-error read = %d, want 0", cut, got)
+		}
+		if d.Err() == nil {
+			t.Errorf("cut=%d: error did not latch", cut)
+		}
+	}
+}
+
+func TestDecoderMalformedString(t *testing.T) {
+	var e Encoder
+	e.PutUvarint(1 << 40) // huge claimed length
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Errorf("String on malformed input = %q, err = %v", s, d.Err())
+	}
+}
+
+func TestSliceCodecAdversarialCount(t *testing.T) {
+	var e Encoder
+	e.PutUvarint(math.MaxUint32) // claims 4B elements with no payload
+	c := SliceCodec(Uint64Codec())
+	got := c.Decode(NewDecoder(e.Bytes()))
+	if got != nil {
+		t.Errorf("adversarial slice decode = %v, want nil", got)
+	}
+}
+
+func TestDecoderReset(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.Uint64()
+	if d.Err() == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+	var e Encoder
+	e.PutUvarint(9)
+	d.Reset(e.Bytes())
+	if d.Err() != nil {
+		t.Fatalf("Reset did not clear error: %v", d.Err())
+	}
+	if got := d.Uvarint(); got != 9 {
+		t.Errorf("after reset Uvarint = %d, want 9", got)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutUint64(1)
+	if e.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after reset = %d, want 0", e.Len())
+	}
+}
+
+func TestPutRawAndRaw(t *testing.T) {
+	var e Encoder
+	e.PutRaw([]byte{9, 8, 7})
+	d := NewDecoder(e.Bytes())
+	got := d.Raw(3)
+	if len(got) != 3 || got[2] != 7 {
+		t.Errorf("Raw = %v", got)
+	}
+	if d.Raw(1) != nil || d.Err() == nil {
+		t.Error("Raw past end should fail")
+	}
+}
+
+func TestUvarintRoundTripProperty(t *testing.T) {
+	f := func(x uint64, y int64, s string) bool {
+		var e Encoder
+		e.PutUvarint(x)
+		e.PutVarint(y)
+		e.PutString(s)
+		d := NewDecoder(e.Bytes())
+		return d.Uvarint() == x && d.Varint() == y && d.String() == s && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		var e Encoder
+		e.PutFloat64(x)
+		got := NewDecoder(e.Bytes()).Float64()
+		if math.IsNaN(x) {
+			return math.IsNaN(got)
+		}
+		return got == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	if got := Uint64Codec().RoundTrip(1 << 40); got != 1<<40 {
+		t.Errorf("uint64 round trip = %d", got)
+	}
+	if got := Int64Codec().RoundTrip(-12345); got != -12345 {
+		t.Errorf("int64 round trip = %d", got)
+	}
+	if got := StringCodec().RoundTrip("fqdn.example.com"); got != "fqdn.example.com" {
+		t.Errorf("string round trip = %q", got)
+	}
+	if got := Float64Codec().RoundTrip(-0.5); got != -0.5 {
+		t.Errorf("float round trip = %v", got)
+	}
+	if got := BoolCodec().RoundTrip(true); !got {
+		t.Error("bool round trip")
+	}
+	if got := Uint8Codec().RoundTrip(200); got != 200 {
+		t.Errorf("uint8 round trip = %d", got)
+	}
+	if got := Uint32Codec().RoundTrip(1 << 30); got != 1<<30 {
+		t.Errorf("uint32 round trip = %d", got)
+	}
+	b := BytesCodec().RoundTrip([]byte{5, 6})
+	if len(b) != 2 || b[0] != 5 {
+		t.Errorf("bytes round trip = %v", b)
+	}
+	UnitCodec().RoundTrip(Unit{})
+}
+
+func TestPairTripleCodecs(t *testing.T) {
+	pc := PairCodec(Uint64Codec(), StringCodec())
+	p := Pair[uint64, string]{First: 7, Second: "x"}
+	if got := pc.RoundTrip(p); got != p {
+		t.Errorf("pair round trip = %+v", got)
+	}
+	tc := TripleCodec(StringCodec(), StringCodec(), StringCodec())
+	tr := Triple[string, string, string]{"a.com", "b.com", "c.com"}
+	if got := tc.RoundTrip(tr); got != tr {
+		t.Errorf("triple round trip = %+v", got)
+	}
+}
+
+func TestSliceCodecRoundTripProperty(t *testing.T) {
+	c := SliceCodec(Uint64Codec())
+	f := func(xs []uint64) bool {
+		got := c.RoundTrip(xs)
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesCodecCopies(t *testing.T) {
+	var e Encoder
+	BytesCodec().Encode(&e, []byte{1, 2, 3})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := BytesCodec().Decode(d)
+	buf[len(buf)-1] = 99 // mutate the underlying message buffer
+	if got[2] != 3 {
+		t.Error("BytesCodec.Decode must copy out of the message buffer")
+	}
+}
+
+func TestLargeStringNoPadding(t *testing.T) {
+	// A long string should cost exactly len + varint-length bytes: the
+	// "no padding" property §4.1.2 calls out.
+	s := strings.Repeat("x", 1000)
+	var e Encoder
+	e.PutString(s)
+	if e.Len() != 1000+2 {
+		t.Errorf("encoded size = %d, want 1002", e.Len())
+	}
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hist is a sparse integer-bucketed histogram.
+type Hist struct {
+	counts map[int]uint64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{counts: make(map[int]uint64)} }
+
+// Add increments bucket by delta.
+func (h *Hist) Add(bucket int, delta uint64) { h.counts[bucket] += delta }
+
+// Count returns the count in bucket.
+func (h *Hist) Count(bucket int) uint64 { return h.counts[bucket] }
+
+// Total returns the sum of all counts.
+func (h *Hist) Total() uint64 {
+	var t uint64
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Buckets returns the populated buckets in ascending order.
+func (h *Hist) Buckets() []int {
+	out := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Render draws a horizontal text bar chart, the stand-in for the paper's
+// log-scale histogram figures. width is the maximum bar length.
+func (h *Hist) Render(title, bucketLabel string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (total %d)\n", title, h.Total())
+	buckets := h.Buckets()
+	if len(buckets) == 0 {
+		sb.WriteString("  (empty)\n")
+		return sb.String()
+	}
+	var max uint64
+	for _, b := range buckets {
+		if c := h.counts[b]; c > max {
+			max = c
+		}
+	}
+	for _, b := range buckets {
+		c := h.counts[b]
+		barLen := int(float64(width) * float64(c) / float64(max))
+		if c > 0 && barLen == 0 {
+			barLen = 1
+		}
+		fmt.Fprintf(&sb, "  %s=%4d │%-*s│ %d\n", bucketLabel, b, width, strings.Repeat("█", barLen), c)
+	}
+	return sb.String()
+}
+
+// Joint2D is a sparse 2D bucket grid, used for the joint (open, close)
+// distribution of Fig. 6 and the FQDN pair distribution of Fig. 8.
+type Joint2D struct {
+	counts map[[2]int]uint64
+}
+
+// NewJoint2D returns an empty grid.
+func NewJoint2D() *Joint2D { return &Joint2D{counts: make(map[[2]int]uint64)} }
+
+// Add increments cell (x, y) by delta.
+func (j *Joint2D) Add(x, y int, delta uint64) { j.counts[[2]int{x, y}] += delta }
+
+// Count returns the count at (x, y).
+func (j *Joint2D) Count(x, y int) uint64 { return j.counts[[2]int{x, y}] }
+
+// Total returns the sum of all cells.
+func (j *Joint2D) Total() uint64 {
+	var t uint64
+	for _, c := range j.counts {
+		t += c
+	}
+	return t
+}
+
+// MarginalX collapses the grid onto the x axis.
+func (j *Joint2D) MarginalX() *Hist {
+	h := NewHist()
+	for k, c := range j.counts {
+		h.Add(k[0], c)
+	}
+	return h
+}
+
+// MarginalY collapses the grid onto the y axis.
+func (j *Joint2D) MarginalY() *Hist {
+	h := NewHist()
+	for k, c := range j.counts {
+		h.Add(k[1], c)
+	}
+	return h
+}
+
+// Render draws the grid as a log-density character heat map (x across, y
+// down), the stand-in for the paper's joint-distribution plot. Grids wider
+// or taller than a terminal can show are coarsened by integer binning, so
+// a 39-billion-cell FQDN distribution and a 20-bucket time grid both
+// render usefully.
+func (j *Joint2D) Render(title, xLabel, yLabel string) string {
+	const maxCols, maxRows = 100, 48
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (total %d)\n", title, j.Total())
+	if len(j.counts) == 0 {
+		sb.WriteString("  (empty)\n")
+		return sb.String()
+	}
+	minX, maxX := 1<<30, -(1 << 30)
+	minY, maxY := 1<<30, -(1 << 30)
+	for k := range j.counts {
+		if k[0] < minX {
+			minX = k[0]
+		}
+		if k[0] > maxX {
+			maxX = k[0]
+		}
+		if k[1] < minY {
+			minY = k[1]
+		}
+		if k[1] > maxY {
+			maxY = k[1]
+		}
+	}
+	binX := 1 + (maxX-minX)/maxCols
+	binY := 1 + (maxY-minY)/maxRows
+	// Coarsened grid with bin-local sums.
+	binned := map[[2]int]uint64{}
+	var maxC uint64
+	for k, c := range j.counts {
+		bk := [2]int{(k[0] - minX) / binX, (k[1] - minY) / binY}
+		binned[bk] += c
+		if binned[bk] > maxC {
+			maxC = binned[bk]
+		}
+	}
+	cols := (maxX-minX)/binX + 1
+	rows := (maxY-minY)/binY + 1
+	shades := []rune(" .:-=+*#%@")
+	fmt.Fprintf(&sb, "  rows: %s %d..%d, cols: %s %d..%d, shade ~ log(count)", yLabel, minY, maxY, xLabel, minX, maxX)
+	if binX > 1 || binY > 1 {
+		fmt.Fprintf(&sb, " (cells binned %dx%d)", binX, binY)
+	}
+	sb.WriteByte('\n')
+	for by := rows - 1; by >= 0; by-- {
+		fmt.Fprintf(&sb, "  %6d │", minY+by*binY)
+		for bx := 0; bx < cols; bx++ {
+			c := binned[[2]int{bx, by}]
+			if c == 0 {
+				sb.WriteRune(' ')
+				continue
+			}
+			// Map log(count)/log(max) onto the shade ramp.
+			idx := 1 + int(float64(len(shades)-2)*logRatio(c, maxC))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			sb.WriteRune(shades[idx])
+		}
+		sb.WriteString("│\n")
+	}
+	return sb.String()
+}
+
+func logRatio(c, max uint64) float64 {
+	if max <= 1 {
+		return 1
+	}
+	return float64(FloorLog2(c)+1) / float64(FloorLog2(max)+1)
+}

@@ -1,0 +1,25 @@
+// Package stats provides the small numerical helpers TriPoll's surveys and
+// experiment harness share: log₂ bucketing (Alg. 4 and §5.9 count
+// ⌈log₂·⌉-bucketed quantities), histograms, joint distributions, and ASCII
+// rendering of the paper's tables and figures.
+package stats
+
+import "math/bits"
+
+// CeilLog2 returns ⌈log₂(x)⌉ for x ≥ 1. x = 0 (e.g. two edges with the
+// same timestamp) maps to -1, a dedicated "instantaneous" bucket below
+// every positive duration.
+func CeilLog2(x uint64) int {
+	if x == 0 {
+		return -1
+	}
+	return bits.Len64(x - 1)
+}
+
+// FloorLog2 returns ⌊log₂(x)⌋ for x ≥ 1, and -1 for x = 0.
+func FloorLog2(x uint64) int {
+	if x == 0 {
+		return -1
+	}
+	return bits.Len64(x) - 1
+}

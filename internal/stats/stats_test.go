@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[uint64]int{0: -1, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for x, want := range cases {
+		if got := CeilLog2(x); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+	// Cross-check against float math for a range of values.
+	for x := uint64(1); x < 100000; x += 37 {
+		want := int(math.Ceil(math.Log2(float64(x))))
+		if got := CeilLog2(x); got != want {
+			t.Fatalf("CeilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := map[uint64]int{0: -1, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3}
+	for x, want := range cases {
+		if got := FloorLog2(x); got != want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist()
+	h.Add(3, 10)
+	h.Add(-1, 2)
+	h.Add(3, 5)
+	if h.Count(3) != 15 || h.Count(-1) != 2 || h.Count(99) != 0 {
+		t.Error("counts wrong")
+	}
+	if h.Total() != 17 {
+		t.Errorf("total = %d", h.Total())
+	}
+	b := h.Buckets()
+	if len(b) != 2 || b[0] != -1 || b[1] != 3 {
+		t.Errorf("buckets = %v", b)
+	}
+}
+
+func TestHistRender(t *testing.T) {
+	h := NewHist()
+	h.Add(0, 1)
+	h.Add(1, 100)
+	out := h.Render("closing times", "log2", 20)
+	if !strings.Contains(out, "closing times") || !strings.Contains(out, "100") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	// Small nonzero buckets still draw at least one bar cell.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "=   0") && strings.Contains(l, "█") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tiny bucket invisible:\n%s", out)
+	}
+	if !strings.Contains(NewHist().Render("empty", "b", 10), "(empty)") {
+		t.Error("empty render")
+	}
+}
+
+func TestJoint2D(t *testing.T) {
+	j := NewJoint2D()
+	j.Add(1, 2, 5)
+	j.Add(1, 2, 1)
+	j.Add(-1, 4, 7)
+	if j.Count(1, 2) != 6 || j.Count(-1, 4) != 7 || j.Count(0, 0) != 0 {
+		t.Error("counts wrong")
+	}
+	if j.Total() != 13 {
+		t.Errorf("total = %d", j.Total())
+	}
+	mx := j.MarginalX()
+	if mx.Count(1) != 6 || mx.Count(-1) != 7 {
+		t.Errorf("marginal X wrong")
+	}
+	my := j.MarginalY()
+	if my.Count(2) != 6 || my.Count(4) != 7 {
+		t.Errorf("marginal Y wrong")
+	}
+	out := j.Render("joint", "open", "close")
+	if !strings.Contains(out, "joint") || !strings.Contains(out, "close") {
+		t.Errorf("render:\n%s", out)
+	}
+	if !strings.Contains(NewJoint2D().Render("e", "x", "y"), "(empty)") {
+		t.Error("empty render")
+	}
+}
+
+func TestJoint2DRenderBinsWideGrids(t *testing.T) {
+	j := NewJoint2D()
+	for x := 0; x < 500; x++ {
+		j.Add(x, x%60, uint64(1+x%7))
+	}
+	out := j.Render("wide", "x", "y")
+	if !strings.Contains(out, "binned") {
+		t.Errorf("wide grid not binned:\n%s", out[:200])
+	}
+	// No rendered row may exceed a terminal-ish width.
+	for _, line := range strings.Split(out, "\n") {
+		if len([]rune(line)) > 120 {
+			t.Fatalf("row too wide (%d runes)", len([]rune(line)))
+		}
+	}
+	// Small grids stay unbinned.
+	small := NewJoint2D()
+	small.Add(1, 2, 3)
+	if strings.Contains(small.Render("s", "x", "y"), "binned") {
+		t.Error("small grid should not bin")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table 2: runtimes", "Graph", "TriPoll", "Pearce")
+	tb.AddRow("LiveJournal", "1.01s", "1.08s")
+	tb.AddRow("Friendster", "38.62s", "69.79s")
+	out := tb.Render()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "Friendster") {
+		t.Errorf("render:\n%s", out)
+	}
+	// Columns align: every data line has the header's column positions.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	idx := strings.Index(lines[1], "TriPoll")
+	if !strings.HasPrefix(lines[3][idx:], "1.01s") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("t", "a", "b").AddRow("only-one")
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[uint64]string{0: "0", 999: "999", 1000: "1,000", 1234567: "1,234,567", 69000000: "69,000,000"}
+	for n, want := range cases {
+		if got := FormatCount(n); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	if FormatBytes(512) != "512B" {
+		t.Error(FormatBytes(512))
+	}
+	if FormatBytes(2048) != "2.0KB" {
+		t.Error(FormatBytes(2048))
+	}
+	if FormatBytes(3<<20) != "3.0MB" {
+		t.Error(FormatBytes(3 << 20))
+	}
+	if FormatBytes(5<<30) != "5.0GB" {
+		t.Error(FormatBytes(5 << 30))
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if FormatDuration(2500*time.Millisecond) != "2.50s" {
+		t.Error(FormatDuration(2500 * time.Millisecond))
+	}
+	if FormatDuration(1500*time.Microsecond) != "1.5ms" {
+		t.Error(FormatDuration(1500 * time.Microsecond))
+	}
+	if FormatDuration(900*time.Microsecond) != "900µs" {
+		t.Error(FormatDuration(900 * time.Microsecond))
+	}
+}

@@ -1,0 +1,71 @@
+package ygm
+
+import (
+	"errors"
+	"sync"
+)
+
+// errWorldPoisoned unwinds ranks stuck at a barrier after another rank has
+// panicked, so a single failure does not deadlock the whole region.
+var errWorldPoisoned = errors.New("ygm: world poisoned by a rank failure")
+
+// cyclicBarrier is a reusable rendezvous for n goroutines. Generations make
+// back-to-back barriers safe: a rank cannot lap another.
+type cyclicBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	count    int
+	gen      uint64
+	poisoned bool
+}
+
+func newCyclicBarrier(n int) *cyclicBarrier {
+	b := &cyclicBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have arrived. If the barrier is
+// poisoned it panics with errWorldPoisoned instead of blocking forever.
+func (b *cyclicBarrier) await() {
+	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		panic(errWorldPoisoned)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	poisoned := b.poisoned
+	b.mu.Unlock()
+	if poisoned {
+		panic(errWorldPoisoned)
+	}
+}
+
+// poison wakes all waiters with a failure; subsequent awaits fail fast.
+func (b *cyclicBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset clears poisoning so the world can be reused after the failure has
+// been reported (primarily for tests that exercise failure paths).
+func (b *cyclicBarrier) reset() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.count = 0
+	b.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package ygm
+
+import (
+	"fmt"
+	"testing"
+
+	"tripoll/internal/serialize"
+)
+
+// benchMessageThroughput measures raw async message rate: every rank
+// streams small messages round-robin to all peers, then one barrier.
+func benchMessageThroughput(b *testing.B, n int, opts Options, perRank int) {
+	b.Helper()
+	w := MustWorld(n, opts)
+	defer w.Close()
+	var sink uint64
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+		sink += d.Uvarint()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Parallel(func(r *Rank) {
+			for k := 0; k < perRank; k++ {
+				e := r.Enc()
+				e.PutUvarint(uint64(k))
+				r.Async((r.ID()+1+k%(n-1))%n, h, e)
+			}
+		})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(perRank*n), "msgs/op")
+	_ = sink
+}
+
+func BenchmarkThroughput4RanksChannel(b *testing.B) {
+	benchMessageThroughput(b, 4, Options{}, 50_000)
+}
+
+func BenchmarkThroughput4RanksTCP(b *testing.B) {
+	benchMessageThroughput(b, 4, Options{Transport: TransportTCP}, 50_000)
+}
+
+func BenchmarkThroughputGrouped8Ranks(b *testing.B) {
+	benchMessageThroughput(b, 8, Options{GroupSize: 4}, 25_000)
+}
+
+func BenchmarkBufferSizes(b *testing.B) {
+	for _, buf := range []int{1 << 10, 16 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("buf%dKB", buf>>10), func(b *testing.B) {
+			benchMessageThroughput(b, 4, Options{BufferBytes: buf}, 50_000)
+		})
+	}
+}
+
+func BenchmarkBarrierLatency(b *testing.B) {
+	w := MustWorld(4, Options{})
+	defer w.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Parallel(func(r *Rank) {
+			for k := 0; k < 10; k++ {
+				r.Barrier()
+			}
+		})
+	}
+}
+
+func BenchmarkCollectives(b *testing.B) {
+	w := MustWorld(8, Options{})
+	defer w.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Parallel(func(r *Rank) {
+			for k := 0; k < 100; k++ {
+				_ = AllReduceSum(r, uint64(r.ID()))
+			}
+		})
+	}
+}

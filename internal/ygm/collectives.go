@@ -1,0 +1,76 @@
+package ygm
+
+// Collectives provide the small set of synchronous operations the paper's
+// algorithms need around the asynchronous core: the All_Reduce of Alg. 2
+// line 4, gathers for result collection, and broadcasts of configuration.
+//
+// All ranks must call a collective in the same order (standard SPMD
+// discipline). Collectives must not be called from handlers.
+//
+// Because the ranks share an address space, the implementation exchanges
+// values through a slot array guarded by two rendezvous. Each rank computes
+// the reduction independently over the same slot order, so results are
+// bit-identical across ranks regardless of scheduling.
+
+// AllReduce combines every rank's contribution with op and returns the
+// result on all ranks. op must be associative; evaluation order is fixed
+// (rank 0 upward) so non-commutative ops are still deterministic.
+func AllReduce[T any](r *Rank, x T, op func(a, b T) T) T {
+	w := r.world
+	w.shared[r.id] = x
+	w.barrier.await()
+	acc := w.shared[0].(T)
+	for i := 1; i < w.n; i++ {
+		acc = op(acc, w.shared[i].(T))
+	}
+	w.barrier.await()
+	return acc
+}
+
+// AllReduceSum is AllReduce with addition for the common counter case.
+func AllReduceSum(r *Rank, x uint64) uint64 {
+	return AllReduce(r, x, func(a, b uint64) uint64 { return a + b })
+}
+
+// AllReduceMax returns the maximum across ranks.
+func AllReduceMax(r *Rank, x uint64) uint64 {
+	return AllReduce(r, x, func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllGather returns every rank's contribution, indexed by rank, on all
+// ranks.
+func AllGather[T any](r *Rank, x T) []T {
+	w := r.world
+	w.shared[r.id] = x
+	w.barrier.await()
+	out := make([]T, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.shared[i].(T)
+	}
+	w.barrier.await()
+	return out
+}
+
+// Broadcast returns root's value on every rank.
+func Broadcast[T any](r *Rank, x T, root int) T {
+	w := r.world
+	if r.id == root {
+		w.shared[root] = x
+	}
+	w.barrier.await()
+	out := w.shared[root].(T)
+	w.barrier.await()
+	return out
+}
+
+// Rendezvous is a plain synchronization barrier with no quiescence
+// semantics: it does not flush buffers or process messages. Use Barrier for
+// the termination-detecting variant.
+func Rendezvous(r *Rank) {
+	r.world.barrier.await()
+}

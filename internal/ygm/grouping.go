@@ -1,0 +1,68 @@
+package ygm
+
+import "tripoll/internal/serialize"
+
+// Node-level message aggregation — the remedy §5.4 of the paper proposes
+// for strong-scaling collapse at thousands of ranks ("adding extra
+// aggregation of messages at the level of compute nodes, similar to
+// [34, 44]").
+//
+// With Options.GroupSize = g > 1, ranks are grouped into simulated
+// "compute nodes" of g consecutive ranks. A message to a rank in another
+// group is not sent directly: it is buffered toward a deterministic
+// gateway rank inside the destination group and forwarded from there.
+// All of a sender's traffic to one remote group therefore shares a single
+// buffer, producing fewer, fuller inter-group batches — at the cost of one
+// extra intra-group hop. Inter-group traffic (the "network" in the
+// two-level model; intra-group stands for intra-node shared memory) is
+// tracked separately in RankStats.RemoteBatches/RemoteBytes so the effect
+// is measurable.
+
+// group returns the node-group index of a rank.
+func (w *World) group(rank int) int {
+	if w.opts.GroupSize <= 1 {
+		return rank
+	}
+	return rank / w.opts.GroupSize
+}
+
+// gatewayFor picks the rank inside dest's group that relays src's traffic.
+// Spreading gateways by source rank balances forwarding load across the
+// group's members.
+func (w *World) gatewayFor(src, dest int) int {
+	gs := w.opts.GroupSize
+	start := (dest / gs) * gs
+	size := gs
+	if start+size > w.n {
+		size = w.n - start
+	}
+	return start + src%size
+}
+
+// forwardHandler is registered at world construction (handler id 0 when
+// grouping is enabled): it unwraps a relayed message and re-injects it for
+// its final destination. Termination detection covers the extra hop
+// automatically — the relay is processed, the re-injection is a new send.
+func (w *World) forwardHandler(r *Rank, d *serialize.Decoder) {
+	finalDest := int(d.Uvarint())
+	h := HandlerID(d.Uvarint())
+	payload := d.Raw(d.Remaining())
+	if d.Err() != nil {
+		panic("ygm: corrupt forwarded message: " + d.Err().Error())
+	}
+	r.stats.MessagesForwarded++
+	r.AsyncBytes(finalDest, h, payload)
+}
+
+// routeVia reports whether a message from src to dest must be relayed, and
+// through which gateway.
+func (w *World) routeVia(src, dest int) (gateway int, relay bool) {
+	if w.opts.GroupSize <= 1 || w.group(src) == w.group(dest) {
+		return dest, false
+	}
+	gw := w.gatewayFor(src, dest)
+	if gw == dest {
+		return dest, false // the gateway is the destination; skip the wrap
+	}
+	return gw, true
+}

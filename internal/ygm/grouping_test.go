@@ -1,0 +1,172 @@
+package ygm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tripoll/internal/serialize"
+)
+
+func TestGroupingPreservesDelivery(t *testing.T) {
+	for _, gs := range []int{0, 1, 2, 3, 4, 8} {
+		gs := gs
+		const n, perPair = 8, 300
+		w := MustWorld(n, Options{GroupSize: gs})
+		recv := make([]int64, n)
+		sums := make([]uint64, n)
+		h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			recv[r.ID()]++
+			sums[r.ID()] += d.Uvarint()
+		})
+		w.Parallel(func(r *Rank) {
+			for dest := 0; dest < n; dest++ {
+				for k := 0; k < perPair; k++ {
+					e := r.Enc()
+					e.PutUvarint(uint64(k))
+					r.Async(dest, h, e)
+				}
+			}
+		})
+		wantSum := uint64(n * perPair * (perPair - 1) / 2)
+		for i := 0; i < n; i++ {
+			if recv[i] != n*perPair {
+				t.Errorf("gs=%d rank %d received %d, want %d", gs, i, recv[i], n*perPair)
+			}
+			if sums[i] != wantSum {
+				t.Errorf("gs=%d rank %d sum %d, want %d", gs, i, sums[i], wantSum)
+			}
+		}
+		w.Close()
+	}
+}
+
+func TestGroupingForwardsOnlyRemote(t *testing.T) {
+	w := MustWorld(8, Options{GroupSize: 4})
+	defer w.Close()
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {})
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 0 {
+			e := r.Enc()
+			r.Async(1, h, e) // same group: no relay
+		}
+	})
+	if st := w.Stats(); st.MessagesForwarded != 0 {
+		t.Errorf("intra-group send was forwarded: %+v", st)
+	}
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 0 {
+			for k := 0; k < 10; k++ {
+				e := r.Enc()
+				r.Async(5, h, e) // remote group
+			}
+		}
+	})
+	st := w.Stats()
+	// Gateway for src 0 into group 1 is rank 4 (4 + 0%4); unless the
+	// gateway equals the destination, every message is relayed once.
+	if st.MessagesForwarded != 10 {
+		t.Errorf("forwarded = %d, want 10", st.MessagesForwarded)
+	}
+}
+
+func TestGatewayEqualsDestSkipsRelay(t *testing.T) {
+	w := MustWorld(8, Options{GroupSize: 4})
+	defer w.Close()
+	var hits atomic.Int64
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { hits.Add(1) })
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 1 {
+			e := r.Enc()
+			r.Async(5, h, e) // gateway for src 1 into group 1 is 4+1 = 5 = dest
+		}
+	})
+	st := w.Stats()
+	if st.MessagesForwarded != 0 {
+		t.Errorf("gateway==dest should not wrap: %+v", st)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("hits = %d", hits.Load())
+	}
+}
+
+func TestGroupingReducesRemoteBatches(t *testing.T) {
+	// Sparse all-to-all with a small buffer: without grouping every
+	// (src, dest) pair flushes its own inter-group batches; with grouping
+	// a sender's traffic to one remote group shares a buffer.
+	run := func(gs int) Stats {
+		const n = 8
+		w := MustWorld(n, Options{GroupSize: gs, BufferBytes: 1 << 10})
+		defer w.Close()
+		h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { _ = d.Uvarint() })
+		w.Parallel(func(r *Rank) {
+			for k := 0; k < 2000; k++ {
+				e := r.Enc()
+				e.PutUvarint(uint64(k))
+				r.Async((r.ID()+1+k%(n-1))%n, h, e)
+			}
+		})
+		return w.Stats()
+	}
+	flat := run(1)
+	grouped := run(4)
+	if grouped.RemoteBatches >= flat.RemoteBatches {
+		t.Errorf("grouping did not reduce inter-group batches: flat %d, grouped %d",
+			flat.RemoteBatches, grouped.RemoteBatches)
+	}
+	// Messages delivered identically (forwarding adds sends, but the
+	// original payload count at handlers is fixed by construction above).
+	if grouped.MessagesForwarded == 0 {
+		t.Error("no forwarding happened at group size 4")
+	}
+}
+
+func TestGroupingWithChains(t *testing.T) {
+	// Termination detection must cover relay hops spawned by handlers.
+	const n, depth = 6, 30
+	w := MustWorld(n, Options{GroupSize: 2})
+	defer w.Close()
+	var hops atomic.Int64
+	var h HandlerID
+	h = w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+		ttl := d.Uvarint()
+		hops.Add(1)
+		if ttl > 0 {
+			e := r.Enc()
+			e.PutUvarint(ttl - 1)
+			r.Async((r.ID()+3)%n, h, e) // always crosses a group boundary
+		}
+	})
+	w.Parallel(func(r *Rank) {
+		e := r.Enc()
+		e.PutUvarint(depth)
+		r.Async((r.ID()+3)%n, h, e)
+	})
+	if got := hops.Load(); got != int64(n*(depth+1)) {
+		t.Errorf("hops = %d, want %d", got, n*(depth+1))
+	}
+}
+
+func TestGroupSizeValidation(t *testing.T) {
+	if _, err := NewWorld(4, Options{GroupSize: -1}); err == nil {
+		t.Error("negative group size accepted")
+	}
+	// Oversized group sizes clamp to a single world-spanning group.
+	wBig := MustWorld(2, Options{GroupSize: 5})
+	if wBig.Options().GroupSize != 2 {
+		t.Errorf("oversized group not clamped: %d", wBig.Options().GroupSize)
+	}
+	wBig.Close()
+	// Group size that does not divide n: last group is partial but valid.
+	w := MustWorld(5, Options{GroupSize: 2})
+	defer w.Close()
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {})
+	w.Parallel(func(r *Rank) {
+		for dest := 0; dest < 5; dest++ {
+			e := r.Enc()
+			r.Async(dest, h, e)
+		}
+	})
+	if got := w.InFlight(); got != 0 {
+		t.Errorf("in flight = %d", got)
+	}
+}

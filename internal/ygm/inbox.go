@@ -1,0 +1,48 @@
+package ygm
+
+import "sync"
+
+// inbox is an unbounded multi-producer single-consumer queue of serialized
+// batches. Producers are transports (peer ranks or TCP reader goroutines);
+// the consumer is the owning rank. Unboundedness removes the classic
+// buffered-channel deadlock where a rank blocks sending while its own
+// mailbox is full.
+type inbox struct {
+	mu sync.Mutex
+	q  [][]byte
+}
+
+func (b *inbox) init() {}
+
+func (b *inbox) push(batch []byte) {
+	b.mu.Lock()
+	b.q = append(b.q, batch)
+	b.mu.Unlock()
+}
+
+func (b *inbox) tryPop() ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.q) == 0 {
+		return nil, false
+	}
+	batch := b.q[0]
+	b.q[0] = nil
+	b.q = b.q[1:]
+	if len(b.q) == 0 {
+		b.q = nil // allow the backing array to be reclaimed
+	}
+	return batch, true
+}
+
+func (b *inbox) empty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q) == 0
+}
+
+func (b *inbox) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q)
+}

@@ -1,0 +1,88 @@
+package ygm
+
+import (
+	"testing"
+
+	"tripoll/internal/serialize"
+)
+
+func TestCloseIdempotent(t *testing.T) {
+	for _, kind := range []TransportKind{TransportChannel, TransportTCP} {
+		w := MustWorld(3, Options{Transport: kind})
+		if err := w.Close(); err != nil {
+			t.Errorf("%v: first close: %v", kind, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("%v: second close: %v", kind, err)
+		}
+	}
+}
+
+func TestManyWorldsSequentially(t *testing.T) {
+	// Worlds must not leak goroutines or sockets that break later worlds.
+	for i := 0; i < 20; i++ {
+		w := MustWorld(2, Options{Transport: TransportTCP})
+		h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {})
+		w.Parallel(func(r *Rank) {
+			e := r.Enc()
+			r.Async(1-r.ID(), h, e)
+		})
+		if err := w.Close(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestSingleRankWorldFullApi(t *testing.T) {
+	// Degenerate world: everything must still work through self-sends.
+	w := MustWorld(1, Options{GroupSize: 1})
+	defer w.Close()
+	total := 0
+	h := w.RegisterHandlerNamed("self", func(r *Rank, d *serialize.Decoder) {
+		total += int(d.Uvarint())
+	})
+	w.Parallel(func(r *Rank) {
+		for k := 0; k < 100; k++ {
+			e := r.Enc()
+			e.PutUvarint(uint64(k))
+			r.Async(0, h, e)
+		}
+		r.Barrier()
+		if got := AllReduceSum(r, 7); got != 7 {
+			t.Errorf("1-rank allreduce = %d", got)
+		}
+		if g := AllGather(r, "x"); len(g) != 1 || g[0] != "x" {
+			t.Errorf("1-rank allgather = %v", g)
+		}
+	})
+	if total != 4950 {
+		t.Errorf("total = %d", total)
+	}
+	ps := w.HandlerProfiles()
+	if len(ps) != 1 || ps[0].Messages != 100 {
+		t.Errorf("profiles = %+v", ps)
+	}
+}
+
+func TestPollMakesProgressWithoutBarrier(t *testing.T) {
+	w := MustWorld(2, Options{BufferBytes: 32})
+	defer w.Close()
+	got := make([]int, 2)
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { got[r.ID()]++ })
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 0 {
+			for k := 0; k < 100; k++ {
+				e := r.Enc()
+				e.PutUvarint(uint64(k))
+				r.Async(1, h, e)
+			}
+			r.FlushAll()
+		}
+		// Rank 1 polls explicitly; the implicit end-of-region barrier
+		// guarantees the rest.
+		r.Poll()
+	})
+	if got[1] != 100 {
+		t.Errorf("rank 1 processed %d", got[1])
+	}
+}

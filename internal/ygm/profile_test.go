@@ -1,0 +1,86 @@
+package ygm
+
+import (
+	"strings"
+	"testing"
+
+	"tripoll/internal/serialize"
+)
+
+func TestHandlerProfiles(t *testing.T) {
+	w := MustWorld(3, Options{})
+	defer w.Close()
+	hBig := w.RegisterHandlerNamed("big-payload", func(r *Rank, d *serialize.Decoder) {
+		_ = d.String()
+	})
+	hSmall := w.RegisterHandlerNamed("small-payload", func(r *Rank, d *serialize.Decoder) {
+		_ = d.Uvarint()
+	})
+	w.Parallel(func(r *Rank) {
+		for k := 0; k < 50; k++ {
+			e := r.Enc()
+			e.PutString(strings.Repeat("x", 100))
+			r.Async(k%3, hBig, e)
+			e = r.Enc()
+			e.PutUvarint(uint64(k))
+			r.Async(k%3, hSmall, e)
+		}
+	})
+	ps := w.HandlerProfiles()
+	if len(ps) != 2 {
+		t.Fatalf("profiles = %+v", ps)
+	}
+	// Sorted by bytes: big first.
+	if ps[0].Name != "big-payload" || ps[1].Name != "small-payload" {
+		t.Errorf("order/names: %+v", ps)
+	}
+	if ps[0].Messages != 150 || ps[1].Messages != 150 {
+		t.Errorf("messages: %+v", ps)
+	}
+	if ps[0].Bytes <= ps[1].Bytes || ps[0].Bytes < 150*100 {
+		t.Errorf("bytes: %+v", ps)
+	}
+	out := FormatProfiles(ps)
+	if !strings.Contains(out, "big-payload") || !strings.Contains(out, "messages") {
+		t.Errorf("FormatProfiles:\n%s", out)
+	}
+}
+
+func TestHandlerNameFallbacks(t *testing.T) {
+	w := MustWorld(2, Options{})
+	defer w.Close()
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {})
+	if name := w.HandlerName(h); !strings.Contains(name, "handler-") {
+		t.Errorf("unnamed handler = %q", name)
+	}
+	if w.HandlerName(w.hForward) != "ygm.forward" {
+		t.Errorf("forward handler = %q", w.HandlerName(w.hForward))
+	}
+}
+
+func TestProfileCountsForwarding(t *testing.T) {
+	w := MustWorld(4, Options{GroupSize: 2})
+	defer w.Close()
+	h := w.RegisterHandlerNamed("payload", func(r *Rank, d *serialize.Decoder) {})
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 0 {
+			for k := 0; k < 20; k++ {
+				e := r.Enc()
+				r.Async(3, h, e) // crosses group boundary → relayed
+			}
+		}
+	})
+	ps := w.HandlerProfiles()
+	var sawForward, sawPayload bool
+	for _, p := range ps {
+		switch p.Name {
+		case "ygm.forward":
+			sawForward = p.Messages == 20
+		case "payload":
+			sawPayload = p.Messages == 20
+		}
+	}
+	if !sawForward || !sawPayload {
+		t.Errorf("profiles missing relay accounting: %+v", ps)
+	}
+}

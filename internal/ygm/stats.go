@@ -1,0 +1,57 @@
+package ygm
+
+import "fmt"
+
+// RankStats counts one rank's traffic. Only the owning rank mutates it.
+type RankStats struct {
+	MessagesSent      int64
+	MessagesProcessed int64
+	BatchesSent       int64
+	BytesSent         int64
+	// MessagesForwarded counts relays performed as a node-group gateway.
+	MessagesForwarded int64
+	// RemoteBatches/RemoteBytes count traffic crossing node-group
+	// boundaries (with GroupSize ≤ 1, every rank is its own group, so
+	// these count everything except self-sends).
+	RemoteBatches int64
+	RemoteBytes   int64
+}
+
+// Stats aggregates traffic across the world. BytesSent is the communication
+// volume figure reported in Table 4 of the paper.
+type Stats struct {
+	MessagesSent      int64
+	MessagesProcessed int64
+	BatchesSent       int64
+	BytesSent         int64
+	MessagesForwarded int64
+	RemoteBatches     int64
+	RemoteBytes       int64
+}
+
+func (s *Stats) add(r *RankStats) {
+	s.BatchesSent += r.BatchesSent
+	s.BytesSent += r.BytesSent
+	s.MessagesForwarded += r.MessagesForwarded
+	s.RemoteBatches += r.RemoteBatches
+	s.RemoteBytes += r.RemoteBytes
+}
+
+// Sub returns the component-wise difference s - o; experiments use it to
+// attribute traffic to a phase.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		MessagesSent:      s.MessagesSent - o.MessagesSent,
+		MessagesProcessed: s.MessagesProcessed - o.MessagesProcessed,
+		BatchesSent:       s.BatchesSent - o.BatchesSent,
+		BytesSent:         s.BytesSent - o.BytesSent,
+		MessagesForwarded: s.MessagesForwarded - o.MessagesForwarded,
+		RemoteBatches:     s.RemoteBatches - o.RemoteBatches,
+		RemoteBytes:       s.RemoteBytes - o.RemoteBytes,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d batches=%d bytes=%d remote-batches=%d remote-bytes=%d",
+		s.MessagesSent, s.BatchesSent, s.BytesSent, s.RemoteBatches, s.RemoteBytes)
+}

@@ -1,0 +1,175 @@
+package ygm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpTransport routes every batch through a loopback TCP socket with
+// uvarint length framing. It exists to demonstrate that the simulated-rank
+// runtime is a faithful RPC port of the MPI original: the data path crosses
+// a real network stack, only the failure model (single process) is shared.
+//
+// Topology: every rank owns a listener; every ordered pair (i, j) gets a
+// dedicated connection dialed from i to j, written only by rank i's
+// goroutine and drained by a reader goroutine that pushes frames into rank
+// j's mailbox. Self-sends short-circuit to the mailbox.
+type tcpTransport struct {
+	w         *World
+	listeners []net.Listener
+	writers   [][]*bufio.Writer
+	conns     []net.Conn // all connections, for teardown
+	readersWG sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newTCPTransport(w *World) (*tcpTransport, error) {
+	n := w.n
+	t := &tcpTransport{
+		w:         w,
+		listeners: make([]net.Listener, n),
+		writers:   make([][]*bufio.Writer, n),
+	}
+	for i := range t.writers {
+		t.writers[i] = make([]*bufio.Writer, n)
+	}
+	for j := 0; j < n; j++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return nil, err
+		}
+		t.listeners[j] = ln
+	}
+	// Accept loop per listener: the dialer identifies itself with a 4-byte
+	// rank id so teardown and debugging can attribute connections.
+	type accepted struct {
+		to   int
+		conn net.Conn
+		from int
+		err  error
+	}
+	acceptCh := make(chan accepted, n*n)
+	for j := 0; j < n; j++ {
+		j := j
+		go func() {
+			for k := 0; k < n-1; k++ { // every rank but j dials in
+				conn, err := t.listeners[j].Accept()
+				if err != nil {
+					acceptCh <- accepted{to: j, err: err}
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					acceptCh <- accepted{to: j, err: err}
+					return
+				}
+				acceptCh <- accepted{to: j, conn: conn, from: int(binary.LittleEndian.Uint32(hello[:]))}
+			}
+		}()
+	}
+	// Dial all peers.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			conn, err := net.Dial("tcp", t.listeners[j].Addr().String())
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(i))
+			if _, err := conn.Write(hello[:]); err != nil {
+				t.close()
+				return nil, err
+			}
+			t.conns = append(t.conns, conn)
+			t.writers[i][j] = bufio.NewWriterSize(conn, 64<<10)
+		}
+	}
+	// Collect accepted connections and start a reader per (from, to) pair.
+	for k := 0; k < n*(n-1); k++ {
+		a := <-acceptCh
+		if a.err != nil {
+			t.close()
+			return nil, a.err
+		}
+		if a.from < 0 || a.from >= n {
+			t.close()
+			return nil, fmt.Errorf("ygm: tcp hello from invalid rank %d", a.from)
+		}
+		t.conns = append(t.conns, a.conn)
+		t.readersWG.Add(1)
+		go t.readLoop(a.conn, a.to)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn, to int) {
+	defer t.readersWG.Done()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return // connection closed during teardown
+		}
+		batch := t.w.getBatch()
+		if cap(batch) < int(size) {
+			batch = make([]byte, size)
+		} else {
+			batch = batch[:size]
+		}
+		if _, err := io.ReadFull(br, batch); err != nil {
+			return
+		}
+		t.w.ranks[to].inbox.push(batch)
+	}
+}
+
+func (t *tcpTransport) deliver(from, to int, batch []byte) {
+	if from == to {
+		t.w.ranks[to].inbox.push(batch)
+		return
+	}
+	bw := t.writers[from][to]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(batch)))
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		panic(fmt.Sprintf("ygm: tcp write %d->%d: %v", from, to, err))
+	}
+	if _, err := bw.Write(batch); err != nil {
+		panic(fmt.Sprintf("ygm: tcp write %d->%d: %v", from, to, err))
+	}
+	// Flush eagerly: Barrier's termination detection requires that a sent
+	// message is observable at the destination without further local action.
+	if err := bw.Flush(); err != nil {
+		panic(fmt.Sprintf("ygm: tcp flush %d->%d: %v", from, to, err))
+	}
+	t.w.putBatch(batch)
+}
+
+func (t *tcpTransport) close() error {
+	t.closeOnce.Do(func() {
+		for _, ln := range t.listeners {
+			if ln != nil {
+				if err := ln.Close(); err != nil && t.closeErr == nil {
+					t.closeErr = err
+				}
+			}
+		}
+		for _, c := range t.conns {
+			if err := c.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+		t.readersWG.Wait()
+	})
+	return t.closeErr
+}

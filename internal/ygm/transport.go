@@ -1,0 +1,24 @@
+package ygm
+
+// transport moves a serialized batch from one rank's send buffer to another
+// rank's mailbox. Ownership of the batch slice passes to the transport.
+type transport interface {
+	deliver(from, to int, batch []byte)
+	close() error
+}
+
+// channelTransport hands batches directly to the destination mailbox. This
+// is the fast in-memory path; it performs no copies, but the data still only
+// crosses rank boundaries as serialized bytes, so message and byte counts
+// are identical to a networked run.
+type channelTransport struct {
+	w *World
+}
+
+func newChannelTransport(w *World) *channelTransport { return &channelTransport{w: w} }
+
+func (t *channelTransport) deliver(from, to int, batch []byte) {
+	t.w.ranks[to].inbox.push(batch)
+}
+
+func (t *channelTransport) close() error { return nil }

@@ -1,0 +1,324 @@
+// Package ygm is a Go re-implementation of the asynchronous communication
+// layer TriPoll builds on (YGM, "You've Got Mail"; §4.1 of the paper).
+//
+// A World owns a fixed set of simulated MPI ranks. Each rank is a goroutine
+// with a private mailbox; rank-local data is only ever touched by the rank
+// that owns it, preserving MPI's locality discipline. All inter-rank
+// communication flows through explicit serialized messages with
+// fire-and-forget RPC semantics:
+//
+//   - messages are (handler id, serialized arguments) pairs;
+//   - small messages destined for the same rank are opaquely buffered and
+//     concatenated into large batches (§4.1.1);
+//   - payloads are variable-length byte arrays produced by the serialize
+//     package (§4.1.2), so strings and containers travel without padding;
+//   - no responses are sent on completion — a handler that needs to answer
+//     sends a fresh async message (§4.1.3);
+//   - Barrier performs asynchronous termination detection: it returns only
+//     when every buffered, in-flight and unprocessed message in the world
+//     has been handled, including messages spawned by handlers.
+//
+// Two transports are provided: an in-memory transport that moves batches
+// between mailboxes directly, and a loopback TCP transport that pushes every
+// batch through a real socket (length-framed), exercising an actual network
+// stack. Both present identical semantics.
+package ygm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tripoll/internal/serialize"
+)
+
+// HandlerID names a registered remote procedure. Registration order is
+// deterministic and shared by all ranks, mirroring how YGM resolves lambda
+// offsets across address spaces.
+type HandlerID uint32
+
+// Handler is the procedure executed at the destination rank. It runs on the
+// destination rank's goroutine; it may freely touch that rank's local state
+// and may send further async messages, but must not call Barrier.
+type Handler func(r *Rank, d *serialize.Decoder)
+
+// TransportKind selects how batches move between ranks.
+type TransportKind int
+
+const (
+	// TransportChannel moves batches through in-memory mailboxes.
+	TransportChannel TransportKind = iota
+	// TransportTCP moves batches through loopback TCP sockets.
+	TransportTCP
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TransportChannel:
+		return "channel"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// Options configures a World.
+type Options struct {
+	// BufferBytes is the per-destination flush threshold (§4.1.1). Batches
+	// are sent when they exceed this size or at a flush point.
+	BufferBytes int
+	// Transport selects the batch transport.
+	Transport TransportKind
+	// PollEvery processes pending inbound batches after this many Async
+	// calls, bounding mailbox growth while a rank is send-heavy. Zero uses
+	// the default.
+	PollEvery int
+	// GroupSize enables node-level message aggregation (§5.4's remedy):
+	// ranks are grouped into simulated compute nodes of this many
+	// consecutive ranks, and inter-group messages are relayed through a
+	// gateway rank in the destination group so each sender keeps one
+	// buffer per remote group instead of one per remote rank. 0 or 1
+	// disables grouping.
+	GroupSize int
+}
+
+const (
+	defaultBufferBytes = 64 << 10
+	defaultPollEvery   = 512
+)
+
+// World is the communicator: a fixed set of ranks plus the handler registry
+// and the shared machinery for barriers and collectives.
+type World struct {
+	n     int
+	opts  Options
+	ranks []*Rank
+
+	mu           sync.Mutex
+	handlers     []Handler
+	handlerNames []string
+	inRegion     atomic.Bool
+
+	// Message counters for termination detection, sharded per rank (each
+	// rank touches only its own cache line; the barrier sums them at a
+	// point where they are provably stable).
+	slots []counterSlot
+
+	barrier *cyclicBarrier
+	shared  []any // collective exchange slots, one per rank
+
+	batchPool sync.Pool
+	transport transport
+	hForward  HandlerID
+
+	failed   atomic.Bool
+	failedMu sync.Mutex
+	failure  any
+}
+
+// NewWorld creates a communicator with n ranks. n must be at least 1.
+func NewWorld(n int, opts Options) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ygm: world size must be >= 1, got %d", n)
+	}
+	if opts.BufferBytes <= 0 {
+		opts.BufferBytes = defaultBufferBytes
+	}
+	if opts.PollEvery <= 0 {
+		opts.PollEvery = defaultPollEvery
+	}
+	w := &World{
+		n:       n,
+		opts:    opts,
+		barrier: newCyclicBarrier(n),
+		shared:  make([]any, n),
+		slots:   make([]counterSlot, n),
+	}
+	w.batchPool.New = func() any {
+		b := make([]byte, 0, opts.BufferBytes+4<<10)
+		return &b
+	}
+	if opts.GroupSize < 0 {
+		return nil, fmt.Errorf("ygm: negative group size %d", opts.GroupSize)
+	}
+	if opts.GroupSize > n {
+		opts.GroupSize = n // one group spanning the world: no relaying
+	}
+	w.opts = opts
+	w.ranks = make([]*Rank, n)
+	for i := 0; i < n; i++ {
+		w.ranks[i] = newRank(w, i)
+	}
+	// The relay handler always occupies id 0 so handler ids are stable
+	// whether or not grouping is enabled.
+	w.hForward = w.RegisterHandler(w.forwardHandler)
+	switch opts.Transport {
+	case TransportChannel:
+		w.transport = newChannelTransport(w)
+	case TransportTCP:
+		tr, err := newTCPTransport(w)
+		if err != nil {
+			return nil, fmt.Errorf("ygm: tcp transport: %w", err)
+		}
+		w.transport = tr
+	default:
+		return nil, fmt.Errorf("ygm: unknown transport %v", opts.Transport)
+	}
+	return w, nil
+}
+
+// MustWorld is NewWorld that panics on error; convenient in tests and
+// examples.
+func MustWorld(n int, opts Options) *World {
+	w, err := NewWorld(n, opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Options returns the options the world was created with.
+func (w *World) Options() Options { return w.opts }
+
+// Close releases transport resources (sockets for TCP). The world must not
+// be used afterwards.
+func (w *World) Close() error { return w.transport.close() }
+
+// RegisterHandler adds a procedure to the registry and returns its id.
+// Handlers must be registered outside parallel regions so every rank sees an
+// identical registry.
+func (w *World) RegisterHandler(h Handler) HandlerID {
+	if w.inRegion.Load() {
+		panic("ygm: RegisterHandler called inside a parallel region")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.handlers = append(w.handlers, h)
+	return HandlerID(len(w.handlers) - 1)
+}
+
+// Parallel runs fn concurrently on every rank (the SPMD region) and returns
+// when all ranks have finished. An implicit Barrier runs at the end of the
+// region, so no message is left unprocessed when Parallel returns.
+//
+// If any rank panics, the barrier is poisoned so the remaining ranks unwind
+// instead of deadlocking, and Parallel re-panics with the first failure.
+func (w *World) Parallel(fn func(r *Rank)) {
+	if w.inRegion.Swap(true) {
+		panic("ygm: nested Parallel regions are not supported")
+	}
+	defer w.inRegion.Store(false)
+
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for i := 0; i < w.n; i++ {
+		r := w.ranks[i]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if p == errWorldPoisoned {
+						return // secondary failure from a poisoned barrier
+					}
+					w.recordFailure(fmt.Sprintf("ygm: rank %d panicked: %v", r.id, p))
+				}
+			}()
+			fn(r)
+			r.Barrier()
+		}()
+	}
+	wg.Wait()
+	if w.failed.Load() {
+		w.failedMu.Lock()
+		f := w.failure
+		w.failed.Store(false)
+		w.failure = nil
+		w.failedMu.Unlock()
+		w.barrier.reset()
+		panic(f)
+	}
+}
+
+func (w *World) recordFailure(f any) {
+	w.failedMu.Lock()
+	if w.failure == nil {
+		w.failure = f
+	}
+	w.failedMu.Unlock()
+	w.failed.Store(true)
+	w.barrier.poison()
+}
+
+// counterSlot holds one rank's contribution to the global sent/processed
+// totals, padded so neighboring ranks never share a cache line.
+type counterSlot struct {
+	sent      atomic.Int64
+	processed atomic.Int64
+	_         [48]byte
+}
+
+func (w *World) totalSent() int64 {
+	var s int64
+	for i := range w.slots {
+		s += w.slots[i].sent.Load()
+	}
+	return s
+}
+
+func (w *World) totalProcessed() int64 {
+	var s int64
+	for i := range w.slots {
+		s += w.slots[i].processed.Load()
+	}
+	return s
+}
+
+// InFlight reports the number of injected-but-unprocessed messages. It is
+// only stable outside parallel regions or between the two phases of a
+// barrier round.
+func (w *World) InFlight() int64 { return w.totalSent() - w.totalProcessed() }
+
+// Stats aggregates per-rank communication statistics. Call it between
+// parallel regions for a consistent snapshot.
+func (w *World) Stats() Stats {
+	var s Stats
+	for _, r := range w.ranks {
+		s.add(&r.stats)
+	}
+	s.MessagesSent = w.totalSent()
+	s.MessagesProcessed = w.totalProcessed()
+	return s
+}
+
+// ResetStats zeroes all per-rank counters. Experiments call this between
+// phases to attribute communication volume per phase.
+func (w *World) ResetStats() {
+	for _, r := range w.ranks {
+		r.stats = RankStats{}
+	}
+	for i := range w.slots {
+		w.slots[i].sent.Store(0)
+		w.slots[i].processed.Store(0)
+	}
+}
+
+// Rank returns the rank object with the given id; useful for inspecting
+// per-rank statistics after a region.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+func (w *World) getBatch() []byte {
+	bp := w.batchPool.Get().(*[]byte)
+	return (*bp)[:0]
+}
+
+func (w *World) putBatch(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	w.batchPool.Put(&b)
+}

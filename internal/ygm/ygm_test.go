@@ -1,0 +1,432 @@
+package ygm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"tripoll/internal/serialize"
+)
+
+// runOnTransports runs the same scenario over both transports so every
+// semantic test doubles as a transport-equivalence test.
+func runOnTransports(t *testing.T, name string, fn func(t *testing.T, opts Options)) {
+	t.Helper()
+	for _, kind := range []TransportKind{TransportChannel, TransportTCP} {
+		kind := kind
+		t.Run(fmt.Sprintf("%s/%v", name, kind), func(t *testing.T) {
+			fn(t, Options{Transport: kind})
+		})
+	}
+}
+
+func TestAllToAllDelivery(t *testing.T) {
+	runOnTransports(t, "all2all", func(t *testing.T, opts Options) {
+		const n, perPair = 4, 1000
+		w := MustWorld(n, opts)
+		defer w.Close()
+
+		recv := make([]int64, n)
+		sum := make([]uint64, n)
+		h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			recv[r.ID()]++
+			sum[r.ID()] += d.Uvarint()
+			if d.Err() != nil {
+				t.Error(d.Err())
+			}
+		})
+
+		w.Parallel(func(r *Rank) {
+			for dest := 0; dest < n; dest++ {
+				for k := 0; k < perPair; k++ {
+					e := r.Enc()
+					e.PutUvarint(uint64(k))
+					r.Async(dest, h, e)
+				}
+			}
+		})
+
+		wantSum := uint64(n * perPair * (perPair - 1) / 2)
+		for i := 0; i < n; i++ {
+			if recv[i] != n*perPair {
+				t.Errorf("rank %d received %d, want %d", i, recv[i], n*perPair)
+			}
+			if sum[i] != wantSum {
+				t.Errorf("rank %d sum %d, want %d", i, sum[i], wantSum)
+			}
+		}
+		if got := w.InFlight(); got != 0 {
+			t.Errorf("in flight after region = %d", got)
+		}
+	})
+}
+
+func TestBarrierWaitsForMessageChains(t *testing.T) {
+	runOnTransports(t, "chains", func(t *testing.T, opts Options) {
+		const n, depth = 4, 50
+		w := MustWorld(n, opts)
+		defer w.Close()
+
+		var hops atomic.Int64
+		var h HandlerID
+		h = w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			ttl := d.Uvarint()
+			hops.Add(1)
+			if ttl > 0 {
+				e := r.Enc()
+				e.PutUvarint(ttl - 1)
+				r.Async((r.ID()+1)%r.Size(), h, e)
+			}
+		})
+
+		w.Parallel(func(r *Rank) {
+			e := r.Enc()
+			e.PutUvarint(depth)
+			r.Async((r.ID()+1)%r.Size(), h, e)
+			r.Barrier()
+			// The chain spawned by every rank must be fully unwound before
+			// Barrier returns anywhere.
+			if got := hops.Load(); got != int64(n*(depth+1)) {
+				t.Errorf("rank %d saw %d hops after barrier, want %d", r.ID(), got, n*(depth+1))
+			}
+		})
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	runOnTransports(t, "self", func(t *testing.T, opts Options) {
+		w := MustWorld(3, opts)
+		defer w.Close()
+		got := make([]uint64, 3)
+		h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			got[r.ID()] += d.Uvarint()
+		})
+		w.Parallel(func(r *Rank) {
+			e := r.Enc()
+			e.PutUvarint(uint64(r.ID() + 1))
+			r.Async(r.ID(), h, e)
+		})
+		for i, g := range got {
+			if g != uint64(i+1) {
+				t.Errorf("rank %d self-send got %d", i, g)
+			}
+		}
+	})
+}
+
+func TestSmallBufferForcesManyBatches(t *testing.T) {
+	w := MustWorld(2, Options{BufferBytes: 16})
+	defer w.Close()
+	var recv atomic.Int64
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+		_ = d.String()
+		recv.Add(1)
+	})
+	w.Parallel(func(r *Rank) {
+		for k := 0; k < 500; k++ {
+			e := r.Enc()
+			e.PutString("payload string that exceeds the tiny buffer")
+			r.Async(1-r.ID(), h, e)
+		}
+	})
+	if recv.Load() != 1000 {
+		t.Errorf("received %d, want 1000", recv.Load())
+	}
+	st := w.Stats()
+	if st.BatchesSent < 900 {
+		t.Errorf("expected ~1 batch per message with a 16B buffer, got %d batches", st.BatchesSent)
+	}
+}
+
+func TestLargeBufferAggregates(t *testing.T) {
+	w := MustWorld(2, Options{BufferBytes: 1 << 20})
+	defer w.Close()
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { _ = d.Uvarint() })
+	w.Parallel(func(r *Rank) {
+		for k := 0; k < 1000; k++ {
+			e := r.Enc()
+			e.PutUvarint(uint64(k))
+			r.Async(1-r.ID(), h, e)
+		}
+	})
+	st := w.Stats()
+	// 2000 tiny messages should travel in a handful of batches.
+	if st.BatchesSent > 32 {
+		t.Errorf("expected aggregation, got %d batches for %d msgs", st.BatchesSent, st.MessagesSent)
+	}
+	if st.MessagesSent != 2000 {
+		t.Errorf("MessagesSent = %d", st.MessagesSent)
+	}
+}
+
+func TestCollectives(t *testing.T) {
+	w := MustWorld(5, Options{})
+	defer w.Close()
+	w.Parallel(func(r *Rank) {
+		id := uint64(r.ID())
+		if got := AllReduceSum(r, id+1); got != 15 {
+			t.Errorf("AllReduceSum = %d, want 15", got)
+		}
+		if got := AllReduceMax(r, id); got != 4 {
+			t.Errorf("AllReduceMax = %d, want 4", got)
+		}
+		g := AllGather(r, fmt.Sprintf("r%d", r.ID()))
+		if len(g) != 5 || g[3] != "r3" {
+			t.Errorf("AllGather = %v", g)
+		}
+		if got := Broadcast(r, id*100, 2); got != 200 {
+			t.Errorf("Broadcast = %d, want 200", got)
+		}
+		min := AllReduce(r, int64(r.ID())-2, func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+		if min != -2 {
+			t.Errorf("AllReduce min = %d", min)
+		}
+	})
+}
+
+func TestMultipleRegionsReuseWorld(t *testing.T) {
+	w := MustWorld(3, Options{})
+	defer w.Close()
+	var total atomic.Int64
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { total.Add(int64(d.Uvarint())) })
+	for round := 1; round <= 4; round++ {
+		w.Parallel(func(r *Rank) {
+			e := r.Enc()
+			e.PutUvarint(uint64(round))
+			r.Async((r.ID()+1)%3, h, e)
+		})
+	}
+	if total.Load() != 3*(1+2+3+4) {
+		t.Errorf("total = %d", total.Load())
+	}
+}
+
+func TestParallelPanicPropagates(t *testing.T) {
+	w := MustWorld(4, Options{})
+	defer w.Close()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic from Parallel")
+		}
+		if !strings.Contains(fmt.Sprint(p), "rank 2 panicked: boom") {
+			t.Errorf("unexpected panic payload: %v", p)
+		}
+	}()
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 2 {
+			panic("boom")
+		}
+		r.Barrier() // other ranks park here; poisoning must release them
+	})
+}
+
+func TestWorldUsableAfterPanic(t *testing.T) {
+	w := MustWorld(2, Options{})
+	defer w.Close()
+	func() {
+		defer func() { _ = recover() }()
+		w.Parallel(func(r *Rank) { panic("first") })
+	}()
+	// The world must be reusable for a clean region afterwards.
+	ok := make([]bool, 2)
+	w.Parallel(func(r *Rank) { ok[r.ID()] = true })
+	if !ok[0] || !ok[1] {
+		t.Error("world not reusable after failure")
+	}
+}
+
+func TestRegisterHandlerInsideRegionPanics(t *testing.T) {
+	w := MustWorld(2, Options{})
+	defer w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 0 {
+			w.RegisterHandler(func(*Rank, *serialize.Decoder) {})
+		}
+	})
+}
+
+func TestHandlerCannotCallBarrier(t *testing.T) {
+	w := MustWorld(2, Options{})
+	defer w.Close()
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+		r.Barrier()
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when handler calls Barrier")
+		}
+	}()
+	w.Parallel(func(r *Rank) {
+		e := r.Enc()
+		r.Async(1-r.ID(), h, e)
+	})
+}
+
+func TestStatsResetAndDelta(t *testing.T) {
+	w := MustWorld(2, Options{})
+	defer w.Close()
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { _ = d.Uvarint() })
+	send := func() {
+		w.Parallel(func(r *Rank) {
+			e := r.Enc()
+			e.PutUvarint(7)
+			r.Async(1-r.ID(), h, e)
+		})
+	}
+	send()
+	first := w.Stats()
+	if first.BytesSent == 0 || first.MessagesSent != 2 {
+		t.Fatalf("first stats: %+v", first)
+	}
+	send()
+	delta := w.Stats().Sub(first)
+	if delta.MessagesSent != 2 {
+		t.Errorf("delta messages = %d", delta.MessagesSent)
+	}
+	w.ResetStats()
+	if s := w.Stats(); s.BytesSent != 0 || s.MessagesSent != 0 {
+		t.Errorf("stats after reset: %+v", s)
+	}
+}
+
+func TestEncoderPoolReuse(t *testing.T) {
+	w := MustWorld(1, Options{})
+	defer w.Close()
+	w.Parallel(func(r *Rank) {
+		e1 := r.Enc()
+		r.ReleaseEnc(e1)
+		e2 := r.Enc()
+		if e1 != e2 {
+			t.Error("expected encoder reuse from pool")
+		}
+		if e2.Len() != 0 {
+			t.Error("pooled encoder not reset")
+		}
+		r.ReleaseEnc(e2)
+	})
+}
+
+func TestHeterogeneousMessagesInterleave(t *testing.T) {
+	// §4.1.2: messages with payloads of different types in arbitrary order.
+	runOnTransports(t, "hetero", func(t *testing.T, opts Options) {
+		w := MustWorld(3, opts)
+		defer w.Close()
+		var strSum atomic.Int64
+		var numSum atomic.Int64
+		hStr := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			strSum.Add(int64(len(d.String())))
+		})
+		hNum := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			numSum.Add(int64(d.Uvarint()) - d.Varint())
+		})
+		w.Parallel(func(r *Rank) {
+			for k := 0; k < 100; k++ {
+				e := r.Enc()
+				e.PutString(strings.Repeat("x", k%7))
+				r.Async(k%3, hStr, e)
+				e = r.Enc()
+				e.PutUvarint(uint64(k))
+				e.PutVarint(int64(-k))
+				r.Async((k+1)%3, hNum, e)
+			}
+		})
+		// Per rank: Σ_{k=0..99} len = 14 full 0..6 cycles (294) plus k=98,99 → 0+1.
+		if want := int64(3 * 295); strSum.Load() != want {
+			t.Errorf("strSum = %d, want %d", strSum.Load(), want)
+		}
+		// Per message: uvarint(k) - varint(-k) = 2k; per rank Σ 2k = 9900.
+		if want := int64(3 * 9900); numSum.Load() != want {
+			t.Errorf("numSum = %d, want %d", numSum.Load(), want)
+		}
+	})
+}
+
+func TestRandomTrafficMatrixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		w := MustWorld(n, Options{BufferBytes: 1 << uint(4+rng.Intn(10))})
+		defer w.Close()
+		want := make([][]int64, n)
+		got := make([][]int64, n)
+		for i := range want {
+			want[i] = make([]int64, n)
+			got[i] = make([]int64, n)
+			for j := range want[i] {
+				want[i][j] = int64(rng.Intn(200))
+			}
+		}
+		h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) {
+			src := d.Uvarint()
+			got[r.ID()][src]++
+		})
+		w.Parallel(func(r *Rank) {
+			for j := 0; j < n; j++ {
+				for k := int64(0); k < want[j][r.ID()]; k++ {
+					e := r.Enc()
+					e.PutUvarint(uint64(r.ID()))
+					r.Async(j, h, e)
+				}
+			}
+		})
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, Options{}); err == nil {
+		t.Error("expected error for size 0")
+	}
+	if _, err := NewWorld(2, Options{Transport: TransportKind(99)}); err == nil {
+		t.Error("expected error for unknown transport")
+	}
+}
+
+func TestAsyncOutOfRangePanics(t *testing.T) {
+	w := MustWorld(2, Options{})
+	defer w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Parallel(func(r *Rank) {
+		if r.ID() == 0 {
+			e := r.Enc()
+			r.Async(5, 0, e)
+		}
+	})
+}
+
+func TestTransportKindString(t *testing.T) {
+	if TransportChannel.String() != "channel" || TransportTCP.String() != "tcp" {
+		t.Error("TransportKind.String")
+	}
+	if !strings.Contains(TransportKind(9).String(), "9") {
+		t.Error("unknown TransportKind.String")
+	}
+}

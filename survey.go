@@ -1,0 +1,128 @@
+package tripoll
+
+import (
+	"tripoll/internal/core"
+	"tripoll/internal/stats"
+)
+
+// TriangleSurvey is a reusable prepared survey; construct with NewSurvey
+// outside Parallel regions and Run as many times as desired.
+type TriangleSurvey[VM, EM any] = core.Survey[VM, EM]
+
+// NewSurvey prepares a reusable triangle survey of g, invoking cb on every
+// triangle with all six metadata items colocated.
+func NewSurvey[VM, EM any](g *Graph[VM, EM], opts SurveyOptions, cb Callback[VM, EM]) *TriangleSurvey[VM, EM] {
+	return core.NewSurvey(g, opts, cb)
+}
+
+// Count runs the simple triangle-counting survey of Alg. 2 (a survey with
+// no callback).
+func Count[VM, EM any](g *Graph[VM, EM], opts SurveyOptions) Result {
+	return core.Count(g, opts)
+}
+
+// LocalVertexCounts computes per-vertex triangle participation counts and
+// gathers the global map — the primitive behind truss decomposition and
+// clustering coefficients (§5.3).
+func LocalVertexCounts[VM, EM any](g *Graph[VM, EM], opts SurveyOptions) (map[uint64]uint64, Result) {
+	return core.LocalVertexCounts(g, opts)
+}
+
+// ClusteringStats summarizes clustering coefficients.
+type ClusteringStats = core.ClusteringStats
+
+// ClusteringCoefficients derives average and global clustering
+// coefficients from local triangle counts.
+func ClusteringCoefficients[VM, EM any](g *Graph[VM, EM], opts SurveyOptions) (ClusteringStats, Result) {
+	return core.ClusteringCoefficients(g, opts)
+}
+
+// MaxEdgeLabelDistribution is Alg. 3: among triangles with pairwise
+// distinct vertex labels, the distribution of the maximum edge label.
+func MaxEdgeLabelDistribution[VM comparable](g *Graph[VM, uint64], opts SurveyOptions) (map[uint64]uint64, Result) {
+	return core.MaxEdgeLabelDistribution(g, opts)
+}
+
+// Joint2D is a two-dimensional bucket histogram (the Fig. 6 artifact).
+type Joint2D = stats.Joint2D
+
+// ClosureTimes is Alg. 4 (the §5.7 Reddit survey): for each triangle with
+// edge timestamps t1 ≤ t2 ≤ t3, counts the joint ceil-log₂ bucket pair of
+// the wedge opening time (t2−t1) and triangle closing time (t3−t1).
+func ClosureTimes[VM any](g *Graph[VM, uint64], opts SurveyOptions) (*Joint2D, Result) {
+	return core.ClosureTimes(g, opts)
+}
+
+// DegreeTriple is a log₂-bucketed degree 3-tuple (§5.9).
+type DegreeTriple = core.DegreeTriple
+
+// DegreeTriples counts log₂-bucketed degree triples across all triangles;
+// vertex metadata must hold each vertex's degree (§5.9's configuration).
+func DegreeTriples[EM any](g *Graph[uint64, EM], opts SurveyOptions) (map[DegreeTriple]uint64, Result) {
+	return core.DegreeTriples(g, opts)
+}
+
+// GraphInfo is the Tab. 1 row for a built graph.
+type GraphInfo struct {
+	Vertices      uint64
+	DirectedEdges uint64 // symmetrized directed edge count (Tab. 1's |E|)
+	PlusEdges     uint64 // edges of G⁺ (undirected count)
+	Wedges        uint64 // |W⁺|
+	MaxDegree     uint32
+	MaxOutDegree  uint32
+}
+
+// Info summarizes a built graph.
+func Info[VM, EM any](g *Graph[VM, EM]) GraphInfo {
+	return GraphInfo{
+		Vertices:      g.NumVertices(),
+		DirectedEdges: g.NumDirectedEdges(),
+		PlusEdges:     g.NumUndirectedEdges(),
+		Wedges:        g.NumWedges(),
+		MaxDegree:     g.MaxDegree(),
+		MaxOutDegree:  g.MaxOutDegree(),
+	}
+}
+
+// BuildSimple is a convenience constructor for metadata-free graphs: it
+// distributes the given undirected edges across ranks and builds the
+// DODGr in one call.
+func BuildSimple(w *World, edges [][2]uint64) *Graph[Unit, Unit] {
+	b := NewGraphBuilder(w, UnitCodec(), UnitCodec(), BuilderOptions[Unit]{})
+	var g *Graph[Unit, Unit]
+	w.Parallel(func(r *Rank) {
+		for i := r.ID(); i < len(edges); i += r.Size() {
+			b.AddEdge(r, edges[i][0], edges[i][1], Unit{})
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return g
+}
+
+// BuildTemporal is a convenience constructor for timestamped multigraphs:
+// duplicate edges keep the chronologically first timestamp, the §5.2
+// reduction.
+func BuildTemporal(w *World, edges []TemporalEdge) *Graph[Unit, uint64] {
+	b := NewGraphBuilder(w, UnitCodec(), Uint64Codec(), BuilderOptions[uint64]{
+		MergeEdgeMeta: func(a, c uint64) uint64 {
+			if a < c {
+				return a
+			}
+			return c
+		},
+	})
+	var g *Graph[Unit, uint64]
+	w.Parallel(func(r *Rank) {
+		for i := r.ID(); i < len(edges); i += r.Size() {
+			b.AddEdge(r, edges[i].U, edges[i].V, edges[i].Time)
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return g
+}
