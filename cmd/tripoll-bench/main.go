@@ -8,12 +8,15 @@
 //	tripoll-bench -scale 0.2 -max-ranks 4 # smaller and faster
 //	tripoll-bench -transport tcp          # loopback-TCP transport
 //	tripoll-bench -list                   # show available experiments
+//	tripoll-bench -json BENCH_PR1.json    # also write the machine-readable
+//	                                      # trajectory point (see DESIGN.md §6)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -28,6 +31,7 @@ func main() {
 		maxRanks  = flag.Int("max-ranks", 8, "largest simulated rank count in scaling sweeps")
 		transport = flag.String("transport", "channel", "transport: channel or tcp")
 		list      = flag.Bool("list", false, "list experiments and exit")
+		jsonOut   = flag.String("json", "", "write a BENCH_*.json trajectory point to this path")
 	)
 	flag.Parse()
 
@@ -64,17 +68,56 @@ func main() {
 	}
 
 	failed := false
+	var reports []*exp.Report
 	for _, r := range runners {
 		start := time.Now()
 		rep := r.Run(cfg)
+		elapsed := time.Since(start)
+		rep.Metrics = append(rep.Metrics, exp.Metric{
+			Name:  r.ID + "/wall_ns",
+			Value: float64(elapsed.Nanoseconds()),
+			Unit:  "ns/op",
+			Extra: fmt.Sprintf("scale=%g max-ranks=%d transport=%s", *scale, *maxRanks, *transport),
+		})
+		reports = append(reports, rep)
 		fmt.Println(rep.Render())
-		fmt.Printf("(%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %s)\n\n", r.ID, elapsed.Round(time.Millisecond))
 		if strings.Contains(rep.Render(), "MISMATCH") || strings.Contains(rep.Render(), "UNEXPECTED") {
 			failed = true
 		}
+	}
+	if *jsonOut != "" {
+		rec := exp.NewBenchRecord(gitCommit(), time.Now().UnixMilli(), reports)
+		if err := exp.WriteBenchFile(*jsonOut, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if _, err := exp.ReadBenchFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "round-trip validation of %s failed: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metrics to %s\n", len(rec.Benches), *jsonOut)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "one or more experiments reported verification failures")
 		os.Exit(1)
 	}
+}
+
+// gitCommit identifies the working tree's HEAD, best effort: trajectory
+// points stay writable outside a git checkout (commit id "unknown").
+func gitCommit() exp.BenchCommit {
+	c := exp.BenchCommit{ID: "unknown"}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if id := strings.TrimSpace(string(out)); id != "" {
+			c.ID = id
+		}
+	}
+	if out, err := exec.Command("git", "log", "-1", "--format=%s").Output(); err == nil {
+		c.Message = strings.TrimSpace(string(out))
+	}
+	if out, err := exec.Command("git", "log", "-1", "--format=%cI").Output(); err == nil {
+		c.Timestamp = strings.TrimSpace(string(out))
+	}
+	return c
 }

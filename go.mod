@@ -1,0 +1,3 @@
+module tripoll
+
+go 1.24

@@ -56,7 +56,7 @@ func WedgeQueryCount[VM, EM any](g *graph.DODGr[VM, EM]) Result {
 					e := r.Enc()
 					e.PutUvarint(q)
 					e.PutUvarint(c.Target)
-					e.PutUvarint(uint64(c.TDeg))
+					e.PutUvarint(uint64(c.TOrd))
 					r.Async(owner, h, e)
 				}
 			}
@@ -82,7 +82,6 @@ func ReplicatedCount[VM, EM any](g *graph.DODGr[VM, EM]) Result {
 	w := g.World()
 	n := w.Size()
 	type repVert struct {
-		key graph.OrderKey
 		adj []graph.OrderKey
 	}
 	replicas := make([]map[uint64]*repVert, n)
@@ -91,9 +90,8 @@ func ReplicatedCount[VM, EM any](g *graph.DODGr[VM, EM]) Result {
 	}
 	h := w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
 		id := d.Uvarint()
-		deg := uint32(d.Uvarint())
 		cnt := int(d.Uvarint())
-		rv := &repVert{key: graph.KeyOf(deg, id), adj: make([]graph.OrderKey, 0, cnt)}
+		rv := &repVert{adj: make([]graph.OrderKey, 0, cnt)}
 		for i := 0; i < cnt; i++ {
 			tid := d.Uvarint()
 			tdeg := uint32(d.Uvarint())
@@ -115,11 +113,10 @@ func ReplicatedCount[VM, EM any](g *graph.DODGr[VM, EM]) Result {
 			for dest := 0; dest < n; dest++ {
 				e := r.Enc()
 				e.PutUvarint(v.ID)
-				e.PutUvarint(uint64(v.Deg))
 				e.PutUvarint(uint64(len(v.Adj)))
 				for k := range v.Adj {
 					e.PutUvarint(v.Adj[k].Target)
-					e.PutUvarint(uint64(v.Adj[k].TDeg))
+					e.PutUvarint(uint64(v.Adj[k].TOrd))
 				}
 				r.Async(dest, h, e)
 			}
@@ -215,7 +212,7 @@ func EdgeCentricCount[VM, EM any](g *graph.DODGr[VM, EM]) Result {
 		e.PutUvarint(uint64(len(v.Adj)))
 		for k := range v.Adj {
 			e.PutUvarint(v.Adj[k].Target)
-			e.PutUvarint(uint64(v.Adj[k].TDeg))
+			e.PutUvarint(uint64(v.Adj[k].TOrd))
 		}
 		r.Async(home, hRep, e)
 	})

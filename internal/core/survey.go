@@ -31,7 +31,11 @@ type PhaseStats struct {
 
 // Result summarizes a survey run.
 type Result struct {
-	Mode      Mode
+	Mode Mode
+	// Ordering names the vertex-ordering strategy the surveyed graph was
+	// built with ("degree" or "degeneracy") so ablation output and bench
+	// records can attribute work measures to the order that produced them.
+	Ordering  string
 	Triangles uint64 // total callback firings == |T(G)|
 
 	// DryRun, Push and Pull break the run into the paper's three phases
@@ -138,7 +142,7 @@ func (s *Survey[VM, EM]) Run() Result {
 	}
 	s.w.ResetStats()
 
-	res := Result{Mode: s.opts.Mode}
+	res := Result{Mode: s.opts.Mode, Ordering: s.g.Ordering().String()}
 	t0 := time.Now()
 	var prev ygm.Stats
 
@@ -270,7 +274,7 @@ func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 			for k := range rest {
 				c := &rest[k]
 				e.PutUvarint(c.Target)
-				e.PutUvarint(uint64(c.TDeg))
+				e.PutUvarint(uint64(c.TOrd))
 				emC.Encode(e, c.EMeta)
 			}
 			r.Async(s.g.Owner(q.Target), s.hPush, e)
@@ -349,7 +353,7 @@ func (s *Survey[VM, EM]) pullPhase(r *ygm.Rank) {
 			for k := range q.Adj {
 				o := &q.Adj[k]
 				e.PutUvarint(o.Target)
-				e.PutUvarint(uint64(o.TDeg))
+				e.PutUvarint(uint64(o.TOrd))
 				emC.Encode(e, o.EMeta)
 			}
 			r.Async(int(src), s.hPull, e)

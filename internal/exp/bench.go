@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The repo's benchmark trajectory: every PR runs cmd/tripoll-bench -json
+// and commits a BENCH_<PR>.json so performance claims are diffable across
+// the repo's history. The file is one BenchRecord in the shape of a single
+// entry of benchmark-action/github-action-benchmark's data.js ("Go
+// Benchmark" entries: commit, date, tool, benches), so the trajectory can
+// be concatenated into that tooling unchanged.
+
+// BenchCommit identifies the commit a benchmark record measures.
+type BenchCommit struct {
+	ID        string `json:"id"`
+	Message   string `json:"message,omitempty"`
+	Timestamp string `json:"timestamp,omitempty"`
+}
+
+// BenchRecord is one benchmark trajectory point: every metric emitted by
+// the experiment drivers of one tripoll-bench run.
+type BenchRecord struct {
+	Commit BenchCommit `json:"commit"`
+	// Date is the run time in Unix milliseconds (gh-action-benchmark's
+	// convention).
+	Date int64 `json:"date"`
+	// Tool is always "go".
+	Tool    string   `json:"tool"`
+	Benches []Metric `json:"benches"`
+}
+
+// NewBenchRecord collects the metrics of the given reports, in report
+// order, into a trajectory point.
+func NewBenchRecord(commit BenchCommit, dateMillis int64, reports []*Report) BenchRecord {
+	rec := BenchRecord{Commit: commit, Date: dateMillis, Tool: "go"}
+	for _, rep := range reports {
+		rec.Benches = append(rec.Benches, rep.Metrics...)
+	}
+	return rec
+}
+
+// WriteBenchFile writes the record as indented JSON to path.
+func WriteBenchFile(path string, rec BenchRecord) error {
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// ReadBenchFile parses a trajectory point back, validating the schema
+// invariants future tooling depends on: tool is "go", every bench has a
+// name, a unit and a finite value.
+func ReadBenchFile(path string) (BenchRecord, error) {
+	var rec BenchRecord
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return rec, fmt.Errorf("exp: %s is not a bench record: %w", path, err)
+	}
+	if err := rec.Validate(); err != nil {
+		return rec, fmt.Errorf("exp: %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// Validate checks the schema invariants of a trajectory point.
+func (rec *BenchRecord) Validate() error {
+	if rec.Tool != "go" {
+		return fmt.Errorf("tool = %q, want \"go\"", rec.Tool)
+	}
+	if rec.Commit.ID == "" {
+		return fmt.Errorf("missing commit.id")
+	}
+	if rec.Date <= 0 {
+		return fmt.Errorf("missing date")
+	}
+	if len(rec.Benches) == 0 {
+		return fmt.Errorf("no benches")
+	}
+	seen := map[string]bool{}
+	for i, b := range rec.Benches {
+		if b.Name == "" {
+			return fmt.Errorf("bench %d: empty name", i)
+		}
+		if b.Unit == "" {
+			return fmt.Errorf("bench %q: empty unit", b.Name)
+		}
+		if b.Value != b.Value || b.Value < 0 { // NaN or negative
+			return fmt.Errorf("bench %q: bad value %v", b.Name, b.Value)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("bench %q: duplicate name", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return nil
+}

@@ -68,6 +68,30 @@ type Report struct {
 	Output string
 	// Notes records shape observations for EXPERIMENTS.md.
 	Notes []string
+	// Metrics are the machine-readable data points this run produced, in
+	// the gh-action-benchmark shape; cmd/tripoll-bench -json collects them
+	// into the repo's BENCH_*.json trajectory files.
+	Metrics []Metric
+}
+
+// Metric is one benchmark data point. The JSON field names follow the
+// benches entries of benchmark-action/github-action-benchmark's data.js,
+// so trajectory files can feed standard continuous-benchmarking tooling.
+type Metric struct {
+	// Name is "<experiment id>/<subject>/<measure>", e.g.
+	// "ordering/rmat-social/degeneracy/wedges".
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Unit is "ns/op" for times, otherwise the counted thing ("wedges",
+	// "msgs", "bytes", "triangles").
+	Unit string `json:"unit"`
+	// Extra carries free-form context (dataset, rank count, ordering).
+	Extra string `json:"extra,omitempty"`
+}
+
+// metric appends one machine-readable data point to the report.
+func (r *Report) metric(name string, value float64, unit, extra string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit, Extra: extra})
 }
 
 // Render formats the full report.
@@ -112,6 +136,7 @@ func All() []Runner {
 		{"transport", AblationTransport, "ablation: channel vs TCP transport"},
 		{"grouping", AblationGrouping, "ablation: node-level message aggregation"},
 		{"partition", AblationPartition, "ablation: hash vs cyclic vertex partitioning"},
+		{"ordering", AblationOrdering, "ablation: degree vs degeneracy vertex ordering"},
 	}
 }
 

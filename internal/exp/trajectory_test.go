@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenBenchJSON is the frozen BENCH_*.json schema: field names and
+// nesting must not drift, because the trajectory is only useful if every
+// PR's record stays comparable (and feedable to gh-action-benchmark).
+const goldenBenchJSON = `{
+  "commit": {
+    "id": "0123456789abcdef0123456789abcdef01234567",
+    "message": "test commit",
+    "timestamp": "2026-01-02T03:04:05Z"
+  },
+  "date": 1767323045000,
+  "tool": "go",
+  "benches": [
+    {
+      "name": "ordering/rmat-social/degree/wedges",
+      "value": 39750,
+      "unit": "wedges",
+      "extra": "dataset=rmat-social ranks=4 ordering=degree"
+    },
+    {
+      "name": "ordering/rmat-social/degeneracy/wedges",
+      "value": 39684,
+      "unit": "wedges",
+      "extra": "dataset=rmat-social ranks=4 ordering=degeneracy"
+    }
+  ]
+}
+`
+
+func goldenRecord() BenchRecord {
+	return BenchRecord{
+		Commit: BenchCommit{
+			ID:        "0123456789abcdef0123456789abcdef01234567",
+			Message:   "test commit",
+			Timestamp: "2026-01-02T03:04:05Z",
+		},
+		Date: 1767323045000,
+		Tool: "go",
+		Benches: []Metric{
+			{Name: "ordering/rmat-social/degree/wedges", Value: 39750, Unit: "wedges",
+				Extra: "dataset=rmat-social ranks=4 ordering=degree"},
+			{Name: "ordering/rmat-social/degeneracy/wedges", Value: 39684, Unit: "wedges",
+				Extra: "dataset=rmat-social ranks=4 ordering=degeneracy"},
+		},
+	}
+}
+
+// TestBenchJSONGolden freezes the serialized schema byte-for-byte.
+func TestBenchJSONGolden(t *testing.T) {
+	raw, err := json.MarshalIndent(goldenRecord(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw) + "\n"
+	if got != goldenBenchJSON {
+		t.Errorf("BENCH_*.json schema drifted.\ngot:\n%s\nwant:\n%s", got, goldenBenchJSON)
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBenchFile(path, goldenRecord()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Commit.ID != goldenRecord().Commit.ID || len(rec.Benches) != 2 {
+		t.Errorf("round trip mangled record: %+v", rec)
+	}
+}
+
+func TestBenchRecordValidate(t *testing.T) {
+	bad := []func(*BenchRecord){
+		func(r *BenchRecord) { r.Tool = "rust" },
+		func(r *BenchRecord) { r.Commit.ID = "" },
+		func(r *BenchRecord) { r.Date = 0 },
+		func(r *BenchRecord) { r.Benches = nil },
+		func(r *BenchRecord) { r.Benches[0].Name = "" },
+		func(r *BenchRecord) { r.Benches[0].Unit = "" },
+		func(r *BenchRecord) { r.Benches[0].Value = -1 },
+		func(r *BenchRecord) { r.Benches[1].Name = r.Benches[0].Name },
+	}
+	for i, mutate := range bad {
+		rec := goldenRecord()
+		mutate(&rec)
+		if err := rec.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid record passed validation", i)
+		}
+	}
+	rec := goldenRecord()
+	if err := rec.Validate(); err != nil {
+		t.Errorf("golden record invalid: %v", err)
+	}
+}
+
+// TestOrderingAblationMetrics runs the ordering driver and checks the
+// acceptance properties of the trajectory: a degree/degeneracy pair exists
+// for the RMAT benchmark graph and the degeneracy order generates no more
+// wedges than the degree order there.
+func TestOrderingAblationMetrics(t *testing.T) {
+	rep := AblationOrdering(tinyConfig())
+	assertClean(t, rep)
+	byName := map[string]Metric{}
+	for _, m := range rep.Metrics {
+		if byName[m.Name] != (Metric{}) {
+			t.Errorf("duplicate metric %q", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	deg, okDeg := byName["ordering/rmat-social/degree/wedges"]
+	dgn, okDgn := byName["ordering/rmat-social/degeneracy/wedges"]
+	if !okDeg || !okDgn {
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		t.Fatalf("missing rmat-social ordering pair; have: %s", strings.Join(names, ", "))
+	}
+	if dgn.Value > deg.Value {
+		t.Errorf("degeneracy wedges %v > degree wedges %v on rmat-social", dgn.Value, deg.Value)
+	}
+	for _, suffix := range []string{"survey_ns", "build_ns", "messages"} {
+		for _, ord := range []string{"degree", "degeneracy"} {
+			name := "ordering/rmat-social/" + ord + "/" + suffix
+			if _, ok := byName[name]; !ok {
+				t.Errorf("missing metric %q", name)
+			}
+		}
+	}
+}

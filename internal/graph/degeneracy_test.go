@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// buildOrdered constructs a metadata-free DODGr with the given ordering
+// strategy over nranks ranks.
+func buildOrdered(t testing.TB, nranks int, edges [][2]uint64, ord Ordering) (*ygm.World, *DODGr[serialize.Unit, serialize.Unit]) {
+	t.Helper()
+	w := ygm.MustWorld(nranks, ygm.Options{})
+	b := NewBuilder(w, serialize.UnitCodec(), serialize.UnitCodec(),
+		BuilderOptions[serialize.Unit]{Ordering: ord})
+	var g *DODGr[serialize.Unit, serialize.Unit]
+	w.Parallel(func(r *ygm.Rank) {
+		for i := r.ID(); i < len(edges); i += r.Size() {
+			b.AddEdge(r, edges[i][0], edges[i][1], serialize.Unit{})
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return w, g
+}
+
+// serialDegeneracy computes the degeneracy of the simple graph induced by
+// edges with the textbook sequential smallest-last peel.
+func serialDegeneracy(edges [][2]uint64) uint32 {
+	adj := map[uint64]map[uint64]bool{}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if adj[u] == nil {
+			adj[u] = map[uint64]bool{}
+		}
+		if adj[v] == nil {
+			adj[v] = map[uint64]bool{}
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	var degen uint32
+	for len(adj) > 0 {
+		// Find a minimum-degree vertex.
+		var best uint64
+		bestDeg := -1
+		for v, nb := range adj {
+			if bestDeg < 0 || len(nb) < bestDeg || (len(nb) == bestDeg && v < best) {
+				best, bestDeg = v, len(nb)
+			}
+		}
+		if uint32(bestDeg) > degen {
+			degen = uint32(bestDeg)
+		}
+		for u := range adj[best] {
+			delete(adj[u], best)
+			if len(adj[u]) == 0 {
+				delete(adj, u)
+			}
+		}
+		delete(adj, best)
+	}
+	return degen
+}
+
+// orderedVertex is a (key, id) pair gathered from all ranks to reconstruct
+// the global <+ order in tests.
+type orderedVertex struct {
+	key OrderKey
+	id  uint64
+}
+
+// globalOrder gathers every vertex's order key across ranks and returns
+// vertex id → position in the global <+ order.
+func globalOrder(w *ygm.World, g *DODGr[serialize.Unit, serialize.Unit]) map[uint64]int {
+	perRank := make([][]orderedVertex, w.Size())
+	w.Parallel(func(r *ygm.Rank) {
+		for _, v := range g.LocalVertices(r) {
+			v := v
+			perRank[r.ID()] = append(perRank[r.ID()], orderedVertex{key: v.Key(), id: v.ID})
+		}
+	})
+	var all []orderedVertex
+	for _, vs := range perRank {
+		all = append(all, vs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key.Less(all[j].key) })
+	pos := make(map[uint64]int, len(all))
+	for i, v := range all {
+		pos[v.id] = i
+	}
+	return pos
+}
+
+func TestDegeneracyKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][2]uint64
+		want  uint32
+	}{
+		{"K3", [][2]uint64{{0, 1}, {1, 2}, {0, 2}}, 2},
+		{"K5", [][2]uint64{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}, 4},
+		{"star", [][2]uint64{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}, 1},
+		{"path", [][2]uint64{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 1},
+		// K4 with a long pendant path: degeneracy stays 3 despite the path.
+		{"K4+tail", [][2]uint64{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {5, 6}}, 3},
+	}
+	for _, c := range cases {
+		for _, nranks := range []int{1, 2, 3} {
+			w, g := buildOrdered(t, nranks, c.edges, OrderDegeneracy)
+			if g.Ordering() != OrderDegeneracy {
+				t.Errorf("%s@%d: ordering = %v", c.name, nranks, g.Ordering())
+			}
+			if g.Degeneracy() != c.want {
+				t.Errorf("%s@%d: degeneracy = %d, want %d", c.name, nranks, g.Degeneracy(), c.want)
+			}
+			w.Parallel(func(r *ygm.Rank) {
+				if _, err := g.CheckInvariants(r); err != nil {
+					t.Errorf("%s@%d: %v", c.name, nranks, err)
+				}
+			})
+			w.Close()
+		}
+	}
+}
+
+// TestDegeneracyIsValidEliminationOrder verifies the defining property of a
+// degeneracy ordering on random graphs: every vertex has at most
+// degeneracy(G) neighbors later in the order, and the measured degeneracy
+// matches a sequential smallest-last peel.
+func TestDegeneracyIsValidEliminationOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nranks := 1 + rng.Intn(4)
+		nv := 2 + rng.Intn(40)
+		ne := rng.Intn(160)
+		edges := make([][2]uint64, 0, ne)
+		for i := 0; i < ne; i++ {
+			edges = append(edges, [2]uint64{uint64(rng.Intn(nv)), uint64(rng.Intn(nv))})
+		}
+		w, g := buildOrdered(t, nranks, edges, OrderDegeneracy)
+		defer w.Close()
+
+		want := serialDegeneracy(edges)
+		if g.Degeneracy() != want {
+			t.Logf("seed %d: degeneracy = %d, want %d", seed, g.Degeneracy(), want)
+			return false
+		}
+
+		// Undirected neighbor sets of the deduplicated simple graph.
+		nbrs := map[uint64]map[uint64]bool{}
+		for _, e := range edges {
+			u, v := e[0], e[1]
+			if u == v {
+				continue
+			}
+			if nbrs[u] == nil {
+				nbrs[u] = map[uint64]bool{}
+			}
+			if nbrs[v] == nil {
+				nbrs[v] = map[uint64]bool{}
+			}
+			nbrs[u][v] = true
+			nbrs[v][u] = true
+		}
+		pos := globalOrder(w, g)
+		for u, nb := range nbrs {
+			later := 0
+			for v := range nb {
+				if pos[v] > pos[u] {
+					later++
+				}
+			}
+			if uint32(later) > want {
+				t.Logf("seed %d: vertex %d has %d later neighbors > degeneracy %d", seed, u, later, want)
+				return false
+			}
+		}
+
+		// The DODGr's out-lists must realize exactly those later-neighbors.
+		bad := false
+		w.Parallel(func(r *ygm.Rank) {
+			if _, err := g.CheckInvariants(r); err != nil {
+				t.Log(err)
+				bad = true
+			}
+		})
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDegeneracyNeverWidensWedges checks the optimization target on a
+// skewed graph: |W⁺| under the degeneracy order is no larger than under
+// the degree order (this is the acceptance gate the RMAT ablation also
+// enforces), and both orders agree on the basic graph figures.
+func TestDegeneracyNeverWidensWedges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Hub-heavy graph: a few hubs connected to everything plus random noise.
+	var edges [][2]uint64
+	for hub := uint64(0); hub < 4; hub++ {
+		for v := uint64(4); v < 120; v++ {
+			edges = append(edges, [2]uint64{hub, v})
+		}
+	}
+	for i := 0; i < 300; i++ {
+		edges = append(edges, [2]uint64{uint64(rng.Intn(120)), uint64(rng.Intn(120))})
+	}
+	wDeg, gDeg := buildOrdered(t, 3, edges, OrderDegree)
+	defer wDeg.Close()
+	wDgn, gDgn := buildOrdered(t, 3, edges, OrderDegeneracy)
+	defer wDgn.Close()
+	if gDeg.NumVertices() != gDgn.NumVertices() || gDeg.NumUndirectedEdges() != gDgn.NumUndirectedEdges() {
+		t.Fatalf("orderings disagree on graph size: |V| %d vs %d, |E+| %d vs %d",
+			gDeg.NumVertices(), gDgn.NumVertices(), gDeg.NumUndirectedEdges(), gDgn.NumUndirectedEdges())
+	}
+	if gDgn.NumWedges() > gDeg.NumWedges() {
+		t.Errorf("degeneracy order generates more wedges (%d) than degree order (%d)",
+			gDgn.NumWedges(), gDeg.NumWedges())
+	}
+	if gDgn.MaxOutDegree() > gDgn.Degeneracy() {
+		t.Errorf("dmax+ %d exceeds degeneracy %d", gDgn.MaxOutDegree(), gDgn.Degeneracy())
+	}
+}
+
+func TestOrderingNames(t *testing.T) {
+	for _, o := range []Ordering{OrderDegree, OrderDegeneracy} {
+		back, ok := OrderingByName(o.String())
+		if !ok || back != o {
+			t.Errorf("OrderingByName(%q) = %v, %v", o.String(), back, ok)
+		}
+	}
+	if _, ok := OrderingByName("nope"); ok {
+		t.Error("bogus ordering name resolved")
+	}
+	if PartitionerName := (HashPartition{}).Name(); PartitionerName != "hash" {
+		t.Errorf("hash partition name = %q", PartitionerName)
+	}
+	if p, ok := PartitionerByName("cyclic"); !ok || p.Name() != "cyclic" {
+		t.Error("PartitionerByName(cyclic) failed")
+	}
+}

@@ -15,48 +15,72 @@ type Edge[EM any] struct {
 }
 
 // OutEdge is one entry of a metadata-augmented out-adjacency list Adj⁺ᵐ(u):
-// the target vertex, its full degree (needed for <+ comparisons during
-// merge-path intersection), the edge metadata meta(u, target), and the
+// the target vertex, its ordering weight (needed for <+ comparisons during
+// merge-path intersection — the full degree under OrderDegree, the peel
+// epoch under OrderDegeneracy), the edge metadata meta(u, target), and the
 // target's vertex metadata meta(target) (§4.2: storing target metadata along
 // edges trades O(|E|) memory for enumerating Δpqr without visiting r).
 type OutEdge[VM, EM any] struct {
 	Target uint64
-	TDeg   uint32
+	TOrd   uint32
 	EMeta  EM
 	TMeta  VM
 }
 
 // Key returns the target's position in the <+ order.
-func (o OutEdge[VM, EM]) Key() OrderKey { return KeyOf(o.TDeg, o.Target) }
+func (o OutEdge[VM, EM]) Key() OrderKey { return KeyOf(o.TOrd, o.Target) }
 
 // Vertex is one locally stored vertex of the DODGr: its id, full degree in
-// G, metadata, and Adj⁺ᵐ sorted by target order key.
+// G, ordering weight, metadata, and Adj⁺ᵐ sorted by target order key.
 type Vertex[VM, EM any] struct {
 	ID   uint64
-	Deg  uint32
+	Deg  uint32 // full degree in G (Tab. 1 statistics)
+	Ord  uint32 // ordering weight in <+ (== Deg under OrderDegree)
 	Meta VM
 	Adj  []OutEdge[VM, EM]
 }
 
 // Key returns the vertex's position in the <+ order.
-func (v *Vertex[VM, EM]) Key() OrderKey { return KeyOf(v.Deg, v.ID) }
+func (v *Vertex[VM, EM]) Key() OrderKey { return KeyOf(v.Ord, v.ID) }
 
 // OutDeg returns d⁺(v).
 func (v *Vertex[VM, EM]) OutDeg() int { return len(v.Adj) }
 
+// rankLocal is one rank's shard. After construction the per-vertex Adj
+// slices all alias one contiguous CSR-style arena (built by compact), so a
+// survey's sequential sweep over vertices walks memory in order instead of
+// chasing per-vertex allocations.
 type rankLocal[VM, EM any] struct {
 	index map[uint64]int32
 	verts []Vertex[VM, EM]
+	arena []OutEdge[VM, EM] // backing store for every verts[i].Adj
+}
+
+// compact moves every adjacency list into one arena allocation, in vertex
+// storage order, and re-points the Adj subslices at it.
+func (rl *rankLocal[VM, EM]) compact() {
+	var total int
+	for i := range rl.verts {
+		total += len(rl.verts[i].Adj)
+	}
+	rl.arena = make([]OutEdge[VM, EM], 0, total)
+	for i := range rl.verts {
+		v := &rl.verts[i]
+		start := len(rl.arena)
+		rl.arena = append(rl.arena, v.Adj...)
+		v.Adj = rl.arena[start:len(rl.arena):len(rl.arena)]
+	}
 }
 
 // DODGr is the distributed degree-ordered directed graph G⁺ with inlined
 // metadata. It is built once by a Builder and is immutable afterwards;
 // surveys read it concurrently from all ranks.
 type DODGr[VM, EM any] struct {
-	w    *ygm.World
-	part Partitioner
-	vm   serialize.Codec[VM]
-	em   serialize.Codec[EM]
+	w        *ygm.World
+	part     Partitioner
+	vm       serialize.Codec[VM]
+	em       serialize.Codec[EM]
+	ordering Ordering
 
 	local []rankLocal[VM, EM]
 
@@ -67,6 +91,7 @@ type DODGr[VM, EM any] struct {
 	numWedges        uint64 // |W⁺| = Σ_v C(d⁺(v), 2)
 	maxDeg           uint32 // d_max
 	maxOutDeg        uint32 // d_max⁺
+	degeneracy       uint32 // peel level bound; 0 when built with OrderDegree
 	selfLoopsDropped uint64
 	multiEdgesMerged uint64
 }
@@ -129,6 +154,15 @@ func (g *DODGr[VM, EM]) MaxDegree() uint32 { return g.maxDeg }
 // MaxOutDegree returns d_max⁺.
 func (g *DODGr[VM, EM]) MaxOutDegree() uint32 { return g.maxOutDeg }
 
+// Ordering returns the vertex-ordering strategy the graph was built with.
+func (g *DODGr[VM, EM]) Ordering() Ordering { return g.ordering }
+
+// Degeneracy returns the k-core peel bound measured during construction —
+// the maximum level k at which any vertex was removed, an upper bound on
+// every out-degree. It is 0 when the graph was built with OrderDegree (the
+// peel never ran).
+func (g *DODGr[VM, EM]) Degeneracy() uint32 { return g.degeneracy }
+
 // SelfLoopsDropped reports how many self-loop insertions were discarded.
 func (g *DODGr[VM, EM]) SelfLoopsDropped() uint64 { return g.selfLoopsDropped }
 
@@ -145,6 +179,9 @@ func (g *DODGr[VM, EM]) CheckInvariants(r *ygm.Rank) (plusEdges uint64, err erro
 		v := &rl.verts[i]
 		if g.Owner(v.ID) != r.ID() {
 			return 0, errf("vertex %d stored on rank %d but owned by %d", v.ID, r.ID(), g.Owner(v.ID))
+		}
+		if g.ordering == OrderDegeneracy && uint32(len(v.Adj)) > g.degeneracy {
+			return 0, errf("vertex %d has out-degree %d > degeneracy bound %d", v.ID, len(v.Adj), g.degeneracy)
 		}
 		vk := v.Key()
 		for j := range v.Adj {

@@ -28,3 +28,15 @@ func (CyclicPartition) Owner(v uint64, n int) int { return int(v % uint64(n)) }
 
 // Name implements Partitioner.
 func (CyclicPartition) Name() string { return "cyclic" }
+
+// PartitionerByName is Name's inverse, used by snapshot loading and CLIs.
+func PartitionerByName(name string) (Partitioner, bool) {
+	switch name {
+	case HashPartition{}.Name():
+		return HashPartition{}, true
+	case CyclicPartition{}.Name():
+		return CyclicPartition{}, true
+	default:
+		return nil, false
+	}
+}

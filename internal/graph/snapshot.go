@@ -19,7 +19,11 @@ import (
 // <dir>/shard-<rank>.tpg holds one rank's vertices. World size and
 // metadata codecs must match between Save and Load.
 
-const snapshotMagic = "TPDG1"
+// snapshotMagic identifies the on-disk format. TPDG2 added the ordering
+// strategy, the degeneracy bound, and per-vertex ordering weights; TPDG1
+// snapshots (which always used the degree order) are not readable anymore —
+// rebuild and re-save.
+const snapshotMagic = "TPDG2"
 
 // Save writes the graph to dir (created if needed). Collective over the
 // graph's world; returns the first error from any rank.
@@ -44,12 +48,14 @@ func (g *DODGr[VM, EM]) saveMeta(dir string) error {
 	e.PutString(snapshotMagic)
 	e.PutUvarint(uint64(g.w.Size()))
 	e.PutString(g.part.Name())
+	e.PutString(g.ordering.String())
 	e.PutUvarint(g.numVertices)
 	e.PutUvarint(g.numDirectedEdges)
 	e.PutUvarint(g.numPlusEdges)
 	e.PutUvarint(g.numWedges)
 	e.PutUvarint(uint64(g.maxDeg))
 	e.PutUvarint(uint64(g.maxOutDeg))
+	e.PutUvarint(uint64(g.degeneracy))
 	e.PutUvarint(g.selfLoopsDropped)
 	e.PutUvarint(g.multiEdgesMerged)
 	return os.WriteFile(filepath.Join(dir, "meta.tpg"), e.Bytes(), 0o644)
@@ -68,12 +74,13 @@ func (g *DODGr[VM, EM]) saveShard(r *ygm.Rank, dir string) error {
 		v := &rl.verts[i]
 		e.PutUvarint(v.ID)
 		e.PutUvarint(uint64(v.Deg))
+		e.PutUvarint(uint64(v.Ord))
 		g.vm.Encode(&e, v.Meta)
 		e.PutUvarint(uint64(len(v.Adj)))
 		for k := range v.Adj {
 			o := &v.Adj[k]
 			e.PutUvarint(o.Target)
-			e.PutUvarint(uint64(o.TDeg))
+			e.PutUvarint(uint64(o.TOrd))
 			g.em.Encode(&e, o.EMeta)
 			g.vm.Encode(&e, o.TMeta)
 		}
@@ -117,16 +124,16 @@ func Load[VM, EM any](w *ygm.World, dir string, vm serialize.Codec[VM], em seria
 		return nil, fmt.Errorf("graph: snapshot has %d ranks, world has %d", nranks, w.Size())
 	}
 	partName := d.String()
-	var part Partitioner
-	switch partName {
-	case HashPartition{}.Name():
-		part = HashPartition{}
-	case CyclicPartition{}.Name():
-		part = CyclicPartition{}
-	default:
+	part, ok := PartitionerByName(partName)
+	if !ok {
 		return nil, fmt.Errorf("graph: unknown partitioner %q in snapshot", partName)
 	}
-	g := &DODGr[VM, EM]{w: w, part: part, vm: vm, em: em}
+	ordName := d.String()
+	ord, ok := OrderingByName(ordName)
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown ordering %q in snapshot", ordName)
+	}
+	g := &DODGr[VM, EM]{w: w, part: part, vm: vm, em: em, ordering: ord}
 	g.local = make([]rankLocal[VM, EM], w.Size())
 	g.numVertices = d.Uvarint()
 	g.numDirectedEdges = d.Uvarint()
@@ -134,6 +141,7 @@ func Load[VM, EM any](w *ygm.World, dir string, vm serialize.Codec[VM], em seria
 	g.numWedges = d.Uvarint()
 	g.maxDeg = uint32(d.Uvarint())
 	g.maxOutDeg = uint32(d.Uvarint())
+	g.degeneracy = uint32(d.Uvarint())
 	g.selfLoopsDropped = d.Uvarint()
 	g.multiEdgesMerged = d.Uvarint()
 	if d.Err() != nil {
@@ -165,22 +173,28 @@ func (g *DODGr[VM, EM]) loadShard(r *ygm.Rank, dir string) error {
 	rl := &g.local[r.ID()]
 	rl.index = make(map[uint64]int32, n)
 	rl.verts = make([]Vertex[VM, EM], n)
+	// Adjacency entries accumulate in one arena; per-vertex subslices are
+	// re-pointed afterwards (appends may move the arena), reproducing the
+	// CSR layout Build produces.
+	adjLens := make([]int, n)
 	for i := 0; i < n; i++ {
 		v := &rl.verts[i]
 		v.ID = d.Uvarint()
 		v.Deg = uint32(d.Uvarint())
+		v.Ord = uint32(d.Uvarint())
 		v.Meta = g.vm.Decode(d)
 		adjLen := int(d.Uvarint())
 		if d.Err() != nil {
 			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", r.ID(), i, d.Err())
 		}
-		v.Adj = make([]OutEdge[VM, EM], adjLen)
+		adjLens[i] = adjLen
 		for k := 0; k < adjLen; k++ {
-			o := &v.Adj[k]
+			var o OutEdge[VM, EM]
 			o.Target = d.Uvarint()
-			o.TDeg = uint32(d.Uvarint())
+			o.TOrd = uint32(d.Uvarint())
 			o.EMeta = g.em.Decode(d)
 			o.TMeta = g.vm.Decode(d)
+			rl.arena = append(rl.arena, o)
 		}
 		if d.Err() != nil {
 			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", r.ID(), i, d.Err())
@@ -189,6 +203,12 @@ func (g *DODGr[VM, EM]) loadShard(r *ygm.Rank, dir string) error {
 	}
 	if d.Remaining() != 0 {
 		return fmt.Errorf("graph: shard %d has %d trailing bytes", r.ID(), d.Remaining())
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		end := off + adjLens[i]
+		rl.verts[i].Adj = rl.arena[off:end:end]
+		off = end
 	}
 	return nil
 }

@@ -70,6 +70,8 @@ type GraphInfo struct {
 	Wedges        uint64 // |W⁺|
 	MaxDegree     uint32
 	MaxOutDegree  uint32
+	Ordering      string // vertex-ordering strategy the graph was built with
+	Degeneracy    uint32 // k-core bound; 0 unless built with OrderDegeneracy
 }
 
 // Info summarizes a built graph.
@@ -81,6 +83,8 @@ func Info[VM, EM any](g *Graph[VM, EM]) GraphInfo {
 		Wedges:        g.NumWedges(),
 		MaxDegree:     g.MaxDegree(),
 		MaxOutDegree:  g.MaxOutDegree(),
+		Ordering:      g.Ordering().String(),
+		Degeneracy:    g.Degeneracy(),
 	}
 }
 

@@ -113,6 +113,19 @@ type (
 	CyclicPartition = graph.CyclicPartition
 )
 
+// OrderingStrategy selects the vertex order <+ that orients the input into
+// the directed survey graph: set it on BuilderOptions.Ordering.
+type OrderingStrategy = graph.Ordering
+
+// OrderDegree is the paper's degree-based order (the default);
+// OrderDegeneracy runs a distributed k-core peel during Build, bounding
+// every out-degree — and so every pushed wedge batch — by the graph's
+// degeneracy.
+const (
+	OrderDegree     = graph.OrderDegree
+	OrderDegeneracy = graph.OrderDegeneracy
+)
+
 // NewGraphBuilder creates a distributed graph builder. Call outside
 // Parallel regions.
 func NewGraphBuilder[VM, EM any](w *World, vm Codec[VM], em Codec[EM], opts BuilderOptions[EM]) *GraphBuilder[VM, EM] {
