@@ -5,6 +5,7 @@
 //
 //	tripoll-bench                         # run everything at default scale
 //	tripoll-bench -exp table2,fig6        # selected artifacts
+//	tripoll-bench -exp pushdown           # predicate-pushdown ablation
 //	tripoll-bench -scale 0.2 -max-ranks 4 # smaller and faster
 //	tripoll-bench -transport tcp          # loopback-TCP transport
 //	tripoll-bench -list                   # show available experiments

@@ -6,6 +6,9 @@
 //	tripoll -input graph.txt -survey count
 //	tripoll -gen reddit -survey closure -ranks 8
 //	tripoll -gen ba -survey cc -mode push-only
+//	tripoll -gen reddit -survey windowed -delta 3600
+//	tripoll -gen reddit -survey wclosure -from 1000 -until 500000
+//	tripoll -help   # lists surveys, generators and bench experiments
 //
 // Input files are whitespace edge lists: "u v [timestamp]", '#' comments.
 // (The max-edge-label survey of Alg. 3 needs distinct vertex labels, which
@@ -20,20 +23,63 @@ import (
 
 	"tripoll"
 	"tripoll/datagen"
+	"tripoll/internal/exp"
 	"tripoll/internal/stats"
 )
+
+// surveys maps each -survey value to a one-line description; keep the
+// listing in Usage in sync by construction.
+var surveys = []struct{ name, desc string }{
+	{"count", "triangle count (Alg. 2)"},
+	{"closure", "joint wedge-open/triangle-close time distribution (Alg. 4, §5.7)"},
+	{"cc", "average clustering coefficient and global transitivity"},
+	{"localcounts", "per-vertex triangle participation counts (§5.3)"},
+	{"windowed", "plan-restricted count: -delta δ-window, -from/-until sliding window (predicate pushdown)"},
+	{"wclosure", "closure-time distribution restricted to the same plan flags"},
+}
+
+var generators = []struct{ name, desc string }{
+	{"reddit", "temporal comment stream (bursty timestamps, triadic closure)"},
+	{"webhost", "planted host-communities web graph"},
+	{"ba", "Barabási–Albert preferential attachment"},
+	{"er", "Erdős–Rényi"},
+	{"ws", "Watts–Strogatz small world"},
+	{"rmat", "R-MAT scale 14"},
+}
+
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "tripoll runs triangle surveys on edge-list files or generated graphs.\n\nusage: tripoll [flags]\n\nflags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(out, "\nsurveys (-survey):\n")
+	for _, s := range surveys {
+		fmt.Fprintf(out, "  %-12s %s\n", s.name, s.desc)
+	}
+	fmt.Fprintf(out, "\ngenerators (-gen):\n")
+	for _, g := range generators {
+		fmt.Fprintf(out, "  %-12s %s\n", g.name, g.desc)
+	}
+	fmt.Fprintf(out, "\nbench experiments (go run ./cmd/tripoll-bench -exp <id>):\n")
+	for _, r := range exp.All() {
+		fmt.Fprintf(out, "  %-12s %s\n", r.ID, r.Desc)
+	}
+}
 
 func main() {
 	var (
 		input     = flag.String("input", "", "edge list file (u v [timestamp])")
-		genModel  = flag.String("gen", "", "generate instead of reading: reddit|webhost|ba|er|ws|rmat")
-		survey    = flag.String("survey", "count", "survey: count|closure|cc|localcounts")
+		genModel  = flag.String("gen", "", "generate instead of reading (see generator list below)")
+		survey    = flag.String("survey", "count", "survey to run (see survey list below)")
 		ranks     = flag.Int("ranks", 4, "simulated rank count")
 		mode      = flag.String("mode", "push-pull", "algorithm: push-pull|push-only")
 		transport = flag.String("transport", "channel", "transport: channel|tcp")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		size      = flag.Int("size", 100_000, "generated edge budget / events")
+		delta     = flag.Int64("delta", -1, "survey plan: keep triangles whose timestamps span ≤ delta (-1 = off)")
+		from      = flag.Int64("from", -1, "survey plan: keep triangles with all timestamps ≥ from (-1 = off)")
+		until     = flag.Int64("until", -1, "survey plan: keep triangles with all timestamps ≤ until (-1 = off)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	opts := tripoll.SurveyOptions{}
@@ -68,12 +114,48 @@ func main() {
 		stats.FormatCount(info.Vertices), stats.FormatCount(info.DirectedEdges),
 		stats.FormatCount(info.Wedges), info.MaxDegree, info.MaxOutDegree)
 
+	plan := tripoll.NewTemporalPlan()
+	if *delta >= 0 {
+		plan.CloseWithin(uint64(*delta))
+	}
+	if *from >= 0 {
+		plan.From(uint64(*from))
+	}
+	if *until >= 0 {
+		plan.Until(uint64(*until))
+	}
+	if !plan.IsEmpty() && *survey != "windowed" && *survey != "wclosure" {
+		fail("-delta/-from/-until only apply to -survey windowed|wclosure, not %q", *survey)
+	}
+
 	switch *survey {
 	case "count":
 		res := tripoll.Count(g, opts)
 		printResult(res)
-	case "closure":
-		joint, res := tripoll.ClosureTimes(g, opts)
+	case "windowed":
+		if plan.IsEmpty() {
+			fail("-survey windowed needs at least one of -delta, -from, -until")
+		}
+		res, err := tripoll.WindowedCount(g, plan, opts)
+		if err != nil {
+			fail("windowed: %v", err)
+		}
+		printResult(res)
+	case "closure", "wclosure":
+		var joint *tripoll.Joint2D
+		var res tripoll.Result
+		if *survey == "wclosure" {
+			if plan.IsEmpty() {
+				fail("-survey wclosure needs at least one of -delta, -from, -until")
+			}
+			var err error
+			joint, res, err = tripoll.WindowedClosureTimes(g, plan, opts)
+			if err != nil {
+				fail("wclosure: %v", err)
+			}
+		} else {
+			joint, res = tripoll.ClosureTimes(g, opts)
+		}
 		printResult(res)
 		fmt.Println(joint.MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
 		fmt.Println(joint.Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
@@ -106,7 +188,7 @@ func main() {
 			fmt.Printf("  v%-12d %s\n", t.v, stats.FormatCount(t.c))
 		}
 	default:
-		fail("unknown survey %q", *survey)
+		fail("unknown survey %q (run with -help for the list)", *survey)
 	}
 }
 
@@ -122,6 +204,12 @@ func printResult(res tripoll.Result) {
 		stats.FormatBytes(bytes),
 		stats.FormatCount(uint64(res.DryRun.Messages+res.Push.Messages+res.Pull.Messages)),
 		stats.FormatCount(res.PullsGranted), res.AvgPullsPerRank)
+	if res.Planned {
+		fmt.Printf("pushdown: %s wedge batches, %s candidates and %s pull entries pruned before enqueue\n",
+			stats.FormatCount(res.PrunedBatches),
+			stats.FormatCount(res.PrunedCandidates),
+			stats.FormatCount(res.PrunedPullEntries))
+	}
 }
 
 func loadEdges(input, model string, seed int64, size int) []tripoll.TemporalEdge {
@@ -159,9 +247,9 @@ func loadEdges(input, model string, seed int64, size int) []tripoll.TemporalEdge
 		})
 		return edges
 	case "":
-		fail("need -input or -gen")
+		fail("need -input or -gen (run with -help for the generator list)")
 	default:
-		fail("unknown generator %q", model)
+		fail("unknown generator %q (run with -help for the list)", model)
 	}
 	return nil
 }

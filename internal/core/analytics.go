@@ -91,31 +91,12 @@ func ClusteringCoefficients[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (C
 
 // MaxEdgeLabelDistribution is Alg. 3: among triangles whose three vertex
 // labels are pairwise distinct, the distribution of the maximum edge label.
+// It is the windowed variant with no plan (a nil plan never errors).
 func MaxEdgeLabelDistribution[VM comparable](g *graph.DODGr[VM, uint64], opts Options) (map[uint64]uint64, Result) {
-	w := g.World()
-	counter := container.NewCounter[uint64](w, serialize.Uint64Codec(), container.CounterOptions{})
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
-		if t.MetaP == t.MetaQ || t.MetaQ == t.MetaR || t.MetaP == t.MetaR {
-			return
-		}
-		max := t.MetaPQ
-		if t.MetaPR > max {
-			max = t.MetaPR
-		}
-		if t.MetaQR > max {
-			max = t.MetaQR
-		}
-		counter.Inc(r, max)
-	})
-	res := s.Run()
-	var gathered map[uint64]uint64
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			gathered = m
-		}
-	})
+	gathered, res, err := WindowedMaxEdgeLabelDistribution[VM](g, nil, opts)
+	if err != nil {
+		panic("core: nil plan rejected: " + err.Error())
+	}
 	return gathered, res
 }
 
@@ -130,27 +111,12 @@ type TimePair = serialize.Pair[int64, int64]
 // (Alg. 4 line 7 repeats Alg. 3's distinct-vertex-label guard, but §5.7
 // states the Reddit survey uses no vertex metadata; the guard is a
 // pseudocode artifact and is omitted here.)
+// It is the windowed variant with no plan (a nil plan never errors).
 func ClosureTimes[VM any](g *graph.DODGr[VM, uint64], opts Options) (*stats.Joint2D, Result) {
-	w := g.World()
-	codec := serialize.PairCodec(serialize.Int64Codec(), serialize.Int64Codec())
-	counter := container.NewCounter[TimePair](w, codec, container.CounterOptions{})
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
-		t1, t2, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
-		open := int64(stats.CeilLog2(t2 - t1))
-		close := int64(stats.CeilLog2(t3 - t1))
-		counter.Inc(r, TimePair{First: open, Second: close})
-	})
-	res := s.Run()
-	joint := stats.NewJoint2D()
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			for k, c := range m {
-				joint.Add(int(k.First), int(k.Second), c)
-			}
-		}
-	})
+	joint, res, err := WindowedClosureTimes[VM](g, nil, opts)
+	if err != nil {
+		panic("core: nil plan rejected: " + err.Error())
+	}
 	return joint, res
 }
 

@@ -1,0 +1,29 @@
+// Package core implements TriPoll's primary contribution: distributed
+// triangle surveys over metadata-decorated graphs (§4 of the paper). A
+// survey enumerates every triangle Δpqr of the graph and applies a
+// user-defined callback to the six pieces of metadata attached to the
+// triangle's vertices and edges, with all metadata guaranteed to be
+// colocated at the executing rank when the callback fires.
+//
+// Two algorithms are provided: Push-Only (Alg. 1 — vertex-centric,
+// merge-path based) and Push-Pull (§4.4 — a dry-run pass negotiates, per
+// (source rank, target vertex) pair, whether shipping candidate lists to
+// the target ("push") or shipping the target's adjacency list to the
+// source ("pull") moves fewer bytes).
+//
+// Surveys optionally carry a Plan: edge-metadata predicates, temporal
+// δ-windows and sliding time windows compiled into per-phase filters that
+// prune communication before it is enqueued (predicate pushdown). The
+// dry run proposes no volume for a wedge the plan fully eliminates, the
+// push phase drops filtered candidates before encoding, and pull replies
+// omit adjacency entries that cannot complete a matching triangle; the
+// full predicate is re-checked on the colocated metadata before every
+// callback, so planned results equal post-filtered unplanned results
+// exactly. DESIGN.md §7 locates each predicate class's check; the
+// `pushdown` experiment measures the savings.
+//
+// Beyond the engine (survey.go, plan.go), the package bundles the stock
+// surveys of §5 (analytics.go, temporal.go, windowed.go, edgecounts.go,
+// labelindex.go): counting, clustering coefficients, closure times,
+// label distributions and their plan-restricted variants.
+package core

@@ -62,6 +62,21 @@ type Result struct {
 	// WorkBalance is WedgeChecks / (ranks · MaxRankWedgeChecks) ∈ (0, 1]:
 	// 1.0 means perfectly balanced intersection work.
 	WorkBalance float64
+
+	// Planned reports whether a survey plan's pushed-down predicates were
+	// active; when true, Triangles counts only plan-matching triangles
+	// (callback firings), and the Pruned* counters below are meaningful.
+	Planned bool
+	// PrunedBatches counts wedge batches never enqueued: the batch's edge
+	// (p,q) failed the edge filter, or every candidate in its suffix failed
+	// the candidate filter.
+	PrunedBatches uint64
+	// PrunedCandidates counts suffix entries dropped before encoding —
+	// wedge checks (and their bytes) that never happened anywhere.
+	PrunedCandidates uint64
+	// PrunedPullEntries counts Adj⁺ᵐ(q) entries omitted from pull replies
+	// (including all entries of replies skipped entirely).
+	PrunedPullEntries uint64
 }
 
 // Survey is a reusable triangle survey over one DODGr. Construct outside a
@@ -71,6 +86,7 @@ type Survey[VM, EM any] struct {
 	w    *ygm.World
 	opts Options
 	cb   Callback[VM, EM]
+	plan planFilters[EM]
 
 	hPush    ygm.HandlerID
 	hPropose ygm.HandlerID
@@ -102,13 +118,24 @@ type rankState[VM, EM any] struct {
 	// Target side.
 	pullGrants map[int32][]int32 // local vertex index → granting source ranks
 	numGrants  uint64
+	// filteredAdj memoizes, per local vertex, |{o ∈ Adj⁺ᵐ : edge filter
+	// passes}| — the pull-side cost a plan's edge filter leaves. Populated
+	// lazily by onPropose (hubs receive up to ranks−1 proposes) and reused
+	// by pullPhase. Nil unless the plan has an edge-level filter.
+	filteredAdj map[int32]int32
 
 	// Work accounting.
 	triangles   uint64
 	wedgeChecks uint64
 
+	// Pushdown prune accounting (stay zero without a plan).
+	prunedBatches uint64
+	prunedCands   uint64
+	prunedPull    uint64
+
 	scratchTri  Triangle[VM, EM]
 	scratchPull []pullEntry[EM]
+	scratchKeep []int32 // surviving-candidate indices of the batch being built
 }
 
 // NewSurvey prepares a survey of g invoking cb on every triangle. cb may be
@@ -126,6 +153,21 @@ func NewSurvey[VM, EM any](g *graph.DODGr[VM, EM], opts Options, cb Callback[VM,
 	return s
 }
 
+// NewPlannedSurvey prepares a survey restricted to plan-matching triangles,
+// with the plan's predicates pushed into every communication phase (see
+// Plan). A nil or empty plan degenerates to NewSurvey. The only error is an
+// invalid plan (Plan.Validate).
+func NewPlannedSurvey[VM, EM any](g *graph.DODGr[VM, EM], opts Options, plan *Plan[EM], cb Callback[VM, EM]) (*Survey[VM, EM], error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	s := NewSurvey(g, opts, cb)
+	if plan != nil {
+		s.plan = plan.compile()
+	}
+	return s, nil
+}
+
 // Run executes the survey collectively and returns aggregate statistics.
 // It must be called outside parallel regions; it resets the world's
 // communication statistics to attribute traffic per phase.
@@ -137,12 +179,16 @@ func (s *Survey[VM, EM]) Run() Result {
 		st.declined = make(map[uint64]bool)
 		st.pullGrants = make(map[int32][]int32)
 		st.numGrants = 0
+		st.filteredAdj = nil
 		st.triangles = 0
 		st.wedgeChecks = 0
+		st.prunedBatches = 0
+		st.prunedCands = 0
+		st.prunedPull = 0
 	}
 	s.w.ResetStats()
 
-	res := Result{Mode: s.opts.Mode, Ordering: s.g.Ordering().String()}
+	res := Result{Mode: s.opts.Mode, Ordering: s.g.Ordering().String(), Planned: s.plan.active}
 	t0 := time.Now()
 	var prev ygm.Stats
 
@@ -171,6 +217,9 @@ func (s *Survey[VM, EM]) Run() Result {
 		res.Triangles += s.state[i].triangles
 		res.PullsGranted += s.state[i].numGrants
 		res.WedgeChecks += s.state[i].wedgeChecks
+		res.PrunedBatches += s.state[i].prunedBatches
+		res.PrunedCandidates += s.state[i].prunedCands
+		res.PrunedPullEntries += s.state[i].prunedPull
 		if s.state[i].wedgeChecks > res.MaxRankWedgeChecks {
 			res.MaxRankWedgeChecks = s.state[i].wedgeChecks
 		}
@@ -189,16 +238,47 @@ func (s *Survey[VM, EM]) Run() Result {
 // this rank would push, remembers where each wedge source lives (so pulls
 // can be served locally later), and proposes aggregate volumes to target
 // owners.
+//
+// Under a plan, wedges the pushdown filters would fully eliminate — the
+// (p,q) edge fails the edge filter, or no suffix candidate survives the
+// candidate filter — contribute no volume, are never parked, and so are
+// never proposed: their true push cost is zero, and omitting them keeps
+// the dry run's negotiation honest. Surviving wedges propose their
+// *unfiltered* suffix length (a cheap upper bound on the materialized push
+// — the survival scan early-exits at the first passing candidate, keeping
+// the dry run O(out-degree) except for fully-pruned wedges).
 func (s *Survey[VM, EM]) dryRunPhase(r *ygm.Rank) {
 	st := &s.state[r.ID()]
+	f := &s.plan
 	verts := s.g.LocalVertices(r)
 	for vi := range verts {
 		p := &verts[vi]
 		for j := 0; j+1 < len(p.Adj); j++ {
-			q := p.Adj[j].Target
-			vol := uint64(len(p.Adj) - j - 1)
-			st.targVol[q] += vol
-			st.targReq[q] = append(st.targReq[q], reqRef{vert: int32(vi), pos: int32(j)})
+			q := &p.Adj[j]
+			rest := p.Adj[j+1:]
+			if f.active {
+				// Fully-pruned wedges are accounted here, once: the push
+				// phase skips them silently in push-pull mode.
+				if !f.edge(q.EMeta) {
+					st.prunedBatches++
+					st.prunedCands += uint64(len(rest))
+					continue
+				}
+				alive := false
+				for k := range rest {
+					if f.cand(q.EMeta, rest[k].EMeta) {
+						alive = true
+						break
+					}
+				}
+				if !alive {
+					st.prunedBatches++
+					st.prunedCands += uint64(len(rest))
+					continue
+				}
+			}
+			st.targVol[q.Target] += uint64(len(rest))
+			st.targReq[q.Target] = append(st.targReq[q.Target], reqRef{vert: int32(vi), pos: int32(j)})
 		}
 	}
 	for q, vol := range st.targVol {
@@ -212,7 +292,9 @@ func (s *Survey[VM, EM]) dryRunPhase(r *ygm.Rank) {
 
 // onPropose runs at the target vertex's owner: grant the pull when sending
 // Adj⁺ᵐ(q) once beats receiving the proposed volume, otherwise tell the
-// source to push as usual.
+// source to push as usual. Under a plan with an edge-level filter, the
+// pull side's cost is the *filtered* adjacency length — the entries a pull
+// reply would actually carry.
 func (s *Survey[VM, EM]) onPropose(r *ygm.Rank, d *serialize.Decoder) {
 	q := d.Uvarint()
 	vol := d.Uvarint()
@@ -225,8 +307,16 @@ func (s *Survey[VM, EM]) onPropose(r *ygm.Rank, d *serialize.Decoder) {
 	if !ok {
 		panic("core: propose for vertex not stored at its owner")
 	}
-	if float64(len(v.Adj))*s.opts.PullFactor < float64(vol) {
-		vi := s.g.LocalIndex(r, q)
+	adjLen := len(v.Adj)
+	vi := int32(-1)
+	if s.plan.hasEdge {
+		vi = s.g.LocalIndex(r, q)
+		adjLen = s.filteredAdjLen(st, vi, v)
+	}
+	if float64(adjLen)*s.opts.PullFactor < float64(vol) {
+		if vi < 0 {
+			vi = s.g.LocalIndex(r, q)
+		}
 		st.pullGrants[vi] = append(st.pullGrants[vi], int32(src))
 		st.numGrants++
 		return
@@ -234,6 +324,26 @@ func (s *Survey[VM, EM]) onPropose(r *ygm.Rank, d *serialize.Decoder) {
 	e := r.Enc()
 	e.PutUvarint(q)
 	r.Async(src, s.hDecline, e)
+}
+
+// filteredAdjLen returns the edge-filtered length of v's adjacency list,
+// memoized per local vertex for the duration of one Run (hubs are asked
+// once per proposing rank and again by the pull phase).
+func (s *Survey[VM, EM]) filteredAdjLen(st *rankState[VM, EM], vi int32, v *graph.Vertex[VM, EM]) int {
+	if st.filteredAdj == nil {
+		st.filteredAdj = make(map[int32]int32)
+	}
+	if c, ok := st.filteredAdj[vi]; ok {
+		return int(c)
+	}
+	n := 0
+	for k := range v.Adj {
+		if s.plan.edge(v.Adj[k].EMeta) {
+			n++
+		}
+	}
+	st.filteredAdj[vi] = int32(n)
+	return n
 }
 
 func (s *Survey[VM, EM]) onDecline(r *ygm.Rank, d *serialize.Decoder) {
@@ -249,8 +359,15 @@ func (s *Survey[VM, EM]) onDecline(r *ygm.Rank, d *serialize.Decoder) {
 // pushPhase streams, for every local pivot p and every q ∈ Adj⁺(p), the
 // <+-suffix of Adj⁺ᵐ(p) after q to Rank(q), where onPush intersects it with
 // Adj⁺ᵐ(q). In Push-Pull mode, targets granted a pull are skipped.
+//
+// Under a plan, the pushdown happens here: a batch whose (p,q) edge fails
+// the edge filter is never enqueued, candidates failing the candidate
+// filter are dropped before encoding (the surviving subsequence stays
+// sorted, so onPush's merge path is untouched), and a batch whose suffix
+// empties is never enqueued either.
 func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 	st := &s.state[r.ID()]
+	f := &s.plan
 	pushPull := s.opts.Mode == PushPull
 	emC, vmC := s.g.EdgeCodec(), s.g.VertexCodec()
 	verts := s.g.LocalVertices(r)
@@ -258,8 +375,41 @@ func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 		p := &verts[vi]
 		for j := 0; j+1 < len(p.Adj); j++ {
 			q := p.Adj[j]
+			rest := p.Adj[j+1:]
+			if f.active && !f.edge(q.EMeta) {
+				// In push-pull mode the dry run already accounted this
+				// fully-pruned wedge; count it here only when no dry run
+				// ran.
+				if !pushPull {
+					st.prunedBatches++
+					st.prunedCands += uint64(len(rest))
+				}
+				continue
+			}
 			if pushPull && !st.declined[q.Target] {
 				continue // granted pull: the pull phase covers this wedge batch
+			}
+			// Survivors are recorded in one predicate pass: the encode loop
+			// below must not re-evaluate user predicates, both for speed
+			// and so an impure WhereEdge cannot desynchronize the encoded
+			// entry count from the header.
+			filtered := f.active // active implies hasEdge or hasPair (compile)
+			keep := st.scratchKeep[:0]
+			if filtered {
+				for k := range rest {
+					if f.cand(q.EMeta, rest[k].EMeta) {
+						keep = append(keep, int32(k))
+					}
+				}
+				st.scratchKeep = keep
+				if len(keep) == 0 {
+					if !pushPull {
+						st.prunedBatches++
+						st.prunedCands += uint64(len(rest))
+					}
+					continue
+				}
+				st.prunedCands += uint64(len(rest) - len(keep))
 			}
 			e := r.Enc()
 			e.PutUvarint(p.ID)
@@ -269,13 +419,22 @@ func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 			// Candidate entries carry (r, d(r), meta(p,r)) but not meta(r):
 			// Rank(q) already stores meta(r) for any r closing a triangle
 			// (§4.3: "this extra metadata is never actually transmitted").
-			rest := p.Adj[j+1:]
-			e.PutUvarint(uint64(len(rest)))
-			for k := range rest {
-				c := &rest[k]
-				e.PutUvarint(c.Target)
-				e.PutUvarint(uint64(c.TOrd))
-				emC.Encode(e, c.EMeta)
+			if filtered {
+				e.PutUvarint(uint64(len(keep)))
+				for _, k := range keep {
+					c := &rest[k]
+					e.PutUvarint(c.Target)
+					e.PutUvarint(uint64(c.TOrd))
+					emC.Encode(e, c.EMeta)
+				}
+			} else {
+				e.PutUvarint(uint64(len(rest)))
+				for k := range rest {
+					c := &rest[k]
+					e.PutUvarint(c.Target)
+					e.PutUvarint(uint64(c.TOrd))
+					emC.Encode(e, c.EMeta)
+				}
 			}
 			r.Async(s.g.Owner(q.Target), s.hPush, e)
 		}
@@ -319,6 +478,12 @@ func (s *Survey[VM, EM]) onPush(r *ygm.Rank, d *serialize.Decoder) {
 		st.wedgeChecks++
 		if k < len(adj) && adj[k].Target == cid {
 			o := &adj[k]
+			// With a plan, the source's checks were necessary conditions
+			// only; the full predicate runs here on all three edge metas.
+			if s.plan.active && !s.plan.tri(metaPQ, metaPR, o.EMeta) {
+				k++
+				continue
+			}
 			st.triangles++
 			if s.cb != nil {
 				t := &st.scratchTri
@@ -339,22 +504,55 @@ func (s *Survey[VM, EM]) onPush(r *ygm.Rank, d *serialize.Decoder) {
 // was parked during the dry run. Target vertex metadata of pulled entries
 // is not transmitted: the puller already stores meta(r) for every candidate
 // r in its own Adj⁺ᵐ(p) (the same redundancy §4.3 notes for pushes).
+// Under a plan with an edge-level filter, entries whose (q,r) edge cannot
+// appear in any matching triangle are omitted from the reply (the filtered
+// subsequence stays sorted); a reply that would carry no entries is not
+// sent at all — the parked wedges at the source can close no triangle.
 func (s *Survey[VM, EM]) pullPhase(r *ygm.Rank) {
 	st := &s.state[r.ID()]
+	f := &s.plan
 	emC, vmC := s.g.EdgeCodec(), s.g.VertexCodec()
 	verts := s.g.LocalVertices(r)
 	for vi, srcs := range st.pullGrants {
 		q := &verts[vi]
+		// One predicate pass per vertex (not per reply): the survivor set
+		// is identical across granting sources, and encoding from the
+		// recorded indices keeps the header count and the payload in sync
+		// even under an impure WhereEdge (same invariant as pushPhase).
+		var keep []int32
+		if f.hasEdge {
+			keep = st.scratchKeep[:0]
+			for k := range q.Adj {
+				if f.edge(q.Adj[k].EMeta) {
+					keep = append(keep, int32(k))
+				}
+			}
+			st.scratchKeep = keep
+			st.prunedPull += uint64((len(q.Adj) - len(keep)) * len(srcs))
+			if len(keep) == 0 {
+				continue
+			}
+		}
 		for _, src := range srcs {
 			e := r.Enc()
 			e.PutUvarint(q.ID)
 			vmC.Encode(e, q.Meta)
-			e.PutUvarint(uint64(len(q.Adj)))
-			for k := range q.Adj {
-				o := &q.Adj[k]
-				e.PutUvarint(o.Target)
-				e.PutUvarint(uint64(o.TOrd))
-				emC.Encode(e, o.EMeta)
+			if f.hasEdge {
+				e.PutUvarint(uint64(len(keep)))
+				for _, k := range keep {
+					o := &q.Adj[k]
+					e.PutUvarint(o.Target)
+					e.PutUvarint(uint64(o.TOrd))
+					emC.Encode(e, o.EMeta)
+				}
+			} else {
+				e.PutUvarint(uint64(len(q.Adj)))
+				for k := range q.Adj {
+					o := &q.Adj[k]
+					e.PutUvarint(o.Target)
+					e.PutUvarint(uint64(o.TOrd))
+					emC.Encode(e, o.EMeta)
+				}
 			}
 			r.Async(int(src), s.hPull, e)
 		}
@@ -389,6 +587,7 @@ func (s *Survey[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
 	}
 	st.scratchPull = pulled
 
+	f := &s.plan
 	verts := s.g.LocalVertices(r)
 	for _, ref := range st.targReq[qid] {
 		p := &verts[ref.vert]
@@ -397,12 +596,22 @@ func (s *Survey[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
 		k := 0
 		for i := range suffix {
 			c := &suffix[i]
+			// Mirror of the push side's candidate pushdown: a filtered
+			// candidate is skipped without advancing the merge cursor.
+			if f.active && !f.cand(metaPQ, c.EMeta) {
+				st.prunedCands++
+				continue
+			}
 			ck := c.Key()
 			for k < len(pulled) && keyOfPull(&pulled[k]).Less(ck) {
 				k++
 			}
 			st.wedgeChecks++
 			if k < len(pulled) && pulled[k].id == c.Target {
+				if f.active && !f.tri(metaPQ, c.EMeta, pulled[k].em) {
+					k++
+					continue
+				}
 				st.triangles++
 				if s.cb != nil {
 					t := &st.scratchTri

@@ -1,15 +1,3 @@
-// Package core implements TriPoll's primary contribution: distributed
-// triangle surveys over metadata-decorated graphs (§4 of the paper). A
-// survey enumerates every triangle Δpqr of the graph and applies a
-// user-defined callback to the six pieces of metadata attached to the
-// triangle's vertices and edges, with all metadata guaranteed to be
-// colocated at the executing rank when the callback fires.
-//
-// Two algorithms are provided: Push-Only (Alg. 1 — vertex-centric,
-// merge-path based) and Push-Pull (§4.4 — a dry-run pass negotiates, per
-// (source rank, target vertex) pair, whether shipping candidate lists to
-// the target ("push") or shipping the target's adjacency list to the
-// source ("pull") moves fewer bytes).
 package core
 
 import (

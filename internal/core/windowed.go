@@ -1,0 +1,94 @@
+package core
+
+import (
+	"tripoll/internal/container"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/stats"
+	"tripoll/internal/ygm"
+)
+
+// Windowed variants of the stock surveys: the same callbacks as
+// analytics.go restricted to plan-matching triangles, with the plan's
+// predicates pushed into the communication phases rather than applied
+// after the fact. Each is exactly equivalent to its unplanned counterpart
+// followed by a Plan.MatchEdges post-filter (pushdown_test.go proves it),
+// but moves strictly fewer messages and bytes whenever the plan prunes
+// anything (-exp pushdown measures how many).
+
+// WindowedCount counts plan-matching triangles — the δ-windowed /
+// time-windowed / metadata-filtered analog of Count. Result.Triangles is
+// the matching count.
+func WindowedCount[VM, EM any](g *graph.DODGr[VM, EM], plan *Plan[EM], opts Options) (Result, error) {
+	s, err := NewPlannedSurvey(g, opts, plan, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// WindowedClosureTimes is ClosureTimes (Alg. 4, the §5.7 Reddit survey)
+// restricted to plan-matching triangles. Edge metadata must be timestamps;
+// build the plan from TemporalPlan so the δ/window constraints read them.
+func WindowedClosureTimes[VM any](g *graph.DODGr[VM, uint64], plan *Plan[uint64], opts Options) (*stats.Joint2D, Result, error) {
+	w := g.World()
+	codec := serialize.PairCodec(serialize.Int64Codec(), serialize.Int64Codec())
+	counter := container.NewCounter[TimePair](w, codec, container.CounterOptions{})
+	s, err := NewPlannedSurvey(g, opts, plan, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
+		t1, t2, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
+		open := int64(stats.CeilLog2(t2 - t1))
+		close := int64(stats.CeilLog2(t3 - t1))
+		counter.Inc(r, TimePair{First: open, Second: close})
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res := s.Run()
+	joint := stats.NewJoint2D()
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			for k, c := range m {
+				joint.Add(int(k.First), int(k.Second), c)
+			}
+		}
+	})
+	return joint, res, nil
+}
+
+// WindowedMaxEdgeLabelDistribution is MaxEdgeLabelDistribution (Alg. 3)
+// restricted to plan-matching triangles: among matching triangles with
+// pairwise distinct vertex labels, the distribution of the maximum edge
+// label. The plan's predicates range over the edge labels themselves
+// (WhereEdge), so e.g. a label-subset filter prunes communication too.
+func WindowedMaxEdgeLabelDistribution[VM comparable](g *graph.DODGr[VM, uint64], plan *Plan[uint64], opts Options) (map[uint64]uint64, Result, error) {
+	w := g.World()
+	counter := container.NewCounter[uint64](w, serialize.Uint64Codec(), container.CounterOptions{})
+	s, err := NewPlannedSurvey(g, opts, plan, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
+		if t.MetaP == t.MetaQ || t.MetaQ == t.MetaR || t.MetaP == t.MetaR {
+			return
+		}
+		max := t.MetaPQ
+		if t.MetaPR > max {
+			max = t.MetaPR
+		}
+		if t.MetaQR > max {
+			max = t.MetaQR
+		}
+		counter.Inc(r, max)
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res := s.Run()
+	var gathered map[uint64]uint64
+	w.Parallel(func(r *ygm.Rank) {
+		counter.Barrier(r)
+		m := counter.Gather(r)
+		if r.ID() == 0 {
+			gathered = m
+		}
+	})
+	return gathered, res, nil
+}

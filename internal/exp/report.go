@@ -137,6 +137,7 @@ func All() []Runner {
 		{"grouping", AblationGrouping, "ablation: node-level message aggregation"},
 		{"partition", AblationPartition, "ablation: hash vs cyclic vertex partitioning"},
 		{"ordering", AblationOrdering, "ablation: degree vs degeneracy vertex ordering"},
+		{"pushdown", AblationPushdown, "ablation: survey-plan predicate pushdown vs post-filtering"},
 	}
 }
 

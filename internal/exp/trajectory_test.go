@@ -138,3 +138,69 @@ func TestOrderingAblationMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestPushdownAblationMetrics runs the pushdown driver and checks the
+// trajectory's acceptance property: for every dataset/mode pair the
+// pushdown strategy reports strictly fewer transport messages and bytes
+// than the post-filter baseline (matched-count equality is enforced by
+// the driver's own MISMATCH sentinel, which assertClean catches).
+func TestPushdownAblationMetrics(t *testing.T) {
+	rep := AblationPushdown(tinyConfig())
+	assertClean(t, rep)
+	byName := map[string]float64{}
+	for _, m := range rep.Metrics {
+		byName[m.Name] = m.Value
+	}
+	pairs := 0
+	for name := range byName {
+		const tail = "/pushdown/messages"
+		if !strings.HasPrefix(name, "pushdown/") || !strings.HasSuffix(name, tail) {
+			continue
+		}
+		stem := strings.TrimSuffix(name, tail)
+		for _, measure := range []string{"messages", "bytes"} {
+			pd, okPd := byName[stem+"/pushdown/"+measure]
+			base, okBase := byName[stem+"/post-filter/"+measure]
+			if !okPd || !okBase {
+				t.Fatalf("%s: missing %s pair", stem, measure)
+			}
+			if pd >= base {
+				t.Errorf("%s: pushdown %s %v >= baseline %v", stem, measure, pd, base)
+			}
+		}
+		pairs++
+	}
+	// 5 temporal datasets × 2 modes.
+	if pairs != 10 {
+		t.Errorf("found %d pushdown comparison pairs, want 10", pairs)
+	}
+}
+
+// TestCommittedTrajectoryFilesValid reads every BENCH_PR*.json committed
+// at the repo root through the validating reader, so a PR can't land a
+// malformed trajectory point; the PR 2 point must carry the pushdown
+// reduction it claims.
+func TestCommittedTrajectoryFilesValid(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "BENCH_PR*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no committed BENCH_PR*.json found (err=%v)", err)
+	}
+	for _, f := range files {
+		rec, err := ReadBenchFile(f)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+			continue
+		}
+		if strings.HasSuffix(f, "BENCH_PR2.json") {
+			byName := map[string]float64{}
+			for _, m := range rec.Benches {
+				byName[m.Name] = m.Value
+			}
+			pd := byName["pushdown/rmat-social/push-pull/pushdown/bytes"]
+			base := byName["pushdown/rmat-social/push-pull/post-filter/bytes"]
+			if pd == 0 || base == 0 || pd >= base {
+				t.Errorf("BENCH_PR2.json does not record the pushdown byte reduction: pushdown=%v baseline=%v", pd, base)
+			}
+		}
+	}
+}

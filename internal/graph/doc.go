@@ -1,0 +1,25 @@
+// Package graph implements TriPoll's distributed graph storage: ingestion
+// of undirected metadata-carrying edge lists, and the degree-ordered
+// directed graph (DODGr, §3 of the paper) with metadata-augmented adjacency
+// lists Adj⁺ᵐ (§4.2) partitioned across ranks.
+//
+// The layout decisions that matter to the survey hot path:
+//
+//   - Orientation is a strategy (Ordering): the paper's degree order or a
+//     degeneracy order from a distributed k-core peel. Both flow through
+//     one per-vertex uint32 weight (Vertex.Ord, mirrored on out-edges as
+//     OutEdge.TOrd) so merge-path intersection compares order keys without
+//     dereferencing remote vertices. DESIGN.md §4 has the full argument.
+//   - Each out-edge inlines the edge metadata and the *target's* vertex
+//     metadata (§4.2's O(|E|) memory / zero-communication trade), which is
+//     what lets survey plans prune wedges at the source: both timestamps
+//     of a wedge's known edges sit in the pivot's adjacency list.
+//   - After construction each rank's adjacency lists are compacted into a
+//     single CSR-style arena in vertex storage order, so the push phase's
+//     sweep walks memory linearly.
+//   - Snapshots (format TPDG2, snapshot.go) persist vertices, metadata,
+//     ordering strategy and weights, and rebuild the arena on load.
+//
+// Builders run collectively (Builder.AddEdge from any rank, one Build
+// barrier); the resulting DODGr is immutable and surveyed concurrently.
+package graph

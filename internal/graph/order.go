@@ -1,7 +1,3 @@
-// Package graph implements TriPoll's distributed graph storage: ingestion
-// of undirected metadata-carrying edge lists, and the degree-ordered
-// directed graph (DODGr, §3 of the paper) with metadata-augmented adjacency
-// lists Adj⁺ᵐ (§4.2) partitioned across ranks.
 package graph
 
 // Ordering selects the total vertex order <+ that orients G into G⁺. The

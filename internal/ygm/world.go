@@ -1,27 +1,3 @@
-// Package ygm is a Go re-implementation of the asynchronous communication
-// layer TriPoll builds on (YGM, "You've Got Mail"; §4.1 of the paper).
-//
-// A World owns a fixed set of simulated MPI ranks. Each rank is a goroutine
-// with a private mailbox; rank-local data is only ever touched by the rank
-// that owns it, preserving MPI's locality discipline. All inter-rank
-// communication flows through explicit serialized messages with
-// fire-and-forget RPC semantics:
-//
-//   - messages are (handler id, serialized arguments) pairs;
-//   - small messages destined for the same rank are opaquely buffered and
-//     concatenated into large batches (§4.1.1);
-//   - payloads are variable-length byte arrays produced by the serialize
-//     package (§4.1.2), so strings and containers travel without padding;
-//   - no responses are sent on completion — a handler that needs to answer
-//     sends a fresh async message (§4.1.3);
-//   - Barrier performs asynchronous termination detection: it returns only
-//     when every buffered, in-flight and unprocessed message in the world
-//     has been handled, including messages spawned by handlers.
-//
-// Two transports are provided: an in-memory transport that moves batches
-// between mailboxes directly, and a loopback TCP transport that pushes every
-// batch through a real socket (length-framed), exercising an actual network
-// stack. Both present identical semantics.
 package ygm
 
 import (

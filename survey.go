@@ -21,6 +21,60 @@ func Count[VM, EM any](g *Graph[VM, EM], opts SurveyOptions) Result {
 	return core.Count(g, opts)
 }
 
+// SurveyPlan declares which triangles a survey cares about — edge-metadata
+// predicates (WhereEdge), temporal δ-windows (CloseWithin) and sliding
+// time windows (From/Until/Window) — and compiles them into filters pushed
+// into the survey's communication phases: wedge batches whose known
+// metadata already violates a predicate are never enqueued, and pull
+// replies omit adjacency entries that cannot complete a matching triangle.
+// Results are identical to surveying unplanned and post-filtering with
+// MatchEdges in the callback (property-tested); the difference is the
+// traffic, which Result's phase stats and Pruned* counters quantify and
+// `tripoll-bench -exp pushdown` measures.
+type SurveyPlan[EM any] = core.Plan[EM]
+
+// NewSurveyPlan returns an empty plan over the graph's edge-metadata type;
+// add constraints fluently. Temporal constraints need a Timestamps
+// accessor — for uint64-timestamp metadata use NewTemporalPlan.
+func NewSurveyPlan[EM any]() *SurveyPlan[EM] { return core.NewPlan[EM]() }
+
+// NewTemporalPlan returns a plan for uint64-timestamp edge metadata (the
+// BuildTemporal configuration) with the timestamp accessor pre-installed:
+//
+//	plan := tripoll.NewTemporalPlan().CloseWithin(3600) // δ-window: 1h
+//	res, _ := tripoll.WindowedCount(g, plan, tripoll.SurveyOptions{})
+func NewTemporalPlan() *SurveyPlan[uint64] { return core.TemporalPlan() }
+
+// ErrPlanNoTimestamps is returned when a plan sets a temporal constraint
+// without a Timestamps accessor.
+var ErrPlanNoTimestamps = core.ErrNoTimestamps
+
+// NewPlannedSurvey prepares a reusable survey restricted to plan-matching
+// triangles, with the plan's predicates pushed down into every phase. A
+// nil or empty plan degenerates to NewSurvey.
+func NewPlannedSurvey[VM, EM any](g *Graph[VM, EM], opts SurveyOptions, plan *SurveyPlan[EM], cb Callback[VM, EM]) (*TriangleSurvey[VM, EM], error) {
+	return core.NewPlannedSurvey(g, opts, plan, cb)
+}
+
+// WindowedCount counts plan-matching triangles — the δ-windowed /
+// time-windowed / metadata-filtered analog of Count. Result.Triangles is
+// the matching count.
+func WindowedCount[VM, EM any](g *Graph[VM, EM], plan *SurveyPlan[EM], opts SurveyOptions) (Result, error) {
+	return core.WindowedCount(g, plan, opts)
+}
+
+// WindowedClosureTimes is ClosureTimes restricted to plan-matching
+// triangles, with the plan pushed down into the communication phases.
+func WindowedClosureTimes[VM any](g *Graph[VM, uint64], plan *SurveyPlan[uint64], opts SurveyOptions) (*Joint2D, Result, error) {
+	return core.WindowedClosureTimes(g, plan, opts)
+}
+
+// WindowedMaxEdgeLabelDistribution is MaxEdgeLabelDistribution restricted
+// to plan-matching triangles; the plan's predicates range over edge labels.
+func WindowedMaxEdgeLabelDistribution[VM comparable](g *Graph[VM, uint64], plan *SurveyPlan[uint64], opts SurveyOptions) (map[uint64]uint64, Result, error) {
+	return core.WindowedMaxEdgeLabelDistribution(g, plan, opts)
+}
+
 // LocalVertexCounts computes per-vertex triangle participation counts and
 // gathers the global map — the primitive behind truss decomposition and
 // clustering coefficients (§5.3).

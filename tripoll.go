@@ -30,6 +30,11 @@
 //	})
 //	res := tripoll.Count(g, tripoll.SurveyOptions{})
 //	fmt.Println(res.Triangles) // 1
+//
+// Surveys can carry a SurveyPlan — edge-metadata predicates, temporal
+// δ-windows and sliding time windows compiled into filters that prune
+// communication before it leaves the rank (predicate pushdown; DESIGN.md
+// §7). See NewTemporalPlan, WindowedCount and friends.
 package tripoll
 
 import (

@@ -128,3 +128,38 @@ func TestPublicEdgeListIO(t *testing.T) {
 		t.Fatalf("read: %v %v", got, err)
 	}
 }
+
+func TestPublicWindowedSurveys(t *testing.T) {
+	w := tripoll.NewWorld(3)
+	defer w.Close()
+	edges := []tripoll.TemporalEdge{
+		// A tight triangle (spread 10) and a slow one (spread 500).
+		{U: 0, V: 1, Time: 100}, {U: 1, V: 2, Time: 105}, {U: 0, V: 2, Time: 110},
+		{U: 3, V: 4, Time: 100}, {U: 4, V: 5, Time: 300}, {U: 3, V: 5, Time: 600},
+	}
+	g := tripoll.BuildTemporal(w, edges)
+
+	res, err := tripoll.WindowedCount(g, tripoll.NewTemporalPlan().CloseWithin(50), tripoll.SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 1 {
+		t.Errorf("δ=50 count = %d, want 1", res.Triangles)
+	}
+	if !res.Planned || res.PrunedBatches+res.PrunedCandidates == 0 {
+		t.Errorf("pushdown inactive: planned=%v pruned=%d/%d", res.Planned, res.PrunedBatches, res.PrunedCandidates)
+	}
+
+	joint, cres, err := tripoll.WindowedClosureTimes(g, tripoll.NewTemporalPlan().Window(100, 400), tripoll.SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Triangles != 1 || joint.Total() != 1 {
+		t.Errorf("window [100,400]: triangles=%d joint=%d, want 1/1", cres.Triangles, joint.Total())
+	}
+
+	// Temporal constraints without a Timestamps accessor are rejected.
+	if _, err := tripoll.WindowedCount(g, tripoll.NewSurveyPlan[uint64]().CloseWithin(1), tripoll.SurveyOptions{}); err != tripoll.ErrPlanNoTimestamps {
+		t.Errorf("invalid plan error = %v", err)
+	}
+}
