@@ -6,13 +6,20 @@
 //	tripoll -input graph.txt -survey count
 //	tripoll -gen reddit -survey closure -ranks 8
 //	tripoll -gen ba -survey cc -mode push-only
+//	tripoll -gen reddit -survey count,closure,labels   # one fused pass
 //	tripoll -gen reddit -survey windowed -delta 3600
 //	tripoll -gen reddit -survey wclosure -from 1000 -until 500000
 //	tripoll -help   # lists surveys, generators and bench experiments
 //
+// -survey accepts a comma-separated list: all listed surveys run as one
+// fused traversal (one dry run, one push, one pull — see DESIGN.md §8).
+// The plan flags -delta/-from/-until restrict every listed survey and push
+// their predicates into the communication phases.
+//
 // Input files are whitespace edge lists: "u v [timestamp]", '#' comments.
 // (The max-edge-label survey of Alg. 3 needs distinct vertex labels, which
-// plain edge lists don't carry; see examples/max-edge-label.)
+// plain edge lists don't carry; -survey labels therefore reports the
+// distribution over all triangles.)
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"tripoll"
 	"tripoll/datagen"
@@ -34,6 +42,8 @@ var surveys = []struct{ name, desc string }{
 	{"closure", "joint wedge-open/triangle-close time distribution (Alg. 4, §5.7)"},
 	{"cc", "average clustering coefficient and global transitivity"},
 	{"localcounts", "per-vertex triangle participation counts (§5.3)"},
+	{"edgecounts", "per-edge triangle participation counts (truss input, §5.3)"},
+	{"labels", "distribution of each triangle's maximum edge label/timestamp (Alg. 3 sans vertex labels)"},
 	{"windowed", "plan-restricted count: -delta δ-window, -from/-until sliding window (predicate pushdown)"},
 	{"wclosure", "closure-time distribution restricted to the same plan flags"},
 }
@@ -51,7 +61,7 @@ func usage() {
 	out := flag.CommandLine.Output()
 	fmt.Fprintf(out, "tripoll runs triangle surveys on edge-list files or generated graphs.\n\nusage: tripoll [flags]\n\nflags:\n")
 	flag.PrintDefaults()
-	fmt.Fprintf(out, "\nsurveys (-survey):\n")
+	fmt.Fprintf(out, "\nsurveys (-survey; comma-separate to fuse several into one traversal):\n")
 	for _, s := range surveys {
 		fmt.Fprintf(out, "  %-12s %s\n", s.name, s.desc)
 	}
@@ -69,7 +79,7 @@ func main() {
 	var (
 		input     = flag.String("input", "", "edge list file (u v [timestamp])")
 		genModel  = flag.String("gen", "", "generate instead of reading (see generator list below)")
-		survey    = flag.String("survey", "count", "survey to run (see survey list below)")
+		survey    = flag.String("survey", "count", "comma-separated surveys to fuse into one pass (see survey list below)")
 		ranks     = flag.Int("ranks", 4, "simulated rank count")
 		mode      = flag.String("mode", "push-pull", "algorithm: push-pull|push-only")
 		transport = flag.String("transport", "channel", "transport: channel|tcp")
@@ -124,76 +134,124 @@ func main() {
 	if *until >= 0 {
 		plan.Until(uint64(*until))
 	}
-	if !plan.IsEmpty() && *survey != "windowed" && *survey != "wclosure" {
-		fail("-delta/-from/-until only apply to -survey windowed|wclosure, not %q", *survey)
-	}
 
-	switch *survey {
-	case "count":
-		res := tripoll.Count(g, opts)
-		printResult(res)
-	case "windowed":
-		if plan.IsEmpty() {
-			fail("-survey windowed needs at least one of -delta, -from, -until")
-		}
-		res, err := tripoll.WindowedCount(g, plan, opts)
-		if err != nil {
-			fail("windowed: %v", err)
-		}
-		printResult(res)
-	case "closure", "wclosure":
-		var joint *tripoll.Joint2D
-		var res tripoll.Result
-		if *survey == "wclosure" {
-			if plan.IsEmpty() {
+	// Each requested survey contributes one attached analysis and one
+	// printer; everything runs as a single fused traversal.
+	var attached []tripoll.AttachedAnalysis[tripoll.Unit, uint64]
+	var printers []func()
+	var requested []string
+	attach := func(a tripoll.AttachedAnalysis[tripoll.Unit, uint64], print func()) {
+		attached = append(attached, a)
+		printers = append(printers, print)
+	}
+	for _, name := range strings.Split(*survey, ",") {
+		name = strings.TrimSpace(name)
+		requested = append(requested, name)
+		switch name {
+		case "count", "windowed":
+			if name == "windowed" && plan.IsEmpty() {
+				fail("-survey windowed needs at least one of -delta, -from, -until")
+			}
+			// Nothing to attach: the engine maintains the count itself and
+			// printResult's "triangles:" line reports it.
+		case "closure", "wclosure":
+			if name == "wclosure" && plan.IsEmpty() {
 				fail("-survey wclosure needs at least one of -delta, -from, -until")
 			}
-			var err error
-			joint, res, err = tripoll.WindowedClosureTimes(g, plan, opts)
-			if err != nil {
-				fail("wclosure: %v", err)
-			}
-		} else {
-			joint, res = tripoll.ClosureTimes(g, opts)
+			joint := new(*tripoll.Joint2D)
+			attach(tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(joint), func() {
+				fmt.Println((*joint).MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
+				fmt.Println((*joint).Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
+			})
+		case "cc":
+			acc := new(tripoll.ClusteringAccum)
+			attach(tripoll.ClusteringAnalysis[tripoll.Unit, uint64](g).Bind(acc), func() {
+				// Under plan flags only matching triangles count toward
+				// t(v) and |T|; say so instead of mislabeling the output
+				// as the unrestricted coefficients.
+				restricted := ""
+				if !plan.IsEmpty() {
+					restricted = " (plan-restricted triangles)"
+				}
+				fmt.Printf("average clustering coefficient%s: %.5f\nglobal transitivity%s: %.5f\n",
+					restricted, acc.Stats.Average, restricted, acc.Stats.Global)
+			})
+		case "localcounts":
+			counts := new(map[uint64]uint64)
+			attach(tripoll.VertexCountAnalysis[tripoll.Unit, uint64]().Bind(counts), func() {
+				fmt.Println("top triangle-participating vertices:")
+				printTop(*counts, lessUint64, func(v uint64) string { return fmt.Sprintf("v%d", v) })
+			})
+		case "edgecounts":
+			counts := new(map[tripoll.EdgeKey]uint64)
+			attach(tripoll.EdgeCountAnalysis[tripoll.Unit, uint64]().Bind(counts), func() {
+				fmt.Println("top triangle-participating edges:")
+				printTop(*counts, func(a, b tripoll.EdgeKey) bool {
+					if a.First != b.First {
+						return a.First < b.First
+					}
+					return a.Second < b.Second
+				}, func(e tripoll.EdgeKey) string {
+					return fmt.Sprintf("{%d,%d}", e.First, e.Second)
+				})
+			})
+		case "labels":
+			dist := new(map[uint64]uint64)
+			attach(tripoll.MaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist), func() {
+				fmt.Println("max edge label/timestamp distribution (most frequent):")
+				printTop(*dist, lessUint64, func(l uint64) string { return fmt.Sprintf("label %d", l) })
+			})
+		default:
+			fail("unknown survey %q (run with -help for the list)", name)
 		}
-		printResult(res)
-		fmt.Println(joint.MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
-		fmt.Println(joint.Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
-	case "cc":
-		cs, res := tripoll.ClusteringCoefficients(g, opts)
-		printResult(res)
-		fmt.Printf("average clustering coefficient: %.5f\nglobal transitivity: %.5f\n", cs.Average, cs.Global)
-	case "localcounts":
-		counts, res := tripoll.LocalVertexCounts(g, opts)
-		printResult(res)
-		type vc struct {
-			v uint64
-			c uint64
-		}
-		var top []vc
-		for v, c := range counts {
-			top = append(top, vc{v, c})
-		}
-		sort.Slice(top, func(i, j int) bool {
-			if top[i].c != top[j].c {
-				return top[i].c > top[j].c
-			}
-			return top[i].v < top[j].v
-		})
-		fmt.Println("top triangle-participating vertices:")
-		for i, t := range top {
-			if i >= 10 {
-				break
-			}
-			fmt.Printf("  v%-12d %s\n", t.v, stats.FormatCount(t.c))
-		}
-	default:
-		fail("unknown survey %q (run with -help for the list)", *survey)
+	}
+	var p *tripoll.SurveyPlan[uint64]
+	if !plan.IsEmpty() {
+		p = plan
+	}
+	res, err := tripoll.Run(g, opts, p, attached...)
+	if err != nil {
+		fail("survey: %v", err)
+	}
+	printResult(res, requested)
+	for _, print := range printers {
+		print()
 	}
 }
 
-func printResult(res tripoll.Result) {
+// printTop renders the ten largest entries of a counter map; less orders
+// keys naturally (numerically, not by rendered string) to break count ties
+// deterministically.
+func printTop[K comparable](counts map[K]uint64, less func(a, b K) bool, keyName func(K) string) {
+	type kc struct {
+		k K
+		c uint64
+	}
+	var top []kc
+	for k, c := range counts {
+		top = append(top, kc{k, c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].c != top[j].c {
+			return top[i].c > top[j].c
+		}
+		return less(top[i].k, top[j].k)
+	})
+	for i, t := range top {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %-16s %s\n", keyName(t.k), stats.FormatCount(t.c))
+	}
+}
+
+func lessUint64(a, b uint64) bool { return a < b }
+
+func printResult(res tripoll.Result, requested []string) {
 	fmt.Printf("triangles: %s\n", stats.FormatCount(res.Triangles))
+	if len(requested) > 1 {
+		fmt.Printf("fused surveys (one traversal): %s\n", strings.Join(requested, ", "))
+	}
 	fmt.Printf("mode %s  total %s (dry-run %s, push %s, pull %s)\n",
 		res.Mode, stats.FormatDuration(res.Total),
 		stats.FormatDuration(res.DryRun.Duration),

@@ -1,122 +1,232 @@
 package core
 
 import (
-	"tripoll/internal/container"
 	"tripoll/internal/graph"
 	"tripoll/internal/serialize"
 	"tripoll/internal/stats"
 	"tripoll/internal/ygm"
 )
 
-// Count runs a survey with no callback — the simple triangle counting of
-// Alg. 2, the "subset of the functionality" used for all of the paper's
-// performance comparisons.
+// Stock analyses: the paper's surveys packaged as Analysis values, all
+// fusable into one traversal via Run. The historical free functions below
+// each wrap Run with the matching stock analysis; prefer Run directly when
+// asking the engine more than one question.
+
+// CountAnalysis counts observed triangles. The engine maintains
+// Result.Triangles anyway; attach this when a fused run wants the count
+// published alongside other analysis outputs (or attributed by name).
+func CountAnalysis[VM, EM any]() Analysis[VM, EM, uint64] {
+	return Analysis[VM, EM, uint64]{
+		Name:    "count",
+		Observe: func(_ *ygm.Rank, acc uint64, _ *Triangle[VM, EM]) uint64 { return acc + 1 },
+		Merge:   func(a, b uint64) uint64 { return a + b },
+	}
+}
+
+// VertexCountAnalysis accumulates per-vertex triangle participation counts
+// (the local counting of §5.3 that truss decomposition and clustering
+// coefficients consume). Accumulators are rank-local maps merged at
+// reduction — no per-triangle communication at all.
+func VertexCountAnalysis[VM, EM any]() Analysis[VM, EM, map[uint64]uint64] {
+	return Analysis[VM, EM, map[uint64]uint64]{
+		Name:     "vertexcounts",
+		NewAccum: func() map[uint64]uint64 { return make(map[uint64]uint64) },
+		Observe: func(_ *ygm.Rank, acc map[uint64]uint64, t *Triangle[VM, EM]) map[uint64]uint64 {
+			acc[t.P]++
+			acc[t.Q]++
+			acc[t.R]++
+			return acc
+		},
+		Merge: mergeCounts[uint64],
+	}
+}
+
+// Count runs a survey with no attached analyses — the simple triangle
+// counting of Alg. 2, the "subset of the functionality" used for all of the
+// paper's performance comparisons.
+//
+// Deprecated: equivalent to Run(g, opts, nil); kept as the conventional
+// name for the bare count.
 func Count[VM, EM any](g *graph.DODGr[VM, EM], opts Options) Result {
-	return NewSurvey(g, opts, nil).Run()
+	return mustResult(Run[VM, EM](g, opts, nil))
 }
 
-// LocalVertexCounts computes per-vertex triangle participation counts (the
-// local counting used by truss decomposition and clustering-coefficient
-// applications, §5.3) by pairing a counting-set callback with the survey.
-// The returned map is the gathered global result.
+// LocalVertexCounts computes per-vertex triangle participation counts.
+//
+// Deprecated: use Run with VertexCountAnalysis, which fuses with other
+// analyses in one traversal.
 func LocalVertexCounts[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (map[uint64]uint64, Result) {
-	w := g.World()
-	counter := container.NewCounter[uint64](w, serialize.Uint64Codec(), container.CounterOptions{})
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, EM]) {
-		counter.Inc(r, t.P)
-		counter.Inc(r, t.Q)
-		counter.Inc(r, t.R)
-	})
-	res := s.Run()
-	var gathered map[uint64]uint64
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			gathered = m
-		}
-	})
-	return gathered, res
+	var counts map[uint64]uint64
+	res := mustResult(Run(g, opts, nil, VertexCountAnalysis[VM, EM]().Bind(&counts)))
+	return counts, res
 }
 
-// ClusteringStats holds the output of ClusteringCoefficients.
+// ClusteringStats holds the output of ClusteringAnalysis. Under a plan,
+// t(v) and |T| count only plan-matching triangles while degrees and
+// wedges remain the full graph's, so Average and Global become
+// plan-restricted variants of the standard definitions.
 type ClusteringStats struct {
 	// Average is the mean of per-vertex clustering coefficients
 	// cc(v) = 2·t(v) / (d(v)·(d(v)−1)) over vertices with d(v) ≥ 2.
 	Average float64
 	// Global is the transitivity 3·|T| / |wedges of G|.
 	Global float64
-	// Triangles is |T(G)|.
+	// Triangles is |T(G)| (plan-matching triangles under a plan).
 	Triangles uint64
 	// Wedges counts unordered neighbor pairs Σ_v C(d(v), 2) in G (not G⁺).
 	Wedges uint64
 }
 
+// ClusteringAccum is ClusteringAnalysis's accumulator and result: the
+// per-vertex counts it accumulates during the traversal and the statistics
+// its Finalize derives from them.
+type ClusteringAccum struct {
+	Counts map[uint64]uint64
+	Stats  ClusteringStats
+}
+
+// ClusteringAnalysis derives clustering statistics from fused per-vertex
+// triangle counts — one of the standard downstream consumers of local
+// counts the paper cites ([7]). The constructor captures g because Finalize
+// runs a degree pass over the built graph (outside the traversal; it moves
+// no triangle data).
+func ClusteringAnalysis[VM, EM any](g *graph.DODGr[VM, EM]) Analysis[VM, EM, ClusteringAccum] {
+	return Analysis[VM, EM, ClusteringAccum]{
+		Name:     "clustering",
+		NewAccum: func() ClusteringAccum { return ClusteringAccum{Counts: make(map[uint64]uint64)} },
+		Observe: func(_ *ygm.Rank, acc ClusteringAccum, t *Triangle[VM, EM]) ClusteringAccum {
+			acc.Counts[t.P]++
+			acc.Counts[t.Q]++
+			acc.Counts[t.R]++
+			return acc
+		},
+		Merge: func(a, b ClusteringAccum) ClusteringAccum {
+			a.Counts = mergeCounts(a.Counts, b.Counts)
+			return a
+		},
+		Finalize: func(acc ClusteringAccum) ClusteringAccum {
+			w := g.World()
+			type partial struct {
+				sum    float64
+				verts  uint64
+				wedges uint64
+			}
+			per := make([]partial, w.Size())
+			w.Parallel(func(r *ygm.Rank) {
+				p := &per[r.ID()]
+				for _, v := range g.LocalVertices(r) {
+					d := uint64(v.Deg)
+					if d < 2 {
+						continue
+					}
+					pairs := d * (d - 1) / 2
+					p.wedges += pairs
+					p.verts++
+					p.sum += float64(acc.Counts[v.ID]) / float64(pairs)
+				}
+			})
+			var sum float64
+			var verts uint64
+			for _, p := range per {
+				sum += p.sum
+				verts += p.verts
+				acc.Stats.Wedges += p.wedges
+			}
+			for _, c := range acc.Counts {
+				acc.Stats.Triangles += c
+			}
+			acc.Stats.Triangles /= 3
+			if verts > 0 {
+				acc.Stats.Average = sum / float64(verts)
+			}
+			if acc.Stats.Wedges > 0 {
+				acc.Stats.Global = 3 * float64(acc.Stats.Triangles) / float64(acc.Stats.Wedges)
+			}
+			return acc
+		},
+	}
+}
+
 // ClusteringCoefficients derives clustering statistics from local triangle
-// counts — one of the standard downstream consumers of per-vertex counts
-// the paper cites ([7]).
+// counts.
+//
+// Deprecated: use Run with ClusteringAnalysis, which fuses with other
+// analyses in one traversal.
 func ClusteringCoefficients[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (ClusteringStats, Result) {
-	counts, res := LocalVertexCounts(g, opts)
-	w := g.World()
-	var out ClusteringStats
-	w.Parallel(func(r *ygm.Rank) {
-		var ccSum float64
-		var ccVerts, wedges uint64
-		for _, v := range g.LocalVertices(r) {
-			d := uint64(v.Deg)
-			if d < 2 {
-				continue
+	var acc ClusteringAccum
+	res := mustResult(Run(g, opts, nil, ClusteringAnalysis(g).Bind(&acc)))
+	return acc.Stats, res
+}
+
+// MaxEdgeLabelAnalysis is Alg. 3: the distribution of the maximum edge
+// label across triangles. distinctLabels applies the algorithm's guard that
+// the three vertex labels be pairwise distinct; pass false on graphs whose
+// vertices carry no labels (the guard would then reject every triangle).
+func MaxEdgeLabelAnalysis[VM comparable](distinctLabels bool) Analysis[VM, uint64, map[uint64]uint64] {
+	return Analysis[VM, uint64, map[uint64]uint64]{
+		Name:     "maxlabel",
+		NewAccum: func() map[uint64]uint64 { return make(map[uint64]uint64) },
+		Observe: func(_ *ygm.Rank, acc map[uint64]uint64, t *Triangle[VM, uint64]) map[uint64]uint64 {
+			if distinctLabels && (t.MetaP == t.MetaQ || t.MetaQ == t.MetaR || t.MetaP == t.MetaR) {
+				return acc
 			}
-			pairs := d * (d - 1) / 2
-			wedges += pairs
-			ccVerts++
-			ccSum += float64(counts[v.ID]) / float64(pairs)
-		}
-		totSum := ygm.AllReduce(r, ccSum, func(a, b float64) float64 { return a + b })
-		totVerts := ygm.AllReduceSum(r, ccVerts)
-		totWedges := ygm.AllReduceSum(r, wedges)
-		if r.ID() == 0 {
-			if totVerts > 0 {
-				out.Average = totSum / float64(totVerts)
+			max := t.MetaPQ
+			if t.MetaPR > max {
+				max = t.MetaPR
 			}
-			out.Wedges = totWedges
-			if totWedges > 0 {
-				out.Global = 3 * float64(res.Triangles) / float64(totWedges)
+			if t.MetaQR > max {
+				max = t.MetaQR
 			}
-		}
-	})
-	out.Triangles = res.Triangles
-	return out, res
+			acc[max]++
+			return acc
+		},
+		Merge: mergeCounts[uint64],
+	}
 }
 
 // MaxEdgeLabelDistribution is Alg. 3: among triangles whose three vertex
 // labels are pairwise distinct, the distribution of the maximum edge label.
-// It is the windowed variant with no plan (a nil plan never errors).
+//
+// Deprecated: use Run with MaxEdgeLabelAnalysis, which fuses with other
+// analyses in one traversal.
 func MaxEdgeLabelDistribution[VM comparable](g *graph.DODGr[VM, uint64], opts Options) (map[uint64]uint64, Result) {
-	gathered, res, err := WindowedMaxEdgeLabelDistribution[VM](g, nil, opts)
-	if err != nil {
-		panic("core: nil plan rejected: " + err.Error())
-	}
-	return gathered, res
+	var dist map[uint64]uint64
+	res := mustResult(Run(g, opts, nil, MaxEdgeLabelAnalysis[VM](true).Bind(&dist)))
+	return dist, res
 }
 
 // TimePair is a (⌈log₂ Δt_open⌉, ⌈log₂ Δt_close⌉) bucket pair.
 type TimePair = serialize.Pair[int64, int64]
 
-// ClosureTimes is Alg. 4 — the Reddit experiment of §5.7. Edge metadata
-// must be timestamps. For each triangle with edge times t1 ≤ t2 ≤ t3 it
-// buckets the wedge opening time Δt_open = t2 − t1 and triangle closing
-// time Δt_close = t3 − t1 into ceil-log₂ bins and counts the joint pair.
+// ClosureTimeAnalysis is Alg. 4 — the Reddit experiment of §5.7. Edge
+// metadata must be timestamps. For each triangle with edge times
+// t1 ≤ t2 ≤ t3 it buckets the wedge opening time Δt_open = t2 − t1 and
+// triangle closing time Δt_close = t3 − t1 into ceil-log₂ bins and counts
+// the joint pair.
 //
 // (Alg. 4 line 7 repeats Alg. 3's distinct-vertex-label guard, but §5.7
 // states the Reddit survey uses no vertex metadata; the guard is a
 // pseudocode artifact and is omitted here.)
-// It is the windowed variant with no plan (a nil plan never errors).
-func ClosureTimes[VM any](g *graph.DODGr[VM, uint64], opts Options) (*stats.Joint2D, Result) {
-	joint, res, err := WindowedClosureTimes[VM](g, nil, opts)
-	if err != nil {
-		panic("core: nil plan rejected: " + err.Error())
+func ClosureTimeAnalysis[VM any]() Analysis[VM, uint64, *stats.Joint2D] {
+	return Analysis[VM, uint64, *stats.Joint2D]{
+		Name:     "closure",
+		NewAccum: stats.NewJoint2D,
+		Observe: func(_ *ygm.Rank, acc *stats.Joint2D, t *Triangle[VM, uint64]) *stats.Joint2D {
+			t1, t2, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
+			acc.Add(int(stats.CeilLog2(t2-t1)), int(stats.CeilLog2(t3-t1)), 1)
+			return acc
+		},
+		Merge: (*stats.Joint2D).Merge,
 	}
+}
+
+// ClosureTimes is Alg. 4 (the §5.7 Reddit survey).
+//
+// Deprecated: use Run with ClosureTimeAnalysis, which fuses with other
+// analyses in one traversal.
+func ClosureTimes[VM any](g *graph.DODGr[VM, uint64], opts Options) (*stats.Joint2D, Result) {
+	var joint *stats.Joint2D
+	res := mustResult(Run(g, opts, nil, ClosureTimeAnalysis[VM]().Bind(&joint)))
 	return joint, res
 }
 
@@ -137,28 +247,31 @@ func sort3(a, b, c uint64) (uint64, uint64, uint64) {
 // DegreeTriple is a (⌈log₂ d(p)⌉, ⌈log₂ d(q)⌉, ⌈log₂ d(r)⌉) bucket triple.
 type DegreeTriple = serialize.Triple[int64, int64, int64]
 
-// DegreeTriples is the §5.9 metadata-impact survey: vertex metadata is the
-// vertex's degree, and the callback counts log₂-bucketed degree triples
-// across all triangles. VM must therefore be uint64 holding d(v).
+// DegreeTripleAnalysis is the §5.9 metadata-impact survey: vertex metadata
+// is the vertex's degree, and the analysis counts log₂-bucketed degree
+// triples across all triangles. VM must therefore be uint64 holding d(v).
+func DegreeTripleAnalysis[EM any]() Analysis[uint64, EM, map[DegreeTriple]uint64] {
+	return Analysis[uint64, EM, map[DegreeTriple]uint64]{
+		Name:     "degtriples",
+		NewAccum: func() map[DegreeTriple]uint64 { return make(map[DegreeTriple]uint64) },
+		Observe: func(_ *ygm.Rank, acc map[DegreeTriple]uint64, t *Triangle[uint64, EM]) map[DegreeTriple]uint64 {
+			acc[DegreeTriple{
+				First:  int64(stats.CeilLog2(t.MetaP)),
+				Second: int64(stats.CeilLog2(t.MetaQ)),
+				Third:  int64(stats.CeilLog2(t.MetaR)),
+			}]++
+			return acc
+		},
+		Merge: mergeCounts[DegreeTriple],
+	}
+}
+
+// DegreeTriples counts log₂-bucketed degree triples across all triangles.
+//
+// Deprecated: use Run with DegreeTripleAnalysis, which fuses with other
+// analyses in one traversal.
 func DegreeTriples[EM any](g *graph.DODGr[uint64, EM], opts Options) (map[DegreeTriple]uint64, Result) {
-	w := g.World()
-	codec := serialize.TripleCodec(serialize.Int64Codec(), serialize.Int64Codec(), serialize.Int64Codec())
-	counter := container.NewCounter[DegreeTriple](w, codec, container.CounterOptions{})
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[uint64, EM]) {
-		counter.Inc(r, DegreeTriple{
-			First:  int64(stats.CeilLog2(t.MetaP)),
-			Second: int64(stats.CeilLog2(t.MetaQ)),
-			Third:  int64(stats.CeilLog2(t.MetaR)),
-		})
-	})
-	res := s.Run()
-	var gathered map[DegreeTriple]uint64
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			gathered = m
-		}
-	})
-	return gathered, res
+	var counts map[DegreeTriple]uint64
+	res := mustResult(Run(g, opts, nil, DegreeTripleAnalysis[EM]().Bind(&counts)))
+	return counts, res
 }

@@ -24,55 +24,68 @@ func (c DirectedCensus) Total() uint64 {
 	return c.Cyclic + c.Transitive + c.Reciprocal + c.Undirected
 }
 
+// add folds o into c.
+func (c DirectedCensus) add(o DirectedCensus) DirectedCensus {
+	c.Cyclic += o.Cyclic
+	c.Transitive += o.Transitive
+	c.Reciprocal += o.Reciprocal
+	c.Undirected += o.Undirected
+	return c
+}
+
+// DirectedCensusAnalysis classifies triangles of a graph built with
+// graph.AddArc / graph.MergeDirected edge metadata.
+func DirectedCensusAnalysis[VM, EM any]() Analysis[VM, graph.Directed[EM], DirectedCensus] {
+	return Analysis[VM, graph.Directed[EM], DirectedCensus]{
+		Name: "census",
+		Observe: func(_ *ygm.Rank, c DirectedCensus, t *Triangle[VM, graph.Directed[EM]]) DirectedCensus {
+			dirs := [3]graph.Direction{t.MetaPQ.Dir, t.MetaPR.Dir, t.MetaQR.Dir}
+			for _, d := range dirs {
+				switch d {
+				case graph.DirNone:
+					c.Undirected++
+					return c
+				case graph.DirBoth:
+					c.Reciprocal++
+					return c
+				}
+			}
+			// All single-direction: count outgoing arcs per vertex inside the
+			// triangle; a directed 3-cycle gives every vertex exactly one.
+			outP, outQ, outR := 0, 0, 0
+			if graph.HasArc(t.MetaPQ, t.P, t.Q) {
+				outP++
+			} else {
+				outQ++
+			}
+			if graph.HasArc(t.MetaPR, t.P, t.R) {
+				outP++
+			} else {
+				outR++
+			}
+			if graph.HasArc(t.MetaQR, t.Q, t.R) {
+				outQ++
+			} else {
+				outR++
+			}
+			if outP == 1 && outQ == 1 && outR == 1 {
+				c.Cyclic++
+			} else {
+				c.Transitive++
+			}
+			return c
+		},
+		Merge: DirectedCensus.add,
+	}
+}
+
 // SurveyDirectedCensus runs the census over a graph built with
 // graph.AddArc / graph.MergeDirected edge metadata.
+//
+// Deprecated: use Run with DirectedCensusAnalysis, which fuses with other
+// analyses in one traversal.
 func SurveyDirectedCensus[VM, EM any](g *graph.DODGr[VM, graph.Directed[EM]], opts Options) (DirectedCensus, Result) {
-	w := g.World()
-	per := make([]DirectedCensus, w.Size())
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, graph.Directed[EM]]) {
-		c := &per[r.ID()]
-		dirs := [3]graph.Direction{t.MetaPQ.Dir, t.MetaPR.Dir, t.MetaQR.Dir}
-		for _, d := range dirs {
-			switch d {
-			case graph.DirNone:
-				c.Undirected++
-				return
-			case graph.DirBoth:
-				c.Reciprocal++
-				return
-			}
-		}
-		// All single-direction: count outgoing arcs per vertex inside the
-		// triangle; a directed 3-cycle gives every vertex exactly one.
-		outP, outQ, outR := 0, 0, 0
-		if graph.HasArc(t.MetaPQ, t.P, t.Q) {
-			outP++
-		} else {
-			outQ++
-		}
-		if graph.HasArc(t.MetaPR, t.P, t.R) {
-			outP++
-		} else {
-			outR++
-		}
-		if graph.HasArc(t.MetaQR, t.Q, t.R) {
-			outQ++
-		} else {
-			outR++
-		}
-		if outP == 1 && outQ == 1 && outR == 1 {
-			c.Cyclic++
-		} else {
-			c.Transitive++
-		}
-	})
-	res := s.Run()
-	var total DirectedCensus
-	for _, c := range per {
-		total.Cyclic += c.Cyclic
-		total.Transitive += c.Transitive
-		total.Reciprocal += c.Reciprocal
-		total.Undirected += c.Undirected
-	}
-	return total, res
+	var census DirectedCensus
+	res := mustResult(Run(g, opts, nil, DirectedCensusAnalysis[VM, EM]().Bind(&census)))
+	return census, res
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"tripoll/internal/container"
 	"tripoll/internal/graph"
 	"tripoll/internal/serialize"
 	"tripoll/internal/ygm"
@@ -18,28 +17,30 @@ func CanonEdge(u, v uint64) EdgeKey {
 	return EdgeKey{First: u, Second: v}
 }
 
-// LocalEdgeCounts computes per-edge triangle participation counts — the
-// quantity truss decomposition consumes (§5.3: "distributed versions of
+// EdgeCountAnalysis accumulates per-edge triangle participation counts —
+// the quantity truss decomposition consumes (§5.3: "distributed versions of
 // computing truss decompositions, where counts of triangles are desired at
-// edges"). The returned map is the gathered global result keyed by
-// canonical edge.
+// edges"), keyed by canonical edge.
+func EdgeCountAnalysis[VM, EM any]() Analysis[VM, EM, map[EdgeKey]uint64] {
+	return Analysis[VM, EM, map[EdgeKey]uint64]{
+		Name:     "edgecounts",
+		NewAccum: func() map[EdgeKey]uint64 { return make(map[EdgeKey]uint64) },
+		Observe: func(_ *ygm.Rank, acc map[EdgeKey]uint64, t *Triangle[VM, EM]) map[EdgeKey]uint64 {
+			acc[CanonEdge(t.P, t.Q)]++
+			acc[CanonEdge(t.P, t.R)]++
+			acc[CanonEdge(t.Q, t.R)]++
+			return acc
+		},
+		Merge: mergeCounts[EdgeKey],
+	}
+}
+
+// LocalEdgeCounts computes per-edge triangle participation counts.
+//
+// Deprecated: use Run with EdgeCountAnalysis, which fuses with other
+// analyses in one traversal.
 func LocalEdgeCounts[VM, EM any](g *graph.DODGr[VM, EM], opts Options) (map[EdgeKey]uint64, Result) {
-	w := g.World()
-	codec := serialize.PairCodec(serialize.Uint64Codec(), serialize.Uint64Codec())
-	counter := container.NewCounter[EdgeKey](w, codec, container.CounterOptions{})
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, EM]) {
-		counter.Inc(r, CanonEdge(t.P, t.Q))
-		counter.Inc(r, CanonEdge(t.P, t.R))
-		counter.Inc(r, CanonEdge(t.Q, t.R))
-	})
-	res := s.Run()
-	var gathered map[EdgeKey]uint64
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			gathered = m
-		}
-	})
-	return gathered, res
+	var counts map[EdgeKey]uint64
+	res := mustResult(Run(g, opts, nil, EdgeCountAnalysis[VM, EM]().Bind(&counts)))
+	return counts, res
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"tripoll/internal/container"
 	"tripoll/internal/graph"
 	"tripoll/internal/serialize"
 	"tripoll/internal/ygm"
@@ -28,37 +27,38 @@ func (ix LabelIndex[VM]) Query(u, v uint64, label VM) uint64 {
 	return ix[LabelIndexKey[VM]{Edge: CanonEdge(u, v), Label: label}]
 }
 
-// BuildLabelIndex surveys the graph once, producing the labeled triangle
-// index. VM is the vertex label type.
-func BuildLabelIndex[VM comparable, EM any](g *graph.DODGr[VM, EM], opts Options, labelCodec serialize.Codec[VM]) (LabelIndex[VM], Result) {
-	w := g.World()
-	keyCodec := serialize.Codec[LabelIndexKey[VM]]{
-		Encode: func(e *serialize.Encoder, k LabelIndexKey[VM]) {
-			e.PutUvarint(k.Edge.First)
-			e.PutUvarint(k.Edge.Second)
-			labelCodec.Encode(e, k.Label)
+// LabelIndexAnalysis builds the labeled triangle index: per-edge counts of
+// triangles closing with each vertex label. VM is the vertex label type.
+// Accumulators are rank-local, so no label codec is needed — labels never
+// cross the transport.
+func LabelIndexAnalysis[VM comparable, EM any]() Analysis[VM, EM, LabelIndex[VM]] {
+	return Analysis[VM, EM, LabelIndex[VM]]{
+		Name:     "labelindex",
+		NewAccum: func() LabelIndex[VM] { return make(LabelIndex[VM]) },
+		Observe: func(_ *ygm.Rank, acc LabelIndex[VM], t *Triangle[VM, EM]) LabelIndex[VM] {
+			acc[LabelIndexKey[VM]{Edge: CanonEdge(t.P, t.Q), Label: t.MetaR}]++
+			acc[LabelIndexKey[VM]{Edge: CanonEdge(t.P, t.R), Label: t.MetaQ}]++
+			acc[LabelIndexKey[VM]{Edge: CanonEdge(t.Q, t.R), Label: t.MetaP}]++
+			return acc
 		},
-		Decode: func(d *serialize.Decoder) LabelIndexKey[VM] {
-			return LabelIndexKey[VM]{
-				Edge:  EdgeKey{First: d.Uvarint(), Second: d.Uvarint()},
-				Label: labelCodec.Decode(d),
+		Merge: func(a, b LabelIndex[VM]) LabelIndex[VM] {
+			for k, v := range b {
+				a[k] += v
 			}
+			return a
 		},
 	}
-	counter := container.NewCounter[LabelIndexKey[VM]](w, keyCodec, container.CounterOptions{})
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, EM]) {
-		counter.Inc(r, LabelIndexKey[VM]{Edge: CanonEdge(t.P, t.Q), Label: t.MetaR})
-		counter.Inc(r, LabelIndexKey[VM]{Edge: CanonEdge(t.P, t.R), Label: t.MetaQ})
-		counter.Inc(r, LabelIndexKey[VM]{Edge: CanonEdge(t.Q, t.R), Label: t.MetaP})
-	})
-	res := s.Run()
+}
+
+// BuildLabelIndex surveys the graph once, producing the labeled triangle
+// index. labelCodec is unused now that accumulation is rank-local; the
+// parameter is retained for source compatibility.
+//
+// Deprecated: use Run with LabelIndexAnalysis, which fuses with other
+// analyses in one traversal and needs no codec.
+func BuildLabelIndex[VM comparable, EM any](g *graph.DODGr[VM, EM], opts Options, labelCodec serialize.Codec[VM]) (LabelIndex[VM], Result) {
+	_ = labelCodec
 	var ix LabelIndex[VM]
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			ix = m
-		}
-	})
+	res := mustResult(Run(g, opts, nil, LabelIndexAnalysis[VM, EM]().Bind(&ix)))
 	return ix, res
 }

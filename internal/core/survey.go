@@ -38,6 +38,12 @@ type Result struct {
 	Ordering  string
 	Triangles uint64 // total callback firings == |T(G)|
 
+	// Analyses names the analyses fused into this traversal, in attachment
+	// order, when the run came through Run; nil for bare Survey.Run calls.
+	// Bench records and ablation output use it to attribute a run to the
+	// questions it answered in one pass.
+	Analyses []string
+
 	// DryRun, Push and Pull break the run into the paper's three phases
 	// (Fig. 7). Push-Only runs populate only Push.
 	DryRun PhaseStats

@@ -1,57 +1,88 @@
 package core
 
 import (
+	"fmt"
+
 	"tripoll/internal/graph"
 	"tripoll/internal/ygm"
 )
 
-// TemporalWindowCount counts triangles whose three edge timestamps fall
+// TemporalWindowAnalysis counts triangles whose three edge timestamps fall
 // within a window of delta (t_max − t_min ≤ delta) — δ-temporal triangle
 // counting in the sense of the temporal-motif literature the paper cites
-// ([40]). Edge metadata must be timestamps. Returns (within-window count,
-// total triangles, survey result).
-func TemporalWindowCount[VM any](g *graph.DODGr[VM, uint64], delta uint64, opts Options) (within, total uint64, res Result) {
-	w := g.World()
-	per := make([]uint64, w.Size())
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
-		t1, _, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
-		if t3-t1 <= delta {
-			per[r.ID()]++
-		}
-	})
-	res = s.Run()
-	for _, c := range per {
-		within += c
+// ([40]). Edge metadata must be timestamps.
+//
+// For a survey whose *only* question is one δ-window, prefer a plan with
+// CloseWithin(delta): it prunes the communication, not just the callback.
+// This analysis exists for fusion — many δ thresholds (see
+// TemporalSweepAnalysis) or a window alongside unrelated analyses, where
+// the traversal must enumerate everything anyway.
+func TemporalWindowAnalysis[VM any](delta uint64) Analysis[VM, uint64, uint64] {
+	return Analysis[VM, uint64, uint64]{
+		Name: fmt.Sprintf("window[δ=%d]", delta),
+		Observe: func(_ *ygm.Rank, acc uint64, t *Triangle[VM, uint64]) uint64 {
+			t1, _, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
+			if t3-t1 <= delta {
+				acc++
+			}
+			return acc
+		},
+		Merge: func(a, b uint64) uint64 { return a + b },
 	}
-	return within, res.Triangles, res
 }
 
-// TemporalWindowSweep evaluates several windows in one survey pass,
-// returning the within-window count per delta (deltas need not be sorted).
-func TemporalWindowSweep[VM any](g *graph.DODGr[VM, uint64], deltas []uint64, opts Options) (map[uint64]uint64, Result) {
-	w := g.World()
-	per := make([][]uint64, w.Size())
-	for i := range per {
-		per[i] = make([]uint64, len(deltas))
-	}
-	s := NewSurvey(g, opts, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
-		t1, _, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
-		spread := t3 - t1
-		row := per[r.ID()]
-		for i, d := range deltas {
-			if spread <= d {
-				row[i]++
+// TemporalSweepAnalysis evaluates every δ threshold against every triangle
+// in one pass: the accumulator is one within-window counter per delta,
+// indexed like deltas (which need not be sorted).
+func TemporalSweepAnalysis[VM any](deltas []uint64) Analysis[VM, uint64, []uint64] {
+	return Analysis[VM, uint64, []uint64]{
+		Name:     fmt.Sprintf("sweep[%d deltas]", len(deltas)),
+		NewAccum: func() []uint64 { return make([]uint64, len(deltas)) },
+		Observe: func(_ *ygm.Rank, acc []uint64, t *Triangle[VM, uint64]) []uint64 {
+			t1, _, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
+			spread := t3 - t1
+			for i, d := range deltas {
+				if spread <= d {
+					acc[i]++
+				}
 			}
-		}
-	})
-	res := s.Run()
+			return acc
+		},
+		Merge: func(a, b []uint64) []uint64 {
+			for i := range a {
+				a[i] += b[i]
+			}
+			return a
+		},
+	}
+}
+
+// TemporalWindowCount counts triangles whose three edge timestamps span at
+// most delta. Returns (within-window count, total triangles, survey
+// result).
+//
+// Deprecated: use Run with TemporalWindowAnalysis (or, to also prune the
+// communication, a plan with CloseWithin).
+func TemporalWindowCount[VM any](g *graph.DODGr[VM, uint64], delta uint64, opts Options) (within, total uint64, res Result) {
+	var w uint64
+	res = mustResult(Run(g, opts, nil, TemporalWindowAnalysis[VM](delta).Bind(&w)))
+	return w, res.Triangles, res
+}
+
+// TemporalWindowSweep evaluates several windows in one fused survey pass —
+// a single dry run/push/pull traversal covering every delta — returning
+// the within-window count per delta (deltas need not be sorted). The
+// returned Result reports that one traversal's phase stats;
+// Result.Analyses names the sweep.
+//
+// Deprecated: use Run with TemporalSweepAnalysis, which additionally fuses
+// with other analyses.
+func TemporalWindowSweep[VM any](g *graph.DODGr[VM, uint64], deltas []uint64, opts Options) (map[uint64]uint64, Result) {
+	var counts []uint64
+	res := mustResult(Run(g, opts, nil, TemporalSweepAnalysis[VM](deltas).Bind(&counts)))
 	out := make(map[uint64]uint64, len(deltas))
 	for i, d := range deltas {
-		var sum uint64
-		for rank := range per {
-			sum += per[rank][i]
-		}
-		out[d] = sum
+		out[d] = counts[i]
 	}
 	return out, res
 }

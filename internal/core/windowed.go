@@ -1,59 +1,41 @@
 package core
 
 import (
-	"tripoll/internal/container"
 	"tripoll/internal/graph"
-	"tripoll/internal/serialize"
 	"tripoll/internal/stats"
-	"tripoll/internal/ygm"
 )
 
-// Windowed variants of the stock surveys: the same callbacks as
+// Windowed variants of the stock surveys: the same analyses as
 // analytics.go restricted to plan-matching triangles, with the plan's
 // predicates pushed into the communication phases rather than applied
-// after the fact. Each is exactly equivalent to its unplanned counterpart
-// followed by a Plan.MatchEdges post-filter (pushdown_test.go proves it),
-// but moves strictly fewer messages and bytes whenever the plan prunes
-// anything (-exp pushdown measures how many).
+// after the fact. Each is a thin wrapper over Run with a plan — exactly
+// equivalent to its unplanned counterpart followed by a Plan.MatchEdges
+// post-filter (pushdown_test.go proves it), but moving strictly fewer
+// messages and bytes whenever the plan prunes anything (-exp pushdown
+// measures how many).
 
 // WindowedCount counts plan-matching triangles — the δ-windowed /
 // time-windowed / metadata-filtered analog of Count. Result.Triangles is
 // the matching count.
+//
+// Deprecated: equivalent to Run(g, opts, plan); kept as the conventional
+// name for the bare windowed count.
 func WindowedCount[VM, EM any](g *graph.DODGr[VM, EM], plan *Plan[EM], opts Options) (Result, error) {
-	s, err := NewPlannedSurvey(g, opts, plan, nil)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(), nil
+	return Run[VM, EM](g, opts, plan)
 }
 
 // WindowedClosureTimes is ClosureTimes (Alg. 4, the §5.7 Reddit survey)
 // restricted to plan-matching triangles. Edge metadata must be timestamps;
 // build the plan from TemporalPlan so the δ/window constraints read them.
+//
+// Deprecated: use Run with ClosureTimeAnalysis and a plan, which fuses
+// with other analyses in one traversal.
 func WindowedClosureTimes[VM any](g *graph.DODGr[VM, uint64], plan *Plan[uint64], opts Options) (*stats.Joint2D, Result, error) {
-	w := g.World()
-	codec := serialize.PairCodec(serialize.Int64Codec(), serialize.Int64Codec())
-	counter := container.NewCounter[TimePair](w, codec, container.CounterOptions{})
-	s, err := NewPlannedSurvey(g, opts, plan, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
-		t1, t2, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
-		open := int64(stats.CeilLog2(t2 - t1))
-		close := int64(stats.CeilLog2(t3 - t1))
-		counter.Inc(r, TimePair{First: open, Second: close})
-	})
+	var joint *stats.Joint2D
+	res, err := Run(g, opts, plan, ClosureTimeAnalysis[VM]().Bind(&joint))
 	if err != nil {
 		return nil, Result{}, err
 	}
-	res := s.Run()
-	joint := stats.NewJoint2D()
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			for k, c := range m {
-				joint.Add(int(k.First), int(k.Second), c)
-			}
-		}
-	})
 	return joint, res, nil
 }
 
@@ -62,33 +44,14 @@ func WindowedClosureTimes[VM any](g *graph.DODGr[VM, uint64], plan *Plan[uint64]
 // pairwise distinct vertex labels, the distribution of the maximum edge
 // label. The plan's predicates range over the edge labels themselves
 // (WhereEdge), so e.g. a label-subset filter prunes communication too.
+//
+// Deprecated: use Run with MaxEdgeLabelAnalysis and a plan, which fuses
+// with other analyses in one traversal.
 func WindowedMaxEdgeLabelDistribution[VM comparable](g *graph.DODGr[VM, uint64], plan *Plan[uint64], opts Options) (map[uint64]uint64, Result, error) {
-	w := g.World()
-	counter := container.NewCounter[uint64](w, serialize.Uint64Codec(), container.CounterOptions{})
-	s, err := NewPlannedSurvey(g, opts, plan, func(r *ygm.Rank, t *Triangle[VM, uint64]) {
-		if t.MetaP == t.MetaQ || t.MetaQ == t.MetaR || t.MetaP == t.MetaR {
-			return
-		}
-		max := t.MetaPQ
-		if t.MetaPR > max {
-			max = t.MetaPR
-		}
-		if t.MetaQR > max {
-			max = t.MetaQR
-		}
-		counter.Inc(r, max)
-	})
+	var dist map[uint64]uint64
+	res, err := Run(g, opts, plan, MaxEdgeLabelAnalysis[VM](true).Bind(&dist))
 	if err != nil {
 		return nil, Result{}, err
 	}
-	res := s.Run()
-	var gathered map[uint64]uint64
-	w.Parallel(func(r *ygm.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			gathered = m
-		}
-	})
-	return gathered, res, nil
+	return dist, res, nil
 }

@@ -138,6 +138,7 @@ func All() []Runner {
 		{"partition", AblationPartition, "ablation: hash vs cyclic vertex partitioning"},
 		{"ordering", AblationOrdering, "ablation: degree vs degeneracy vertex ordering"},
 		{"pushdown", AblationPushdown, "ablation: survey-plan predicate pushdown vs post-filtering"},
+		{"fusion", AblationFusion, "ablation: fused multi-analysis survey vs sequential passes"},
 	}
 }
 

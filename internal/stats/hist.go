@@ -81,6 +81,15 @@ func (j *Joint2D) Add(x, y int, delta uint64) { j.counts[[2]int{x, y}] += delta 
 // Count returns the count at (x, y).
 func (j *Joint2D) Count(x, y int) uint64 { return j.counts[[2]int{x, y}] }
 
+// Merge adds every cell of o into j and returns j — the commutative
+// combination fused-analysis reduction needs.
+func (j *Joint2D) Merge(o *Joint2D) *Joint2D {
+	for k, c := range o.counts {
+		j.counts[k] += c
+	}
+	return j
+}
+
 // Total returns the sum of all cells.
 func (j *Joint2D) Total() uint64 {
 	var t uint64

@@ -35,6 +35,16 @@
 // δ-windows and sliding time windows compiled into filters that prune
 // communication before it leaves the rank (predicate pushdown; DESIGN.md
 // §7). See NewTemporalPlan, WindowedCount and friends.
+//
+// Every stock survey is also available as an Analysis value; Run fuses any
+// number of them into a single traversal, so asking k questions costs one
+// enumeration instead of k (DESIGN.md §8):
+//
+//	var total uint64
+//	var joint *tripoll.Joint2D
+//	res, _ := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
+//	    tripoll.CountAnalysis[tripoll.Unit, uint64]().Bind(&total),
+//	    tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(&joint))
 package tripoll
 
 import (

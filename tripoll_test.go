@@ -163,3 +163,45 @@ func TestPublicWindowedSurveys(t *testing.T) {
 		t.Errorf("invalid plan error = %v", err)
 	}
 }
+
+func TestPublicFusedRun(t *testing.T) {
+	w := tripoll.NewWorld(3)
+	defer w.Close()
+	edges := []tripoll.TemporalEdge{
+		{U: 0, V: 1, Time: 100}, {U: 1, V: 2, Time: 105}, {U: 0, V: 2, Time: 110},
+		{U: 3, V: 4, Time: 100}, {U: 4, V: 5, Time: 300}, {U: 3, V: 5, Time: 600},
+		{U: 2, V: 3, Time: 200},
+	}
+	g := tripoll.BuildTemporal(w, edges)
+
+	// The README two-analysis quickstart: count and closure times in one
+	// fused traversal.
+	var total uint64
+	var joint *tripoll.Joint2D
+	res, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
+		tripoll.CountAnalysis[tripoll.Unit, uint64]().Bind(&total),
+		tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(&joint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || res.Triangles != 2 || joint.Total() != 2 {
+		t.Errorf("fused count=%d triangles=%d joint=%d, want 2/2/2", total, res.Triangles, joint.Total())
+	}
+	if len(res.Analyses) != 2 || res.Analyses[0] != "count" || res.Analyses[1] != "closure" {
+		t.Errorf("Analyses = %v", res.Analyses)
+	}
+
+	// A fused run restricted by a plan: both analyses see only matching
+	// triangles.
+	var wtotal uint64
+	var wjoint *tripoll.Joint2D
+	wres, err := tripoll.Run(g, tripoll.SurveyOptions{}, tripoll.NewTemporalPlan().CloseWithin(50),
+		tripoll.CountAnalysis[tripoll.Unit, uint64]().Bind(&wtotal),
+		tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(&wjoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wtotal != 1 || wjoint.Total() != 1 || !wres.Planned {
+		t.Errorf("planned fused: count=%d joint=%d planned=%v, want 1/1/true", wtotal, wjoint.Total(), wres.Planned)
+	}
+}
