@@ -9,12 +9,20 @@
 //	tripoll -gen reddit -survey count,closure,labels   # one fused pass
 //	tripoll -gen reddit -survey windowed -delta 3600
 //	tripoll -gen reddit -survey wclosure -from 1000 -until 500000
+//	tripoll -gen reddit -survey count,closure -stream 8 -window 200000
 //	tripoll -help   # lists surveys, generators and bench experiments
 //
 // -survey accepts a comma-separated list: all listed surveys run as one
 // fused traversal (one dry run, one push, one pull — see DESIGN.md §8).
 // The plan flags -delta/-from/-until restrict every listed survey and push
 // their predicates into the communication phases.
+//
+// -stream N replays the input as N chronological batches through the
+// streaming maintenance path (DESIGN.md §9): each batch is ingested
+// incrementally, -window W slides the expiry watermark W time units
+// behind each batch, and the listed surveys are maintained as invertible
+// stream analyses (count, closure, localcounts, labels and their windowed
+// variants; cc and edgecounts have no streaming counterpart).
 //
 // Input files are whitespace edge lists: "u v [timestamp]", '#' comments.
 // (The max-edge-label survey of Alg. 3 needs distinct vertex labels, which
@@ -23,8 +31,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -37,15 +47,18 @@ import (
 
 // surveys maps each -survey value to a one-line description; keep the
 // listing in Usage in sync by construction.
-var surveys = []struct{ name, desc string }{
-	{"count", "triangle count (Alg. 2)"},
-	{"closure", "joint wedge-open/triangle-close time distribution (Alg. 4, §5.7)"},
-	{"cc", "average clustering coefficient and global transitivity"},
-	{"localcounts", "per-vertex triangle participation counts (§5.3)"},
-	{"edgecounts", "per-edge triangle participation counts (truss input, §5.3)"},
-	{"labels", "distribution of each triangle's maximum edge label/timestamp (Alg. 3 sans vertex labels)"},
-	{"windowed", "plan-restricted count: -delta δ-window, -from/-until sliding window (predicate pushdown)"},
-	{"wclosure", "closure-time distribution restricted to the same plan flags"},
+var surveys = []struct {
+	name, desc string
+	streamable bool
+}{
+	{"count", "triangle count (Alg. 2)", true},
+	{"closure", "joint wedge-open/triangle-close time distribution (Alg. 4, §5.7)", true},
+	{"cc", "average clustering coefficient and global transitivity", false},
+	{"localcounts", "per-vertex triangle participation counts (§5.3)", true},
+	{"edgecounts", "per-edge triangle participation counts (truss input, §5.3)", false},
+	{"labels", "distribution of each triangle's maximum edge label/timestamp (Alg. 3 sans vertex labels)", true},
+	{"windowed", "plan-restricted count: -delta δ-window, -from/-until sliding window (predicate pushdown)", true},
+	{"wclosure", "closure-time distribution restricted to the same plan flags", true},
 }
 
 var generators = []struct{ name, desc string }{
@@ -57,40 +70,108 @@ var generators = []struct{ name, desc string }{
 	{"rmat", "R-MAT scale 14"},
 }
 
-func usage() {
-	out := flag.CommandLine.Output()
-	fmt.Fprintf(out, "tripoll runs triangle surveys on edge-list files or generated graphs.\n\nusage: tripoll [flags]\n\nflags:\n")
-	flag.PrintDefaults()
-	fmt.Fprintf(out, "\nsurveys (-survey; comma-separate to fuse several into one traversal):\n")
-	for _, s := range surveys {
-		fmt.Fprintf(out, "  %-12s %s\n", s.name, s.desc)
-	}
-	fmt.Fprintf(out, "\ngenerators (-gen):\n")
-	for _, g := range generators {
-		fmt.Fprintf(out, "  %-12s %s\n", g.name, g.desc)
-	}
-	fmt.Fprintf(out, "\nbench experiments (go run ./cmd/tripoll-bench -exp <id>):\n")
-	for _, r := range exp.All() {
-		fmt.Fprintf(out, "  %-12s %s\n", r.ID, r.Desc)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// exitCode aborts run through fail; see app.fail.
+type exitCode int
+
+// app carries the CLI's output streams so tests can drive run in-process.
+type app struct {
+	out, errOut io.Writer
+}
+
+func (a *app) fail(format string, args ...any) {
+	fmt.Fprintf(a.errOut, format+"\n", args...)
+	panic(exitCode(2))
+}
+
+func (a *app) printf(format string, args ...any) {
+	fmt.Fprintf(a.out, format, args...)
+}
+
+func usage(fs *flag.FlagSet, out io.Writer) func() {
+	return func() {
+		fmt.Fprintf(out, "tripoll runs triangle surveys on edge-list files or generated graphs.\n\nusage: tripoll [flags]\n\nflags:\n")
+		fs.SetOutput(out)
+		fs.PrintDefaults()
+		fmt.Fprintf(out, "\nsurveys (-survey; comma-separate to fuse several into one traversal; * = streamable with -stream):\n")
+		for _, s := range surveys {
+			mark := " "
+			if s.streamable {
+				mark = "*"
+			}
+			fmt.Fprintf(out, "  %-12s %s %s\n", s.name, mark, s.desc)
+		}
+		fmt.Fprintf(out, "\ngenerators (-gen):\n")
+		for _, g := range generators {
+			fmt.Fprintf(out, "  %-12s %s\n", g.name, g.desc)
+		}
+		fmt.Fprintf(out, "\nbench experiments (go run ./cmd/tripoll-bench -exp <id>):\n")
+		for _, r := range exp.All() {
+			fmt.Fprintf(out, "  %-12s %s\n", r.ID, r.Desc)
+		}
 	}
 }
 
-func main() {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	a := &app{out: stdout, errOut: stderr}
+	defer func() {
+		if p := recover(); p != nil {
+			if c, ok := p.(exitCode); ok {
+				code = int(c)
+				return
+			}
+			panic(p)
+		}
+	}()
+
+	fs := flag.NewFlagSet("tripoll", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input     = flag.String("input", "", "edge list file (u v [timestamp])")
-		genModel  = flag.String("gen", "", "generate instead of reading (see generator list below)")
-		survey    = flag.String("survey", "count", "comma-separated surveys to fuse into one pass (see survey list below)")
-		ranks     = flag.Int("ranks", 4, "simulated rank count")
-		mode      = flag.String("mode", "push-pull", "algorithm: push-pull|push-only")
-		transport = flag.String("transport", "channel", "transport: channel|tcp")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		size      = flag.Int("size", 100_000, "generated edge budget / events")
-		delta     = flag.Int64("delta", -1, "survey plan: keep triangles whose timestamps span ≤ delta (-1 = off)")
-		from      = flag.Int64("from", -1, "survey plan: keep triangles with all timestamps ≥ from (-1 = off)")
-		until     = flag.Int64("until", -1, "survey plan: keep triangles with all timestamps ≤ until (-1 = off)")
+		input     = fs.String("input", "", "edge list file (u v [timestamp])")
+		genModel  = fs.String("gen", "", "generate instead of reading (see generator list below)")
+		survey    = fs.String("survey", "count", "comma-separated surveys to fuse into one pass (see survey list below)")
+		ranks     = fs.Int("ranks", 4, "simulated rank count")
+		mode      = fs.String("mode", "push-pull", "algorithm: push-pull|push-only")
+		transport = fs.String("transport", "channel", "transport: channel|tcp")
+		seed      = fs.Int64("seed", 42, "generator seed")
+		size      = fs.Int("size", 100_000, "generated edge budget / events")
+		delta     = fs.Int64("delta", -1, "survey plan: keep triangles whose timestamps span ≤ delta (-1 = off)")
+		from      = fs.Int64("from", -1, "survey plan: keep triangles with all timestamps ≥ from (-1 = off)")
+		until     = fs.Int64("until", -1, "survey plan: keep triangles with all timestamps ≤ until (-1 = off)")
+		stream    = fs.Int("stream", 0, "replay the input as N chronological batches through streaming maintenance (0 = off)")
+		window    = fs.Int64("window", -1, "with -stream: retire edges more than W time units behind each batch (-1 = keep everything)")
 	)
-	flag.Usage = usage
-	flag.Parse()
+	fs.Usage = usage(fs, stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -help prints usage and succeeds, as ExitOnError did
+		}
+		return 2
+	}
+
+	// Plan flags use -1 as the "off" sentinel; anything else negative is a
+	// contradiction the survey would silently turn into an empty or
+	// undefined plan, so reject it loudly.
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{{"-delta", *delta}, {"-from", *from}, {"-until", *until}, {"-window", *window}} {
+		if f.v < -1 {
+			a.fail("%s %d is negative: timestamps are unsigned (use -1 to disable)", f.name, f.v)
+		}
+	}
+	if *from >= 0 && *until >= 0 && *from > *until {
+		a.fail("contradictory window: -from %d > -until %d matches nothing", *from, *until)
+	}
+	if *stream < 0 {
+		a.fail("-stream %d is negative: need a batch count (0 = off)", *stream)
+	}
+	if *window >= 0 && *stream == 0 {
+		a.fail("-window needs -stream: there is no expiry watermark without batches")
+	}
 
 	opts := tripoll.SurveyOptions{}
 	switch *mode {
@@ -99,7 +180,7 @@ func main() {
 	case "push-only":
 		opts.Mode = tripoll.PushOnly
 	default:
-		fail("unknown mode %q", *mode)
+		a.fail("unknown mode %q", *mode)
 	}
 	wopts := tripoll.WorldOptions{}
 	switch *transport {
@@ -108,21 +189,15 @@ func main() {
 	case "tcp":
 		wopts.Transport = tripoll.TransportTCP
 	default:
-		fail("unknown transport %q", *transport)
+		a.fail("unknown transport %q", *transport)
 	}
 
-	edges := loadEdges(*input, *genModel, *seed, *size)
+	edges := a.loadEdges(*input, *genModel, *seed, *size)
 	w, err := tripoll.NewWorldWith(*ranks, wopts)
 	if err != nil {
-		fail("world: %v", err)
+		a.fail("world: %v", err)
 	}
 	defer w.Close()
-
-	g := tripoll.BuildTemporal(w, edges)
-	info := tripoll.Info(g)
-	fmt.Printf("graph: |V|=%s |E|=%s (directed, symmetrized) |W+|=%s dmax=%d dmax+=%d\n",
-		stats.FormatCount(info.Vertices), stats.FormatCount(info.DirectedEdges),
-		stats.FormatCount(info.Wedges), info.MaxDegree, info.MaxOutDegree)
 
 	plan := tripoll.NewTemporalPlan()
 	if *delta >= 0 {
@@ -134,75 +209,86 @@ func main() {
 	if *until >= 0 {
 		plan.Until(uint64(*until))
 	}
+	names := strings.Split(*survey, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	for _, name := range names {
+		if name == "windowed" || name == "wclosure" {
+			if plan.IsEmpty() {
+				a.fail("-survey %s needs at least one of -delta, -from, -until", name)
+			}
+		}
+	}
+
+	if *stream > 0 {
+		a.runStream(w, edges, opts, plan, names, *stream, *window)
+		return 0
+	}
+	a.runFused(w, edges, opts, plan, names)
+	return 0
+}
+
+// runFused is the one-shot path: build the graph, run every requested
+// survey as a single fused traversal, print.
+func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, opts tripoll.SurveyOptions, plan *tripoll.SurveyPlan[uint64], names []string) {
+	g := tripoll.BuildTemporal(w, edges)
+	info := tripoll.Info(g)
+	a.printf("graph: |V|=%s |E|=%s (directed, symmetrized) |W+|=%s dmax=%d dmax+=%d\n",
+		stats.FormatCount(info.Vertices), stats.FormatCount(info.DirectedEdges),
+		stats.FormatCount(info.Wedges), info.MaxDegree, info.MaxOutDegree)
 
 	// Each requested survey contributes one attached analysis and one
 	// printer; everything runs as a single fused traversal.
 	var attached []tripoll.AttachedAnalysis[tripoll.Unit, uint64]
 	var printers []func()
-	var requested []string
-	attach := func(a tripoll.AttachedAnalysis[tripoll.Unit, uint64], print func()) {
-		attached = append(attached, a)
-		printers = append(printers, print)
-	}
-	for _, name := range strings.Split(*survey, ",") {
-		name = strings.TrimSpace(name)
-		requested = append(requested, name)
+	for _, name := range names {
 		switch name {
 		case "count", "windowed":
-			if name == "windowed" && plan.IsEmpty() {
-				fail("-survey windowed needs at least one of -delta, -from, -until")
-			}
 			// Nothing to attach: the engine maintains the count itself and
 			// printResult's "triangles:" line reports it.
 		case "closure", "wclosure":
-			if name == "wclosure" && plan.IsEmpty() {
-				fail("-survey wclosure needs at least one of -delta, -from, -until")
-			}
 			joint := new(*tripoll.Joint2D)
-			attach(tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(joint), func() {
-				fmt.Println((*joint).MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
-				fmt.Println((*joint).Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
-			})
+			attached = append(attached, tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(joint))
+			printers = append(printers, a.closurePrinter(joint))
 		case "cc":
 			acc := new(tripoll.ClusteringAccum)
-			attach(tripoll.ClusteringAnalysis[tripoll.Unit, uint64](g).Bind(acc), func() {
-				// Under plan flags only matching triangles count toward
-				// t(v) and |T|; say so instead of mislabeling the output
-				// as the unrestricted coefficients.
-				restricted := ""
-				if !plan.IsEmpty() {
-					restricted = " (plan-restricted triangles)"
-				}
-				fmt.Printf("average clustering coefficient%s: %.5f\nglobal transitivity%s: %.5f\n",
+			attached = append(attached, tripoll.ClusteringAnalysis[tripoll.Unit, uint64](g).Bind(acc))
+			restricted := ""
+			if !plan.IsEmpty() {
+				// Under plan flags only matching triangles count toward t(v)
+				// and |T|; say so instead of mislabeling the output as the
+				// unrestricted coefficients.
+				restricted = " (plan-restricted triangles)"
+			}
+			printers = append(printers, func() {
+				a.printf("average clustering coefficient%s: %.5f\nglobal transitivity%s: %.5f\n",
 					restricted, acc.Stats.Average, restricted, acc.Stats.Global)
 			})
 		case "localcounts":
 			counts := new(map[uint64]uint64)
-			attach(tripoll.VertexCountAnalysis[tripoll.Unit, uint64]().Bind(counts), func() {
-				fmt.Println("top triangle-participating vertices:")
-				printTop(*counts, lessUint64, func(v uint64) string { return fmt.Sprintf("v%d", v) })
-			})
+			attached = append(attached, tripoll.VertexCountAnalysis[tripoll.Unit, uint64]().Bind(counts))
+			printers = append(printers, a.vertexCountPrinter(counts))
 		case "edgecounts":
 			counts := new(map[tripoll.EdgeKey]uint64)
-			attach(tripoll.EdgeCountAnalysis[tripoll.Unit, uint64]().Bind(counts), func() {
-				fmt.Println("top triangle-participating edges:")
-				printTop(*counts, func(a, b tripoll.EdgeKey) bool {
-					if a.First != b.First {
-						return a.First < b.First
+			attached = append(attached, tripoll.EdgeCountAnalysis[tripoll.Unit, uint64]().Bind(counts))
+			printers = append(printers, func() {
+				a.printf("top triangle-participating edges:\n")
+				printTop(a, *counts, func(x, y tripoll.EdgeKey) bool {
+					if x.First != y.First {
+						return x.First < y.First
 					}
-					return a.Second < b.Second
+					return x.Second < y.Second
 				}, func(e tripoll.EdgeKey) string {
 					return fmt.Sprintf("{%d,%d}", e.First, e.Second)
 				})
 			})
 		case "labels":
 			dist := new(map[uint64]uint64)
-			attach(tripoll.MaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist), func() {
-				fmt.Println("max edge label/timestamp distribution (most frequent):")
-				printTop(*dist, lessUint64, func(l uint64) string { return fmt.Sprintf("label %d", l) })
-			})
+			attached = append(attached, tripoll.MaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist))
+			printers = append(printers, a.labelPrinter(dist))
 		default:
-			fail("unknown survey %q (run with -help for the list)", name)
+			a.fail("unknown survey %q (run with -help for the list)", name)
 		}
 	}
 	var p *tripoll.SurveyPlan[uint64]
@@ -211,18 +297,138 @@ func main() {
 	}
 	res, err := tripoll.Run(g, opts, p, attached...)
 	if err != nil {
-		fail("survey: %v", err)
+		a.fail("survey: %v", err)
 	}
-	printResult(res, requested)
+	a.printResult(res, names)
 	for _, print := range printers {
 		print()
+	}
+}
+
+// runStream is the streaming path: time-sorted batches through OpenStream,
+// a per-batch maintenance line, then the final snapshot of every analysis.
+func (a *app) runStream(w *tripoll.World, edges []tripoll.TemporalEdge, opts tripoll.SurveyOptions, plan *tripoll.SurveyPlan[uint64], names []string, batches int, window int64) {
+	var attached []tripoll.AttachedStreamAnalysis[tripoll.Unit, uint64]
+	var printers []func()
+	for _, name := range names {
+		switch name {
+		case "count", "windowed":
+			// The stream maintains the net count itself.
+		case "closure", "wclosure":
+			joint := new(*tripoll.Joint2D)
+			attached = append(attached, tripoll.StreamClosureTimeAnalysis[tripoll.Unit]().Bind(joint))
+			printers = append(printers, a.closurePrinter(joint))
+		case "localcounts":
+			counts := new(map[uint64]uint64)
+			attached = append(attached, tripoll.StreamVertexCountAnalysis[tripoll.Unit, uint64]().Bind(counts))
+			printers = append(printers, a.vertexCountPrinter(counts))
+		case "labels":
+			dist := new(map[uint64]uint64)
+			attached = append(attached, tripoll.StreamMaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist))
+			printers = append(printers, a.labelPrinter(dist))
+		case "cc", "edgecounts":
+			a.fail("-survey %s has no streaming counterpart (see the survey list: streamable surveys are marked *)", name)
+		default:
+			a.fail("unknown survey %q (run with -help for the list)", name)
+		}
+	}
+
+	// Chronological replay: sort by timestamp and cut into equal batches.
+	sorted := make([]tripoll.TemporalEdge, len(edges))
+	copy(sorted, edges)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	keepFirst := func(x, y uint64) uint64 {
+		if x < y {
+			return x
+		}
+		return y
+	}
+	seedG := tripoll.BuildTemporal(w, nil) // empty seed: everything arrives as batches
+	// The plan is passed even when empty: Advance expires by its
+	// Timestamps accessor.
+	s, err := tripoll.OpenStream(seedG, tripoll.StreamOptions[uint64]{Survey: opts, MergeEdgeMeta: keepFirst}, plan, attached...)
+	if err != nil {
+		a.fail("stream: %v", err)
+	}
+	a.printf("streaming %s edges in %d chronological batches (%s)\n",
+		stats.FormatCount(uint64(len(sorted))), batches, opts.Mode)
+	cutoff := uint64(0)
+	for b := 0; b < batches; b++ {
+		lo, hi := b*len(sorted)/batches, (b+1)*len(sorted)/batches
+		if lo >= hi {
+			continue
+		}
+		if window >= 0 && b > 0 {
+			start := sorted[lo].Time
+			if c := start - uint64(window); start > uint64(window) && c > cutoff {
+				cutoff = c
+				ares, err := s.Advance(cutoff)
+				if err != nil {
+					a.fail("advance: %v", err)
+				}
+				a.printf("  advance to t>=%d: retired %s edges, -%s triangles%s\n",
+					cutoff, stats.FormatCount(ares.DeltaEdges), stats.FormatCount(ares.Triangles),
+					rebuiltTag(ares))
+			}
+		}
+		batch := make([]tripoll.StreamEdge[uint64], 0, hi-lo)
+		for _, e := range sorted[lo:hi] {
+			batch = append(batch, tripoll.StreamEdge[uint64]{U: e.U, V: e.V, Meta: e.Time})
+		}
+		res, err := s.Ingest(batch)
+		if err != nil {
+			a.fail("ingest: %v", err)
+		}
+		msgs := res.Mutate.Messages + res.DryRun.Messages + res.Push.Messages + res.Pull.Messages
+		bytes := res.Mutate.Bytes + res.DryRun.Bytes + res.Push.Bytes + res.Pull.Bytes
+		a.printf("  batch %d: %s edges (%s new), +%s triangles, %s in %s msgs, %s%s\n",
+			b, stats.FormatCount(uint64(len(batch))), stats.FormatCount(res.DeltaEdges),
+			stats.FormatCount(res.Triangles), stats.FormatBytes(bytes),
+			stats.FormatCount(uint64(msgs)), stats.FormatDuration(res.Total), rebuiltTag(res))
+	}
+	st := s.Snapshot()
+	a.printf("stream: %s live triangles after %d batches (%s inserted, %s merged, %s retired, %d rebuilds)\n",
+		stats.FormatCount(st.Triangles), st.Batches,
+		stats.FormatCount(st.Inserted), stats.FormatCount(st.Merged),
+		stats.FormatCount(st.Retired), st.Rebuilds)
+	for _, print := range printers {
+		print()
+	}
+}
+
+func rebuiltTag(res tripoll.Result) string {
+	if res.Rebuilt {
+		return " [epoch rebuild]"
+	}
+	return ""
+}
+
+func (a *app) closurePrinter(joint **tripoll.Joint2D) func() {
+	return func() {
+		a.printf("%s\n", (*joint).MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
+		a.printf("%s\n", (*joint).Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
+	}
+}
+
+func (a *app) vertexCountPrinter(counts *map[uint64]uint64) func() {
+	return func() {
+		a.printf("top triangle-participating vertices:\n")
+		printTop(a, *counts, lessUint64, func(v uint64) string { return fmt.Sprintf("v%d", v) })
+	}
+}
+
+func (a *app) labelPrinter(dist *map[uint64]uint64) func() {
+	return func() {
+		a.printf("max edge label/timestamp distribution (most frequent):\n")
+		printTop(a, *dist, lessUint64, func(l uint64) string { return fmt.Sprintf("label %d", l) })
 	}
 }
 
 // printTop renders the ten largest entries of a counter map; less orders
 // keys naturally (numerically, not by rendered string) to break count ties
 // deterministically.
-func printTop[K comparable](counts map[K]uint64, less func(a, b K) bool, keyName func(K) string) {
+func printTop[K comparable](a *app, counts map[K]uint64, less func(x, y K) bool, keyName func(K) string) {
 	type kc struct {
 		k K
 		c uint64
@@ -241,40 +447,40 @@ func printTop[K comparable](counts map[K]uint64, less func(a, b K) bool, keyName
 		if i >= 10 {
 			break
 		}
-		fmt.Printf("  %-16s %s\n", keyName(t.k), stats.FormatCount(t.c))
+		a.printf("  %-16s %s\n", keyName(t.k), stats.FormatCount(t.c))
 	}
 }
 
 func lessUint64(a, b uint64) bool { return a < b }
 
-func printResult(res tripoll.Result, requested []string) {
-	fmt.Printf("triangles: %s\n", stats.FormatCount(res.Triangles))
+func (a *app) printResult(res tripoll.Result, requested []string) {
+	a.printf("triangles: %s\n", stats.FormatCount(res.Triangles))
 	if len(requested) > 1 {
-		fmt.Printf("fused surveys (one traversal): %s\n", strings.Join(requested, ", "))
+		a.printf("fused surveys (one traversal): %s\n", strings.Join(requested, ", "))
 	}
-	fmt.Printf("mode %s  total %s (dry-run %s, push %s, pull %s)\n",
+	a.printf("mode %s  total %s (dry-run %s, push %s, pull %s)\n",
 		res.Mode, stats.FormatDuration(res.Total),
 		stats.FormatDuration(res.DryRun.Duration),
 		stats.FormatDuration(res.Push.Duration),
 		stats.FormatDuration(res.Pull.Duration))
 	bytes := res.DryRun.Bytes + res.Push.Bytes + res.Pull.Bytes
-	fmt.Printf("communication: %s in %s messages; pulls granted %s (%.1f/rank)\n",
+	a.printf("communication: %s in %s messages; pulls granted %s (%.1f/rank)\n",
 		stats.FormatBytes(bytes),
 		stats.FormatCount(uint64(res.DryRun.Messages+res.Push.Messages+res.Pull.Messages)),
 		stats.FormatCount(res.PullsGranted), res.AvgPullsPerRank)
 	if res.Planned {
-		fmt.Printf("pushdown: %s wedge batches, %s candidates and %s pull entries pruned before enqueue\n",
+		a.printf("pushdown: %s wedge batches, %s candidates and %s pull entries pruned before enqueue\n",
 			stats.FormatCount(res.PrunedBatches),
 			stats.FormatCount(res.PrunedCandidates),
 			stats.FormatCount(res.PrunedPullEntries))
 	}
 }
 
-func loadEdges(input, model string, seed int64, size int) []tripoll.TemporalEdge {
+func (a *app) loadEdges(input, model string, seed int64, size int) []tripoll.TemporalEdge {
 	if input != "" {
 		edges, err := tripoll.ReadEdgeListFile(input)
 		if err != nil {
-			fail("read %s: %v", input, err)
+			a.fail("read %s: %v", input, err)
 		}
 		return edges
 	}
@@ -305,14 +511,9 @@ func loadEdges(input, model string, seed int64, size int) []tripoll.TemporalEdge
 		})
 		return edges
 	case "":
-		fail("need -input or -gen (run with -help for the generator list)")
+		a.fail("need -input or -gen (run with -help for the generator list)")
 	default:
-		fail("unknown generator %q (run with -help for the list)", model)
+		a.fail("unknown generator %q (run with -help for the list)", model)
 	}
 	return nil
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(2)
 }

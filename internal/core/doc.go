@@ -26,4 +26,12 @@
 // surveys of §5 (analytics.go, temporal.go, windowed.go, edgecounts.go,
 // labelindex.go): counting, clustering coefficients, closure times,
 // label distributions and their plan-restricted variants.
+//
+// Stream (stream.go, stream_analyses.go) maintains fused analyses
+// incrementally over timestamped edge batches: each batch runs a
+// delta-scoped dry run/push/pull over only the changed edges, observing
+// created triangles and reversing destroyed ones through invertible
+// accumulators (with a windowed epoch-rebuild fallback), byte-identical
+// after every batch to a from-scratch Run on the live edge set.
+// DESIGN.md §9 has the design; the `stream` experiment the savings.
 package core

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"tripoll/internal/stats"
+	"tripoll/internal/ygm"
+)
+
+// Streaming analyses. A StreamAnalysis is an Analysis plus the two hooks
+// incremental maintenance needs: Unobserve reverses one Observe (declared
+// only by invertible accumulators — without it, every expiry falls back to
+// a windowed epoch rebuild), and Clone deep-copies an accumulator so
+// Snapshot can reduce and finalize without disturbing the live per-rank
+// state the next batch keeps folding into.
+//
+// Two contracts beyond the Analysis ones:
+//
+//   - Observe/Unobserve must be presentation-independent: a stream
+//     enumerates triangles with vertices in id order, while a full
+//     traversal presents them in <+ order, and the two must accumulate
+//     identically (every stock analysis is symmetric in the three
+//     vertices, so this is the natural shape).
+//   - Per-rank accumulators form a group under Observe/Unobserve/Merge: a
+//     triangle may be retired on a different rank than the one that
+//     observed it, so a rank-local value may transiently hold an inverse
+//     (a wrapped counter, a zero-valued map entry). Only the merged
+//     accumulator is meaningful; Finalize is where cancelled residue is
+//     pruned (see the stock constructors).
+type StreamAnalysis[VM, EM, T any] struct {
+	Analysis[VM, EM, T]
+	// Unobserve reverses Observe for one triangle: after Unobserve(r, acc,
+	// t) for every previously observed t, the merged accumulator must be
+	// indistinguishable from one that never saw them. Nil marks the
+	// analysis non-invertible: correct, but every expiry triggers an epoch
+	// rebuild.
+	Unobserve func(r *ygm.Rank, acc T, t *Triangle[VM, EM]) T
+	// Clone deep-copies an accumulator. Required when NewAccum is set
+	// (reference-typed accumulators); nil declares value semantics (plain
+	// assignment copies).
+	Clone func(T) T
+}
+
+// Bind attaches the stream analysis to an output destination, producing
+// the handle OpenStream consumes. Unlike Analysis.Bind handles, a stream
+// handle is long-lived: every Snapshot re-publishes the current result
+// into *out.
+func (a StreamAnalysis[VM, EM, T]) Bind(out *T) StreamAttached[VM, EM] {
+	return &streamBound[VM, EM, T]{a: a, out: out}
+}
+
+// StreamAttached is a StreamAnalysis bound to its output, ready for
+// OpenStream. Only StreamAnalysis.Bind produces values of this type.
+type StreamAttached[VM, EM any] interface {
+	// AnalysisName returns the bound analysis's Name.
+	AnalysisName() string
+
+	validateStream(nranks int) error
+	start(nranks int) // fresh accumulators (OpenStream and epoch rebuilds)
+	observeSigned(r *ygm.Rank, t *Triangle[VM, EM], sign int)
+	invertible() bool
+	prepare()             // clone live accumulators for a snapshot reduction
+	reduceClones(r *ygm.Rank)
+	finishClones()        // finalize the reduced clone into *out
+}
+
+type streamBound[VM, EM, T any] struct {
+	a      StreamAnalysis[VM, EM, T]
+	out    *T
+	accs   []T // live per-rank accumulators, owned across batches
+	clones []T // scratch for Snapshot reductions
+}
+
+func (b *streamBound[VM, EM, T]) AnalysisName() string { return b.a.Name }
+
+func (b *streamBound[VM, EM, T]) validateStream(nranks int) error {
+	if b.a.Observe == nil {
+		return fmt.Errorf("core: stream analysis %q has no Observe", b.a.Name)
+	}
+	if nranks > 1 && b.a.Merge == nil {
+		return fmt.Errorf("core: stream analysis %q has no Merge (required on a %d-rank world)", b.a.Name, nranks)
+	}
+	if b.a.NewAccum != nil && b.a.Clone == nil {
+		return fmt.Errorf("core: stream analysis %q has NewAccum but no Clone (snapshots must not disturb live accumulators)", b.a.Name)
+	}
+	return nil
+}
+
+func (b *streamBound[VM, EM, T]) start(nranks int) {
+	b.accs = make([]T, nranks)
+	if b.a.NewAccum != nil {
+		for i := range b.accs {
+			b.accs[i] = b.a.NewAccum()
+		}
+	}
+}
+
+func (b *streamBound[VM, EM, T]) observeSigned(r *ygm.Rank, t *Triangle[VM, EM], sign int) {
+	id := r.ID()
+	if sign >= 0 {
+		b.accs[id] = b.a.Observe(r, b.accs[id], t)
+	} else {
+		b.accs[id] = b.a.Unobserve(r, b.accs[id], t)
+	}
+}
+
+func (b *streamBound[VM, EM, T]) invertible() bool { return b.a.Unobserve != nil }
+
+func (b *streamBound[VM, EM, T]) prepare() {
+	b.clones = make([]T, len(b.accs))
+	for i := range b.accs {
+		if b.a.Clone != nil {
+			b.clones[i] = b.a.Clone(b.accs[i])
+		} else {
+			b.clones[i] = b.accs[i]
+		}
+	}
+}
+
+// reduceClones tree-reduces the snapshot clones exactly like bound.reduce
+// (fixed pairing, ygm.Rendezvous between levels), leaving the combined
+// accumulator in clones[0]. The live accumulators are untouched.
+func (b *streamBound[VM, EM, T]) reduceClones(r *ygm.Rank) {
+	n := len(b.clones)
+	for stride := 1; stride < n; stride *= 2 {
+		if stride > 1 {
+			ygm.Rendezvous(r)
+		}
+		i := r.ID()
+		if i%(2*stride) == 0 && i+stride < n {
+			b.clones[i] = b.a.Merge(b.clones[i], b.clones[i+stride])
+		}
+	}
+}
+
+func (b *streamBound[VM, EM, T]) finishClones() {
+	acc := b.clones[0]
+	if b.a.Finalize != nil {
+		acc = b.a.Finalize(acc)
+	}
+	*b.out = acc
+	b.clones = nil
+}
+
+// --- Stock invertible analyses ------------------------------------------
+
+// pruneZeroCounts deletes cancelled (zero-valued) keys a merged streaming
+// accumulator may carry when observe and unobserve landed on different
+// ranks; a fresh traversal's accumulator never holds zeros, so pruning
+// makes the two deeply equal.
+func pruneZeroCounts[K comparable](m map[K]uint64) map[K]uint64 {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	return m
+}
+
+func cloneCounts[K comparable](m map[K]uint64) map[K]uint64 {
+	c := make(map[K]uint64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// decCount reverses one increment of m[k] with wrapping arithmetic,
+// deleting exact zeros (see the group contract on StreamAnalysis).
+func decCount[K comparable](m map[K]uint64, k K) {
+	if c := m[k] - 1; c == 0 {
+		delete(m, k)
+	} else {
+		m[k] = c
+	}
+}
+
+// StreamCountAnalysis is CountAnalysis with the obvious inverse.
+func StreamCountAnalysis[VM, EM any]() StreamAnalysis[VM, EM, uint64] {
+	return StreamAnalysis[VM, EM, uint64]{
+		Analysis: CountAnalysis[VM, EM](),
+		Unobserve: func(_ *ygm.Rank, acc uint64, _ *Triangle[VM, EM]) uint64 {
+			return acc - 1 // wrapping: per-rank values may dip "negative"
+		},
+	}
+}
+
+// StreamVertexCountAnalysis is VertexCountAnalysis with per-vertex
+// decrements as the inverse; Finalize prunes cancelled vertices.
+func StreamVertexCountAnalysis[VM, EM any]() StreamAnalysis[VM, EM, map[uint64]uint64] {
+	a := VertexCountAnalysis[VM, EM]()
+	a.Finalize = pruneZeroCounts[uint64]
+	return StreamAnalysis[VM, EM, map[uint64]uint64]{
+		Analysis: a,
+		Unobserve: func(_ *ygm.Rank, acc map[uint64]uint64, t *Triangle[VM, EM]) map[uint64]uint64 {
+			decCount(acc, t.P)
+			decCount(acc, t.Q)
+			decCount(acc, t.R)
+			return acc
+		},
+		Clone: cloneCounts[uint64],
+	}
+}
+
+// StreamClosureTimeAnalysis is ClosureTimeAnalysis with bucket decrements
+// as the inverse; Finalize prunes cancelled cells.
+func StreamClosureTimeAnalysis[VM any]() StreamAnalysis[VM, uint64, *stats.Joint2D] {
+	a := ClosureTimeAnalysis[VM]()
+	a.Finalize = (*stats.Joint2D).Prune
+	return StreamAnalysis[VM, uint64, *stats.Joint2D]{
+		Analysis: a,
+		Unobserve: func(_ *ygm.Rank, acc *stats.Joint2D, t *Triangle[VM, uint64]) *stats.Joint2D {
+			t1, t2, t3 := sort3(t.MetaPQ, t.MetaPR, t.MetaQR)
+			acc.Sub(int(stats.CeilLog2(t2-t1)), int(stats.CeilLog2(t3-t1)), 1)
+			return acc
+		},
+		Clone: (*stats.Joint2D).Clone,
+	}
+}
+
+// StreamMaxEdgeLabelAnalysis is MaxEdgeLabelAnalysis with label decrements
+// as the inverse; Finalize prunes cancelled labels.
+func StreamMaxEdgeLabelAnalysis[VM comparable](distinctLabels bool) StreamAnalysis[VM, uint64, map[uint64]uint64] {
+	a := MaxEdgeLabelAnalysis[VM](distinctLabels)
+	a.Finalize = pruneZeroCounts[uint64]
+	return StreamAnalysis[VM, uint64, map[uint64]uint64]{
+		Analysis: a,
+		Unobserve: func(_ *ygm.Rank, acc map[uint64]uint64, t *Triangle[VM, uint64]) map[uint64]uint64 {
+			if distinctLabels && (t.MetaP == t.MetaQ || t.MetaQ == t.MetaR || t.MetaP == t.MetaR) {
+				return acc
+			}
+			max := t.MetaPQ
+			if t.MetaPR > max {
+				max = t.MetaPR
+			}
+			if t.MetaQR > max {
+				max = t.MetaQR
+			}
+			decCount(acc, max)
+			return acc
+		},
+		Clone: cloneCounts[uint64],
+	}
+}

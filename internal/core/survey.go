@@ -16,7 +16,9 @@ type Options struct {
 	// vertex q is pulled by a source rank when
 	//     |Adj⁺(q)| · PullFactor  <  Σ_{p local to source} |candidates → q|.
 	// 1.0 reproduces the paper's inequality; other values are exposed for
-	// the ablation study of the decision threshold. Zero means 1.0.
+	// the ablation study of the decision threshold. Values that cannot
+	// scale a cost — zero, negatives (which would flip the inequality for
+	// every non-empty adjacency), NaN — are clamped to 1.0.
 	PullFactor float64
 }
 
@@ -83,6 +85,25 @@ type Result struct {
 	// PrunedPullEntries counts Adj⁺ᵐ(q) entries omitted from pull replies
 	// (including all entries of replies skipped entirely).
 	PrunedPullEntries uint64
+
+	// Delta reports that this Result describes one incremental stream
+	// batch (Stream.Ingest or Stream.Advance), not a full traversal: the
+	// phase stats cover only the delta-scoped dry run/push/pull, Triangles
+	// counts the (plan-matching) triangles the batch created or destroyed,
+	// and Mutate holds the structural mutation traffic (edge routing and
+	// metadata completion) that preceded the traversal.
+	Delta bool
+	// DeltaEdges counts the edges the batch inserted (Ingest) or retired
+	// (Advance) — the wedge sources of the delta traversal.
+	DeltaEdges uint64
+	// Rebuilt reports that the batch fell back to a windowed epoch rebuild
+	// (a non-invertible analysis met an expiry, or a metadata-revising
+	// merge): the phase stats then cover the from-scratch traversal, and
+	// Mutate additionally includes the snapshot build.
+	Rebuilt bool
+	// Mutate is the structural phase of a stream batch: ingest routing,
+	// expiry bookkeeping, and (under Rebuilt) the snapshot rebuild.
+	Mutate PhaseStats
 }
 
 // Survey is a reusable triangle survey over one DODGr. Construct outside a
@@ -147,7 +168,10 @@ type rankState[VM, EM any] struct {
 // NewSurvey prepares a survey of g invoking cb on every triangle. cb may be
 // nil for pure counting (Result.Triangles is maintained either way).
 func NewSurvey[VM, EM any](g *graph.DODGr[VM, EM], opts Options, cb Callback[VM, EM]) *Survey[VM, EM] {
-	if opts.PullFactor == 0 {
+	// Not `== 0`: a negative (or NaN) factor would flip the dry-run pull
+	// inequality and grant pulls to exactly the targets that should push,
+	// silently degrading Push-Pull into nonsense grants.
+	if !(opts.PullFactor > 0) {
 		opts.PullFactor = 1.0
 	}
 	s := &Survey[VM, EM]{g: g, w: g.World(), opts: opts, cb: cb}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -247,6 +248,37 @@ func TestPullFactorExtremes(t *testing.T) {
 	// empty list beats receiving vol candidate edges.)
 	if grants[1e-9] < grants[1.0] || grants[1.0] < grants[1e9] {
 		t.Errorf("grants not monotone in PullFactor: %v", grants)
+	}
+}
+
+func TestPullFactorClampsNonPositive(t *testing.T) {
+	// A negative factor would flip the dry-run pull inequality: every
+	// target with a non-empty adjacency would satisfy |Adj+|·PF < vol and
+	// grant a pull, degrading Push-Pull into nonsense grants. Non-positive
+	// (and NaN) factors must clamp to the paper's 1.0 and behave
+	// identically to it.
+	rng := rand.New(rand.NewSource(4))
+	nv, ne := 40, 400
+	edges := make([][2]uint64, ne)
+	for i := range edges {
+		edges[i] = [2]uint64{uint64(rng.Intn(nv)), uint64(rng.Intn(nv))}
+	}
+	want := baseline.SerialCount(edges)
+	w, g := buildMeta(t, 3, edges, ygm.Options{})
+	defer w.Close()
+	ref := Count(g, Options{Mode: PushPull, PullFactor: 1.0})
+	if ref.Triangles != want {
+		t.Fatalf("reference count = %d, want %d", ref.Triangles, want)
+	}
+	for _, pf := range []float64{-1.0, -1e9, 0, math.NaN()} {
+		res := Count(g, Options{Mode: PushPull, PullFactor: pf})
+		if res.Triangles != want {
+			t.Errorf("PullFactor %v: count = %d, want %d", pf, res.Triangles, want)
+		}
+		if res.PullsGranted != ref.PullsGranted {
+			t.Errorf("PullFactor %v: grants = %d, want the clamped default's %d",
+				pf, res.PullsGranted, ref.PullsGranted)
+		}
 	}
 }
 

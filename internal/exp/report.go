@@ -139,6 +139,7 @@ func All() []Runner {
 		{"ordering", AblationOrdering, "ablation: degree vs degeneracy vertex ordering"},
 		{"pushdown", AblationPushdown, "ablation: survey-plan predicate pushdown vs post-filtering"},
 		{"fusion", AblationFusion, "ablation: fused multi-analysis survey vs sequential passes"},
+		{"stream", AblationStream, "ablation: incremental stream maintenance vs per-batch full recompute"},
 	}
 }
 

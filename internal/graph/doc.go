@@ -22,4 +22,12 @@
 //
 // Builders run collectively (Builder.AddEdge from any rank, one Build
 // barrier); the resulting DODGr is immutable and surveyed concurrently.
+//
+// StreamShard (stream.go) is the package's one mutable structure: full
+// symmetrized per-rank neighborhoods for streaming survey maintenance,
+// seeded from a DODGr's CSR arenas, grown by sorted copy-on-grow
+// insertion and retired by tombstones swept between batches. The
+// immutable DODGr remains the survey substrate; shards feed the delta
+// traversal of internal/core's Stream and can re-materialize a DODGr of
+// the live edge set at any time.
 package graph

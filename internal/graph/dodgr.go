@@ -102,6 +102,11 @@ func (g *DODGr[VM, EM]) World() *ygm.World { return g.w }
 // Owner returns the rank storing vertex v.
 func (g *DODGr[VM, EM]) Owner(v uint64) int { return g.part.Owner(v, g.w.Size()) }
 
+// Partitioner returns the vertex placement the graph was built with, so
+// derived structures (stream shards, rebuilt snapshots) colocate vertices
+// with the original.
+func (g *DODGr[VM, EM]) Partitioner() Partitioner { return g.part }
+
 // VertexCodec returns the vertex-metadata codec.
 func (g *DODGr[VM, EM]) VertexCodec() serialize.Codec[VM] { return g.vm }
 

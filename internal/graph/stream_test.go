@@ -1,0 +1,109 @@
+package graph
+
+import "testing"
+
+func shardLiveTargets(s *StreamShard[uint64, uint64], id uint64) []uint64 {
+	vi, ok := s.Index[id]
+	if !ok {
+		return nil
+	}
+	var out []uint64
+	for _, e := range s.Verts[vi].Adj {
+		if !e.Dead {
+			out = append(out, e.Target)
+		}
+	}
+	return out
+}
+
+func TestStreamShardInsertTombstoneResurrect(t *testing.T) {
+	s := NewStreamShard[uint64, uint64]()
+	eq := func(a, b uint64) bool { return a == b }
+	min := func(a, b uint64) uint64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	vi := s.Ensure(7)
+	if created, _ := s.Insert(vi, 9, 100, 0, 1, min, eq); !created {
+		t.Fatal("first insert not created")
+	}
+	if created, changed := s.Insert(vi, 9, 150, 0, 1, min, eq); created || changed {
+		t.Fatalf("later duplicate under min-merge: created=%v changed=%v", created, changed)
+	}
+	if created, changed := s.Insert(vi, 9, 50, 0, 2, min, eq); created || !changed {
+		t.Fatalf("earlier duplicate under min-merge must revise: created=%v changed=%v", created, changed)
+	}
+	if s.Live() != 1 {
+		t.Fatalf("live = %d", s.Live())
+	}
+	if !s.Tombstone(vi, 9) {
+		t.Fatal("tombstone missed live entry")
+	}
+	if s.Tombstone(vi, 9) {
+		t.Fatal("tombstone not idempotent")
+	}
+	if s.Live() != 0 || s.Dead() != 1 {
+		t.Fatalf("live=%d dead=%d", s.Live(), s.Dead())
+	}
+	if created, _ := s.Insert(vi, 9, 200, 0, 3, min, eq); !created {
+		t.Fatal("resurrection must report created")
+	}
+	if got := s.Verts[vi].Adj[0].EMeta; got != 200 {
+		t.Fatalf("resurrected meta = %d, want 200 (no merge with the corpse)", got)
+	}
+	if s.Verts[vi].Adj[0].Epoch != 3 {
+		t.Fatalf("resurrected epoch = %d", s.Verts[vi].Adj[0].Epoch)
+	}
+}
+
+func TestStreamShardSealSortsAndSharesArena(t *testing.T) {
+	s := NewStreamShard[uint64, uint64]()
+	a := s.Ensure(1)
+	b := s.Ensure(2)
+	// Seed out of order; Seal must sort by target.
+	s.Verts[a].Adj = []StreamEntry[uint64, uint64]{{Target: 9}, {Target: 3}, {Target: 5}}
+	s.Verts[b].Adj = []StreamEntry[uint64, uint64]{{Target: 4}}
+	s.Seal()
+	if got := shardLiveTargets(s, 1); len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("sealed adjacency = %v", got)
+	}
+	if s.Live() != 4 {
+		t.Fatalf("live after seal = %d", s.Live())
+	}
+	// Growth after sealing must not clobber the neighbor's arena extent.
+	if created, _ := s.Insert(a, 7, 0, 0, 1, nil, nil); !created {
+		t.Fatal("post-seal insert")
+	}
+	if got := shardLiveTargets(s, 2); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("neighbor adjacency disturbed by growth: %v", got)
+	}
+	if got := shardLiveTargets(s, 1); len(got) != 4 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("sorted insert broke order: %v", got)
+	}
+}
+
+func TestStreamShardCompaction(t *testing.T) {
+	s := NewStreamShard[uint64, uint64]()
+	vi := s.Ensure(1)
+	for n := uint64(2); n < 12; n++ {
+		s.Insert(vi, n, 0, 0, 1, nil, nil)
+	}
+	for n := uint64(2); n < 10; n++ {
+		s.Tombstone(vi, n)
+	}
+	if s.Dead() != 8 || s.Live() != 2 {
+		t.Fatalf("dead=%d live=%d", s.Dead(), s.Live())
+	}
+	s.MaybeCompact()
+	if s.Dead() != 0 {
+		t.Fatalf("dead after compact = %d", s.Dead())
+	}
+	if got := shardLiveTargets(s, 1); len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("compacted adjacency = %v", got)
+	}
+	if len(s.Verts[vi].Adj) != 2 {
+		t.Fatalf("adjacency length after compact = %d", len(s.Verts[vi].Adj))
+	}
+}

@@ -81,6 +81,43 @@ func (j *Joint2D) Add(x, y int, delta uint64) { j.counts[[2]int{x, y}] += delta 
 // Count returns the count at (x, y).
 func (j *Joint2D) Count(x, y int) uint64 { return j.counts[[2]int{x, y}] }
 
+// Sub decrements cell (x, y) by delta with wrapping arithmetic, deleting
+// the cell when it reaches exactly zero. Wrapping is deliberate: a
+// streaming analysis may retire a triangle on a different rank than the
+// one that observed it, so a per-rank grid can hold the group inverse of a
+// count (a huge wrapped value) that cancels at Merge time — only the
+// merged grid is meaningful, and Prune removes its cancelled cells.
+func (j *Joint2D) Sub(x, y int, delta uint64) {
+	k := [2]int{x, y}
+	c := j.counts[k] - delta
+	if c == 0 {
+		delete(j.counts, k)
+		return
+	}
+	j.counts[k] = c
+}
+
+// Prune removes zero-count cells (left behind when merged ranks cancel),
+// making a fully reversed grid deeply equal to a fresh one — the
+// invertible-accumulator contract streaming analyses rely on.
+func (j *Joint2D) Prune() *Joint2D {
+	for k, c := range j.counts {
+		if c == 0 {
+			delete(j.counts, k)
+		}
+	}
+	return j
+}
+
+// Clone returns an independent copy of the grid.
+func (j *Joint2D) Clone() *Joint2D {
+	c := &Joint2D{counts: make(map[[2]int]uint64, len(j.counts))}
+	for k, v := range j.counts {
+		c.counts[k] = v
+	}
+	return c
+}
+
 // Merge adds every cell of o into j and returns j — the commutative
 // combination fused-analysis reduction needs.
 func (j *Joint2D) Merge(o *Joint2D) *Joint2D {

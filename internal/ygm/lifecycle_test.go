@@ -1,7 +1,10 @@
 package ygm
 
 import (
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"tripoll/internal/serialize"
 )
@@ -30,6 +33,56 @@ func TestManyWorldsSequentially(t *testing.T) {
 		if err := w.Close(); err != nil {
 			t.Fatalf("iteration %d: %v", i, err)
 		}
+	}
+}
+
+// TestTCPDialFailureTearsDownCleanly injects a dial failure partway
+// through TCP setup and verifies the abort path: the root-cause error is
+// surfaced (not masked by close errors), every goroutine the half-built
+// transport spawned unwinds, and the ports are free for the next world.
+func TestTCPDialFailureTearsDownCleanly(t *testing.T) {
+	injected := errors.New("injected dial failure")
+	defer func() { tcpDialHook = nil }() // a Fatalf below must not poison later TCP tests
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		// Fail at different points of the dial sweep: first dial, mid-row,
+		// and deep into the matrix (several accepts already completed).
+		failFrom, failTo := i%3, (i+1)%3
+		tcpDialHook = func(from, to int) error {
+			if from == failFrom && to == failTo {
+				return injected
+			}
+			return nil
+		}
+		w, err := NewWorld(3, Options{Transport: TransportTCP})
+		if err == nil {
+			w.Close()
+			t.Fatalf("iteration %d: setup succeeded despite injected dial failure", i)
+		}
+		if !errors.Is(err, injected) {
+			t.Fatalf("iteration %d: root cause masked: %v", i, err)
+		}
+	}
+	tcpDialHook = nil
+	// All accept/read goroutines of the failed setups must have unwound.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked by failed setups: %d -> %d", before, n)
+	}
+	// And a fresh TCP world must come up and communicate normally.
+	w := MustWorld(3, Options{Transport: TransportTCP})
+	defer w.Close()
+	got := make([]int, 3)
+	h := w.RegisterHandler(func(r *Rank, d *serialize.Decoder) { got[r.ID()]++ })
+	w.Parallel(func(r *Rank) {
+		e := r.Enc()
+		r.Async((r.ID()+1)%r.Size(), h, e)
+	})
+	if got[0]+got[1]+got[2] != 3 {
+		t.Errorf("post-failure world dropped messages: %v", got)
 	}
 }
 

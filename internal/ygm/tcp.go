@@ -18,14 +18,48 @@ import (
 // dedicated connection dialed from i to j, written only by rank i's
 // goroutine and drained by a reader goroutine that pushes frames into rank
 // j's mailbox. Self-sends short-circuit to the mailbox.
+//
+// Lifecycle: every connection is registered (under mu) the moment it
+// exists — dialed conns before their hello write, accepted conns before
+// their hello read — so a mid-setup failure can close the lot exactly
+// once, unblock every goroutine parked in Accept/ReadFull, and surface the
+// root-cause error to the caller (close errors never mask it).
 type tcpTransport struct {
 	w         *World
 	listeners []net.Listener
 	writers   [][]*bufio.Writer
-	conns     []net.Conn // all connections, for teardown
 	readersWG sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  []net.Conn // all connections, for teardown
+	closed bool       // set by close(); late registrations are closed on the spot
+
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// tcpDialHook lets lifecycle tests inject a dial failure for a specific
+// (from, to) pair; nil outside tests.
+var tcpDialHook func(from, to int) error
+
+func (t *tcpTransport) registerConn(c net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		// Teardown already swept the registry: an accept that raced past
+		// the listener close must not leak its connection.
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	t.conns = append(t.conns, c)
+	t.mu.Unlock()
+}
+
+type tcpAccepted struct {
+	to   int
+	conn net.Conn
+	from int
+	err  error
 }
 
 func newTCPTransport(w *World) (*tcpTransport, error) {
@@ -47,31 +81,47 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 		t.listeners[j] = ln
 	}
 	// Accept loop per listener: the dialer identifies itself with a 4-byte
-	// rank id so teardown and debugging can attribute connections.
-	type accepted struct {
-		to   int
-		conn net.Conn
-		from int
-		err  error
-	}
-	acceptCh := make(chan accepted, n*n)
+	// rank id so teardown and debugging can attribute connections. Accepted
+	// conns are registered before the hello read, so an abort's close()
+	// unblocks ReadFull and the goroutine exits; acceptWG lets the abort
+	// path wait for that before draining the channel.
+	acceptCh := make(chan tcpAccepted, n*n)
+	var acceptWG sync.WaitGroup
 	for j := 0; j < n; j++ {
 		j := j
+		acceptWG.Add(1)
 		go func() {
+			defer acceptWG.Done()
 			for k := 0; k < n-1; k++ { // every rank but j dials in
 				conn, err := t.listeners[j].Accept()
 				if err != nil {
-					acceptCh <- accepted{to: j, err: err}
+					acceptCh <- tcpAccepted{to: j, err: err}
 					return
 				}
+				t.registerConn(conn)
 				var hello [4]byte
 				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					acceptCh <- accepted{to: j, err: err}
+					acceptCh <- tcpAccepted{to: j, err: err}
 					return
 				}
-				acceptCh <- accepted{to: j, conn: conn, from: int(binary.LittleEndian.Uint32(hello[:]))}
+				acceptCh <- tcpAccepted{to: j, conn: conn, from: int(binary.LittleEndian.Uint32(hello[:]))}
 			}
 		}()
+	}
+	// abort tears down a partially built transport: close everything
+	// registered so far (which unblocks Accept and ReadFull), wait for the
+	// accept goroutines, and drain their channel. The triggering error is
+	// what the caller reports; nothing here can mask it.
+	abort := func() {
+		t.close()
+		acceptWG.Wait()
+		for {
+			select {
+			case <-acceptCh:
+			default:
+				return
+			}
+		}
 	}
 	// Dial all peers.
 	for i := 0; i < n; i++ {
@@ -79,18 +129,24 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 			if i == j {
 				continue
 			}
+			if tcpDialHook != nil {
+				if err := tcpDialHook(i, j); err != nil {
+					abort()
+					return nil, err
+				}
+			}
 			conn, err := net.Dial("tcp", t.listeners[j].Addr().String())
 			if err != nil {
-				t.close()
+				abort()
 				return nil, err
 			}
+			t.registerConn(conn)
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(i))
 			if _, err := conn.Write(hello[:]); err != nil {
-				t.close()
+				abort()
 				return nil, err
 			}
-			t.conns = append(t.conns, conn)
 			t.writers[i][j] = bufio.NewWriterSize(conn, 64<<10)
 		}
 	}
@@ -98,14 +154,13 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 	for k := 0; k < n*(n-1); k++ {
 		a := <-acceptCh
 		if a.err != nil {
-			t.close()
+			abort()
 			return nil, a.err
 		}
 		if a.from < 0 || a.from >= n {
-			t.close()
+			abort()
 			return nil, fmt.Errorf("ygm: tcp hello from invalid rank %d", a.from)
 		}
-		t.conns = append(t.conns, a.conn)
 		t.readersWG.Add(1)
 		go t.readLoop(a.conn, a.to)
 	}
@@ -164,7 +219,12 @@ func (t *tcpTransport) close() error {
 				}
 			}
 		}
-		for _, c := range t.conns {
+		t.mu.Lock()
+		conns := t.conns
+		t.conns = nil
+		t.closed = true
+		t.mu.Unlock()
+		for _, c := range conns {
 			if err := c.Close(); err != nil && t.closeErr == nil {
 				t.closeErr = err
 			}

@@ -45,6 +45,11 @@
 //	res, _ := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
 //	    tripoll.CountAnalysis[tripoll.Unit, uint64]().Bind(&total),
 //	    tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(&joint))
+//
+// When edges arrive as a timestamped stream, OpenStream maintains fused
+// analyses incrementally over edge batches and a sliding window, without
+// re-surveying per batch (DESIGN.md §9): see Stream, StreamAnalysis and
+// the stock Stream*Analysis constructors in stream.go.
 package tripoll
 
 import (
