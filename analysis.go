@@ -3,6 +3,7 @@ package tripoll
 import (
 	"tripoll/internal/analysis"
 	"tripoll/internal/core"
+	"tripoll/internal/engine"
 )
 
 // The unified analysis API: every triangle survey is an Analysis value —
@@ -35,8 +36,14 @@ type AttachedAnalysis[VM, EM any] = core.Attached[VM, EM]
 // optionally restricted (and communication-pruned) by a survey plan; pass
 // nil for an unrestricted survey. Result.Analyses names the fused
 // analyses; with none attached, Run degenerates to a pure count.
+//
+// Run is the single-shot form of the query engine: one ephemeral Engine,
+// one traversal, no scheduler or cache. Long-lived services that answer
+// many (possibly concurrent) questions of the same graphs should hold an
+// Engine instead — concurrently submitted compatible queries then share
+// traversals and repeated queries hit the result cache (DESIGN.md §10).
 func Run[VM, EM any](g *Graph[VM, EM], opts SurveyOptions, plan *SurveyPlan[EM], analyses ...AttachedAnalysis[VM, EM]) (Result, error) {
-	return core.Run(g, opts, plan, analyses...)
+	return engine.Once(g, opts, plan, analyses...)
 }
 
 // Stock analyses — the paper's surveys as fusable values.

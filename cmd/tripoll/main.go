@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -166,8 +167,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *from >= 0 && *until >= 0 && *from > *until {
 		a.fail("contradictory window: -from %d > -until %d matches nothing", *from, *until)
 	}
-	if *stream < 0 {
-		a.fail("-stream %d is negative: need a batch count (0 = off)", *stream)
+	// An explicit -stream 0 (or below) is a contradiction, not "off": the
+	// user asked for streaming replay with no batches, which would silently
+	// run the one-shot path. Only the untouched default means off.
+	streamSet := false
+	fs.Visit(func(f *flag.Flag) { streamSet = streamSet || f.Name == "stream" })
+	if streamSet && *stream <= 0 {
+		a.fail("-stream %d: streaming replay needs a positive batch count (omit -stream for a one-shot survey)", *stream)
 	}
 	if *window >= 0 && *stream == 0 {
 		a.fail("-window needs -stream: there is no expiry watermark without batches")
@@ -225,56 +231,73 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		a.runStream(w, edges, opts, plan, names, *stream, *window)
 		return 0
 	}
-	a.runFused(w, edges, opts, plan, names)
+	tmpl := tripoll.QuerySpec{Mode: *mode}
+	if *delta >= 0 {
+		tmpl.Delta = tripoll.OptUint64(uint64(*delta))
+	}
+	if *from >= 0 {
+		tmpl.From = tripoll.OptUint64(uint64(*from))
+	}
+	if *until >= 0 {
+		tmpl.Until = tripoll.OptUint64(uint64(*until))
+	}
+	a.runFused(w, edges, tmpl, names)
 	return 0
 }
 
-// runFused is the one-shot path: build the graph, run every requested
-// survey as a single fused traversal, print.
-func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, opts tripoll.SurveyOptions, plan *tripoll.SurveyPlan[uint64], names []string) {
+// runFused is the one-shot path, routed through the query engine: build
+// the graph, register it, submit every requested survey as one QuerySpec
+// batch — the engine coalesces the whole batch into a single fused
+// traversal (and dedupes identical specs) — then print each answer.
+func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, tmpl tripoll.QuerySpec, names []string) {
 	g := tripoll.BuildTemporal(w, edges)
 	info := tripoll.Info(g)
 	a.printf("graph: |V|=%s |E|=%s (directed, symmetrized) |W+|=%s dmax=%d dmax+=%d\n",
 		stats.FormatCount(info.Vertices), stats.FormatCount(info.DirectedEdges),
 		stats.FormatCount(info.Wedges), info.MaxDegree, info.MaxOutDegree)
 
-	// Each requested survey contributes one attached analysis and one
-	// printer; everything runs as a single fused traversal.
-	var attached []tripoll.AttachedAnalysis[tripoll.Unit, uint64]
-	var printers []func()
+	eng := tripoll.NewTemporalQueryEngine()
+	defer eng.Close()
+	if err := eng.Register("cli", g); err != nil {
+		a.fail("engine: %v", err)
+	}
+
+	// Each requested survey becomes one spec and one printer over its
+	// job's answer; nil printers (count) are covered by printResult's
+	// "triangles:" line.
+	var specs []tripoll.QuerySpec
+	var printers []func(v any)
 	for _, name := range names {
+		spec := tmpl
 		switch name {
 		case "count", "windowed":
-			// Nothing to attach: the engine maintains the count itself and
-			// printResult's "triangles:" line reports it.
+			spec.Analysis = "count"
+			printers = append(printers, nil)
 		case "closure", "wclosure":
-			joint := new(*tripoll.Joint2D)
-			attached = append(attached, tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(joint))
-			printers = append(printers, a.closurePrinter(joint))
+			spec.Analysis = "closure"
+			printers = append(printers, a.closurePrinter())
 		case "cc":
-			acc := new(tripoll.ClusteringAccum)
-			attached = append(attached, tripoll.ClusteringAnalysis[tripoll.Unit, uint64](g).Bind(acc))
+			spec.Analysis = "cc"
 			restricted := ""
-			if !plan.IsEmpty() {
+			if tmpl.HasPlan() {
 				// Under plan flags only matching triangles count toward t(v)
 				// and |T|; say so instead of mislabeling the output as the
 				// unrestricted coefficients.
 				restricted = " (plan-restricted triangles)"
 			}
-			printers = append(printers, func() {
+			printers = append(printers, func(v any) {
+				acc := v.(tripoll.ClusteringAccum)
 				a.printf("average clustering coefficient%s: %.5f\nglobal transitivity%s: %.5f\n",
 					restricted, acc.Stats.Average, restricted, acc.Stats.Global)
 			})
 		case "localcounts":
-			counts := new(map[uint64]uint64)
-			attached = append(attached, tripoll.VertexCountAnalysis[tripoll.Unit, uint64]().Bind(counts))
-			printers = append(printers, a.vertexCountPrinter(counts))
+			spec.Analysis = "localcounts"
+			printers = append(printers, a.vertexCountPrinter())
 		case "edgecounts":
-			counts := new(map[tripoll.EdgeKey]uint64)
-			attached = append(attached, tripoll.EdgeCountAnalysis[tripoll.Unit, uint64]().Bind(counts))
-			printers = append(printers, func() {
+			spec.Analysis = "edgecounts"
+			printers = append(printers, func(v any) {
 				a.printf("top triangle-participating edges:\n")
-				printTop(a, *counts, func(x, y tripoll.EdgeKey) bool {
+				printTop(a, v.(map[tripoll.EdgeKey]uint64), func(x, y tripoll.EdgeKey) bool {
 					if x.First != y.First {
 						return x.First < y.First
 					}
@@ -284,24 +307,34 @@ func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, opts trip
 				})
 			})
 		case "labels":
-			dist := new(map[uint64]uint64)
-			attached = append(attached, tripoll.MaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist))
-			printers = append(printers, a.labelPrinter(dist))
+			spec.Analysis = "labels"
+			printers = append(printers, a.labelPrinter())
 		default:
 			a.fail("unknown survey %q (run with -help for the list)", name)
 		}
+		specs = append(specs, spec)
 	}
-	var p *tripoll.SurveyPlan[uint64]
-	if !plan.IsEmpty() {
-		p = plan
-	}
-	res, err := tripoll.Run(g, opts, p, attached...)
+	jobs, err := eng.SubmitAll(context.Background(), specs...)
 	if err != nil {
-		a.fail("survey: %v", err)
+		a.fail("submit: %v", err)
+	}
+	values := make([]any, len(jobs))
+	var res tripoll.Result
+	for i, j := range jobs {
+		qr, err := j.Wait(context.Background())
+		if err != nil {
+			a.fail("survey: %v", err)
+		}
+		values[i] = qr.Value
+		if i == 0 {
+			res = qr.Survey
+		}
 	}
 	a.printResult(res, names)
-	for _, print := range printers {
-		print()
+	for i, print := range printers {
+		if print != nil {
+			print(values[i])
+		}
 	}
 }
 
@@ -317,15 +350,18 @@ func (a *app) runStream(w *tripoll.World, edges []tripoll.TemporalEdge, opts tri
 		case "closure", "wclosure":
 			joint := new(*tripoll.Joint2D)
 			attached = append(attached, tripoll.StreamClosureTimeAnalysis[tripoll.Unit]().Bind(joint))
-			printers = append(printers, a.closurePrinter(joint))
+			print := a.closurePrinter()
+			printers = append(printers, func() { print(*joint) })
 		case "localcounts":
 			counts := new(map[uint64]uint64)
 			attached = append(attached, tripoll.StreamVertexCountAnalysis[tripoll.Unit, uint64]().Bind(counts))
-			printers = append(printers, a.vertexCountPrinter(counts))
+			print := a.vertexCountPrinter()
+			printers = append(printers, func() { print(*counts) })
 		case "labels":
 			dist := new(map[uint64]uint64)
 			attached = append(attached, tripoll.StreamMaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist))
-			printers = append(printers, a.labelPrinter(dist))
+			print := a.labelPrinter()
+			printers = append(printers, func() { print(*dist) })
 		case "cc", "edgecounts":
 			a.fail("-survey %s has no streaming counterpart (see the survey list: streamable surveys are marked *)", name)
 		default:
@@ -404,24 +440,25 @@ func rebuiltTag(res tripoll.Result) string {
 	return ""
 }
 
-func (a *app) closurePrinter(joint **tripoll.Joint2D) func() {
-	return func() {
-		a.printf("%s\n", (*joint).MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
-		a.printf("%s\n", (*joint).Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
+func (a *app) closurePrinter() func(v any) {
+	return func(v any) {
+		joint := v.(*tripoll.Joint2D)
+		a.printf("%s\n", joint.MarginalY().Render("closing time distribution", "log2(dt_close)", 48))
+		a.printf("%s\n", joint.Render("joint open/close distribution", "log2(dt_open)", "log2(dt_close)"))
 	}
 }
 
-func (a *app) vertexCountPrinter(counts *map[uint64]uint64) func() {
-	return func() {
+func (a *app) vertexCountPrinter() func(v any) {
+	return func(v any) {
 		a.printf("top triangle-participating vertices:\n")
-		printTop(a, *counts, lessUint64, func(v uint64) string { return fmt.Sprintf("v%d", v) })
+		printTop(a, v.(map[uint64]uint64), lessUint64, func(v uint64) string { return fmt.Sprintf("v%d", v) })
 	}
 }
 
-func (a *app) labelPrinter(dist *map[uint64]uint64) func() {
-	return func() {
+func (a *app) labelPrinter() func(v any) {
+	return func(v any) {
 		a.printf("max edge label/timestamp distribution (most frequent):\n")
-		printTop(a, *dist, lessUint64, func(l uint64) string { return fmt.Sprintf("label %d", l) })
+		printTop(a, v.(map[uint64]uint64), lessUint64, func(l uint64) string { return fmt.Sprintf("label %d", l) })
 	}
 }
 

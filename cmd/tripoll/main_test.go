@@ -57,6 +57,37 @@ func TestRejectsNegativePlanFlags(t *testing.T) {
 	}
 }
 
+func TestRejectsExplicitZeroStream(t *testing.T) {
+	// An explicit -stream 0 used to silently fall through to the one-shot
+	// path; asking for streaming replay with no batches is an error.
+	code, _, errOut := runCLI(t, "-gen", "ba", "-size", "2000", "-survey", "count", "-stream", "0")
+	if code != 2 {
+		t.Fatalf("-stream 0: exit code = %d, want 2 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(errOut, "positive batch count") {
+		t.Errorf("-stream 0: stderr unhelpful: %q", errOut)
+	}
+	// The untouched default still means "off" and runs one-shot.
+	if code, out, errOut := runCLI(t, "-gen", "ba", "-size", "2000", "-survey", "count"); code != 0 || !strings.Contains(out, "triangles:") {
+		t.Fatalf("default (no -stream): code=%d out=%q stderr=%q", code, out, errOut)
+	}
+}
+
+func TestFusedPlanFlagsThroughEngine(t *testing.T) {
+	// Plan flags must restrict every listed survey on the engine path.
+	code, out, errOut := runCLI(t,
+		"-gen", "reddit", "-size", "3000", "-ranks", "2",
+		"-survey", "windowed,wclosure", "-delta", "50000")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut)
+	}
+	for _, want := range []string{"triangles:", "pushdown:", "closing time distribution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFusedSurveyRuns(t *testing.T) {
 	code, out, errOut := runCLI(t, "-gen", "ba", "-size", "2000", "-ranks", "2", "-survey", "count,localcounts")
 	if code != 0 {

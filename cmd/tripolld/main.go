@@ -1,0 +1,316 @@
+// tripolld serves TriPoll triangle queries over HTTP: it loads (or
+// generates) a temporal graph, registers it with a query Engine, and
+// exposes submit/poll/result endpoints speaking serializable QuerySpecs.
+// Concurrent requests against the same graph coalesce into shared fused
+// traversals and repeated questions are answered from the epoch-keyed
+// result cache (DESIGN.md §10).
+//
+// Usage:
+//
+//	tripolld -gen reddit -size 200000 -addr :8372
+//	tripolld -input graph.txt -graph web
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness
+//	GET  /v1/graphs               registered graphs with sizes and epochs
+//	GET  /v1/analyses             analyses QuerySpecs may name
+//	POST /v1/query                submit a QuerySpec; ?wait=1 blocks for the
+//	                              result, otherwise returns a job id to poll
+//	GET  /v1/jobs/{id}            job status (+ result once done)
+//	GET  /v1/jobs/{id}/result     just the result (202 while pending)
+//
+// Example (count triangles closing within an hour, waiting inline):
+//
+//	curl -s localhost:8372/v1/query?wait=1 \
+//	     -d '{"analysis":"count","delta":3600}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+
+	"tripoll"
+	"tripoll/datagen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8372", "listen address")
+		input     = flag.String("input", "", "edge list file (u v [timestamp])")
+		genModel  = flag.String("gen", "", "generate instead of reading: reddit|webhost|ba|er|ws")
+		graphName = flag.String("graph", "default", "name to register the graph under")
+		ranks     = flag.Int("ranks", 4, "simulated rank count")
+		transport = flag.String("transport", "channel", "transport: channel|tcp")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		size      = flag.Int("size", 100_000, "generated edge budget / events")
+	)
+	flag.Parse()
+
+	edges, err := loadEdges(*input, *genModel, *seed, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	wopts := tripoll.WorldOptions{}
+	switch *transport {
+	case "channel":
+		wopts.Transport = tripoll.TransportChannel
+	case "tcp":
+		wopts.Transport = tripoll.TransportTCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	w, err := tripoll.NewWorldWith(*ranks, wopts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "world: %v\n", err)
+		os.Exit(2)
+	}
+	defer w.Close()
+
+	g := tripoll.BuildTemporal(w, edges)
+	info := tripoll.Info(g)
+	log.Printf("graph %q: |V|=%d |E|=%d (directed) |W+|=%d", *graphName, info.Vertices, info.DirectedEdges, info.Wedges)
+
+	eng := tripoll.NewTemporalQueryEngine()
+	defer eng.Close()
+	if err := eng.Register(*graphName, g); err != nil {
+		fmt.Fprintf(os.Stderr, "register: %v\n", err)
+		os.Exit(2)
+	}
+	srv := newServer(eng, map[string]tripoll.GraphInfo{*graphName: info})
+	log.Printf("tripolld listening on %s (%d ranks, %s transport)", *addr, *ranks, *transport)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadEdges(input, model string, seed int64, size int) ([]tripoll.TemporalEdge, error) {
+	if input != "" {
+		edges, err := tripoll.ReadEdgeListFile(input)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", input, err)
+		}
+		return edges, nil
+	}
+	switch model {
+	case "reddit":
+		p := datagen.DefaultRedditParams()
+		p.Seed = seed
+		p.Events = size
+		p.Users = uint64(size / 8)
+		return datagen.RedditLike(p), nil
+	case "webhost":
+		p := datagen.DefaultWebHostParams()
+		p.Seed = seed
+		p.IntraEdges = size * 2 / 5
+		p.InterEdges = size * 3 / 5
+		return datagen.ToTemporal(datagen.WebHostLike(p).Edges), nil
+	case "ba":
+		return datagen.ToTemporal(datagen.BarabasiAlbert(uint64(size/8), 8, seed)), nil
+	case "er":
+		return datagen.ToTemporal(datagen.ErdosRenyi(uint64(size/16), size, seed)), nil
+	case "ws":
+		return datagen.ToTemporal(datagen.WattsStrogatz(uint64(size/6), 3, 0.1, seed)), nil
+	case "":
+		return nil, fmt.Errorf("need -input or -gen")
+	default:
+		return nil, fmt.Errorf("unknown generator %q", model)
+	}
+}
+
+// maxRetainedJobs bounds the poll window: once exceeded, the oldest
+// *finished* jobs are forgotten (a 404 on a long-finished job beats
+// unbounded growth — map-valued results can be large, and a static
+// graph's engine cache additionally retains distinct answers).
+const maxRetainedJobs = 1024
+
+// server is the HTTP front end over one Engine. Job handles are retained
+// for polling until maxRetainedJobs pushes finished ones out.
+type server struct {
+	eng  *tripoll.Engine[tripoll.Unit, uint64]
+	info map[string]tripoll.GraphInfo
+	mux  *http.ServeMux
+
+	mu    sync.Mutex
+	jobs  map[uint64]*tripoll.QueryJob
+	order []uint64 // insertion order, for eviction
+}
+
+// retain registers a job for polling, evicting the oldest finished jobs
+// beyond the cap (in-flight jobs are never evicted).
+func (s *server) retain(j *tripoll.QueryJob) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID()] = j
+	s.order = append(s.order, j.ID())
+	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.order); i++ {
+		old := s.jobs[s.order[i]]
+		if old == nil {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			i--
+			continue
+		}
+		if st := old.Status(); st == tripoll.QueryJobDone || st == tripoll.QueryJobFailed {
+			delete(s.jobs, s.order[i])
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			i--
+		}
+	}
+}
+
+func newServer(eng *tripoll.Engine[tripoll.Unit, uint64], info map[string]tripoll.GraphInfo) *server {
+	s := &server{eng: eng, info: info, jobs: make(map[uint64]*tripoll.QueryJob), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("GET /v1/analyses", s.handleAnalyses)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
+	type graphStatus struct {
+		Name  string `json:"name"`
+		Epoch uint64 `json:"epoch"`
+		tripoll.GraphInfo
+	}
+	var out []graphStatus
+	for _, name := range s.eng.Graphs() {
+		ep, _ := s.eng.Epoch(name)
+		out = append(out, graphStatus{Name: name, Epoch: ep, GraphInfo: s.info[name]})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleAnalyses(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Analyses())
+}
+
+// jobStatus is the wire form of a job's state; Result is present once the
+// job is done, Error once it failed.
+type jobStatus struct {
+	Job    uint64               `json:"job"`
+	Status string               `json:"status"`
+	Result *tripoll.QueryResult `json:"result,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+func statusOf(j *tripoll.QueryJob) jobStatus {
+	st := jobStatus{Job: j.ID(), Status: j.Status().String()}
+	res, err := j.Result()
+	switch {
+	case err == nil:
+		res.Value = tripoll.QueryJSONValue(res.Value)
+		st.Result = &res
+	case err != tripoll.ErrJobNotDone:
+		st.Error = err.Error()
+	}
+	return st
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var spec tripoll.QuerySpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	// Admission uses the background context: the job must survive this
+	// request returning (async polling is the point). Only an inline wait
+	// is bounded by the request context.
+	j, err := s.eng.Submit(context.Background(), spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.retain(j)
+
+	if r.URL.Query().Get("wait") != "" {
+		if _, err := j.Wait(r.Context()); err != nil && err == r.Context().Err() {
+			writeError(w, http.StatusRequestTimeout, "wait: %v", err)
+			return
+		}
+		st := statusOf(j)
+		if st.Error != "" {
+			// Dispatch-time failures here are bad requests the submit-side
+			// validation cannot see (e.g. malformed analysis Args, which
+			// only the factory parses); don't report them as success.
+			writeJSON(w, http.StatusBadRequest, st)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobStatus{Job: j.ID(), Status: j.Status().String()})
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *tripoll.QueryJob {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return nil
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %d", id)
+		return nil
+	}
+	return j
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, statusOf(j))
+	}
+}
+
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	res, err := j.Result()
+	switch {
+	case err == nil:
+		res.Value = tripoll.QueryJSONValue(res.Value)
+		writeJSON(w, http.StatusOK, res)
+	case err == tripoll.ErrJobNotDone:
+		writeJSON(w, http.StatusAccepted, statusOf(j))
+	default:
+		// Job failures are almost always spec-side (args the factory
+		// rejected, a graph unregistered between submit and dispatch) —
+		// a client error, not a server fault.
+		writeJSON(w, http.StatusBadRequest, statusOf(j))
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tripoll"
+	"tripoll/datagen"
+)
+
+// newTestServer builds a server over a small generated temporal graph and
+// returns it with the underlying graph for baseline comparisons.
+func newTestServer(t *testing.T) (*httptest.Server, *tripoll.Graph[tripoll.Unit, uint64]) {
+	t.Helper()
+	p := datagen.DefaultRedditParams()
+	p.Events = 4000
+	p.Users = 500
+	edges := datagen.RedditLike(p)
+	w := tripoll.NewWorld(2)
+	g := tripoll.BuildTemporal(w, edges)
+	eng := tripoll.NewTemporalQueryEngine()
+	if err := eng.Register("default", g); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+		w.Close()
+	})
+	return srv, g
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthGraphsAnalyses(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var health map[string]string
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Errorf("healthz: code=%d body=%v", code, health)
+	}
+	var graphs []map[string]any
+	if code := getJSON(t, srv.URL+"/v1/graphs", &graphs); code != 200 || len(graphs) != 1 {
+		t.Fatalf("graphs: code=%d body=%v", code, graphs)
+	}
+	if graphs[0]["name"] != "default" || graphs[0]["Vertices"].(float64) <= 0 {
+		t.Errorf("graphs entry: %v", graphs[0])
+	}
+	var analyses []string
+	if code := getJSON(t, srv.URL+"/v1/analyses", &analyses); code != 200 {
+		t.Fatalf("analyses: code=%d", code)
+	}
+	for _, want := range []string{"count", "closure", "cc"} {
+		found := false
+		for _, a := range analyses {
+			found = found || a == want
+		}
+		if !found {
+			t.Errorf("analyses missing %q: %v", want, analyses)
+		}
+	}
+}
+
+func TestSubmitWaitCountMatchesRun(t *testing.T) {
+	srv, g := newTestServer(t)
+	want, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobStatus
+	code := postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &st)
+	if code != 200 || st.Status != "done" || st.Result == nil {
+		t.Fatalf("wait submit: code=%d status=%+v", code, st)
+	}
+	got, ok := st.Result.Value.(float64) // JSON numbers decode as float64
+	if !ok || uint64(got) != want.Triangles {
+		t.Errorf("count = %v, want %d", st.Result.Value, want.Triangles)
+	}
+	if st.Result.Analysis != "count" || st.Result.Graph != "default" {
+		t.Errorf("result provenance: %+v", st.Result)
+	}
+
+	// The same question again is a cache hit.
+	var st2 jobStatus
+	postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &st2)
+	if st2.Result == nil || !st2.Result.Cached {
+		t.Errorf("repeat query not cached: %+v", st2.Result)
+	}
+}
+
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var st jobStatus
+	code := postJSON(t, srv.URL+"/v1/query", `{"analysis":"closure","delta":100000}`, &st)
+	if code != http.StatusAccepted || st.Job == 0 {
+		t.Fatalf("submit: code=%d %+v", code, st)
+	}
+	url := srv.URL + "/v1/jobs/" + jsonNum(st.Job)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var poll jobStatus
+		if code := getJSON(t, url, &poll); code != 200 {
+			t.Fatalf("poll: code=%d", code)
+		}
+		if poll.Status == "done" {
+			if poll.Result == nil || poll.Result.Analysis != "closure" {
+				t.Fatalf("done without result: %+v", poll)
+			}
+			break
+		}
+		if poll.Status == "failed" {
+			t.Fatalf("job failed: %+v", poll)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck %q", poll.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The dedicated result endpoint serves the bare result.
+	var res tripoll.QueryResult
+	if code := getJSON(t, url+"/result", &res); code != 200 || res.Analysis != "closure" {
+		t.Errorf("result endpoint: code=%d %+v", code, res)
+	}
+	if _, ok := res.Value.([]any); !ok {
+		t.Errorf("closure value did not ship as a cell list: %T", res.Value)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var e map[string]string
+	if code := postJSON(t, srv.URL+"/v1/query", `{"analysis":"nope"}`, &e); code != 400 || e["error"] == "" {
+		t.Errorf("unknown analysis: code=%d %v", code, e)
+	}
+	if code := postJSON(t, srv.URL+"/v1/query", `{analysis}`, &e); code != 400 {
+		t.Errorf("bad json: code=%d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/query", `{"analysis":"count","bogus":1}`, &e); code != 400 {
+		t.Errorf("unknown field: code=%d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/query", `{"analysis":"count","graph":"missing"}`, &e); code != 400 {
+		t.Errorf("unknown graph: code=%d", code)
+	}
+	var st jobStatus
+	if code := getJSON(t, srv.URL+"/v1/jobs/99999", &st); code != 404 {
+		t.Errorf("unknown job: code=%d", code)
+	}
+	// Args only the factory can validate fail at dispatch; a waited
+	// submit must still surface that as a client error, not a 200.
+	var failed jobStatus
+	if code := postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"sweep"}`, &failed); code != 400 || failed.Status != "failed" || failed.Error == "" {
+		t.Errorf("sweep without deltas: code=%d status=%+v", code, failed)
+	}
+}
+
+func jsonNum(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

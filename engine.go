@@ -1,0 +1,81 @@
+package tripoll
+
+import (
+	"tripoll/internal/engine"
+	"tripoll/internal/serialize"
+)
+
+// Engine is the long-lived query engine (DESIGN.md §10): graphs and
+// streams are registered by name, any goroutine submits QuerySpecs, and an
+// admission scheduler coalesces compatible concurrently-pending queries —
+// same graph and traversal options, union-able plans — into one fused
+// traversal, re-restricting each job to its own plan at the callback so
+// every job gets exactly its solo answer. An epoch-keyed result cache
+// makes repeated questions free; stream mutations through the engine bump
+// the epoch and invalidate precisely.
+//
+//	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(),
+//	    tripoll.QueryEngineOptions[uint64]{Timestamps: func(t uint64) uint64 { return t }})
+//	defer eng.Close()
+//	eng.Register("web", g)
+//	jobs, _ := eng.SubmitAll(ctx,
+//	    tripoll.QuerySpec{Analysis: "count", Delta: tripoll.OptUint64(3600)},
+//	    tripoll.QuerySpec{Analysis: "closure", Delta: tripoll.OptUint64(7200)})
+//	for _, j := range jobs {
+//	    res, err := j.Wait(ctx) // both answered by ONE traversal
+//	    ...
+//	}
+//
+// cmd/tripolld serves this API over HTTP; the legacy Run free function is
+// a single-shot engine.
+type Engine[VM, EM any] = engine.Engine[VM, EM]
+
+// QueryEngineOptions configures an Engine; Timestamps enables the
+// temporal constraints of QuerySpecs.
+type QueryEngineOptions[EM any] = engine.EngineOptions[EM]
+
+// QueryJob is the handle Submit returns: a one-shot future for a
+// QueryResult.
+type QueryJob = engine.Job
+
+// QueryJobStatus is a job's lifecycle state.
+type QueryJobStatus = engine.JobStatus
+
+// Job lifecycle states.
+const (
+	QueryJobPending = engine.JobPending
+	QueryJobRunning = engine.JobRunning
+	QueryJobDone    = engine.JobDone
+	QueryJobFailed  = engine.JobFailed
+)
+
+// QueryResult is one job's answer: the analysis value, the epoch it
+// describes, cache/coalescing provenance and the shared traversal's
+// statistics.
+type QueryResult = engine.QueryResult
+
+// EngineStats counts submissions, cache hits, dedupes, coalesced jobs,
+// traversals and their traffic.
+type EngineStats = engine.Stats
+
+// ErrEngineClosed is returned by Submit and friends after Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// ErrJobNotDone is returned by QueryJob.Result while the job is in flight.
+var ErrJobNotDone = engine.ErrNotDone
+
+// NewQueryEngine creates an engine over the given analysis registry and
+// starts its scheduler. Register graphs, Submit from any goroutine, Close
+// when done (registered graphs and their Worlds remain the caller's).
+func NewQueryEngine[VM, EM any](reg *QueryRegistry[VM, EM], opts QueryEngineOptions[EM]) *Engine[VM, EM] {
+	return engine.New(reg, opts)
+}
+
+// NewTemporalQueryEngine is the stock temporal configuration in one call:
+// the TemporalQueryRegistry over identity timestamps — the engine behind
+// cmd/tripoll and cmd/tripolld.
+func NewTemporalQueryEngine() *Engine[serialize.Unit, uint64] {
+	return engine.New(engine.TemporalRegistry(), engine.EngineOptions[uint64]{
+		Timestamps: func(t uint64) uint64 { return t },
+	})
+}

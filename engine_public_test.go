@@ -1,0 +1,79 @@
+package tripoll_test
+
+import (
+	"context"
+	"testing"
+
+	"tripoll"
+	"tripoll/datagen"
+)
+
+// TestPublicQueryEngine exercises the exported engine surface end to end:
+// a temporal graph served through NewTemporalQueryEngine must answer a
+// coalesced spec batch identically to direct fused Runs.
+func TestPublicQueryEngine(t *testing.T) {
+	p := datagen.DefaultRedditParams()
+	p.Events = 5000
+	p.Users = 600
+	edges := datagen.RedditLike(p)
+	w := tripoll.NewWorld(3)
+	defer w.Close()
+	g := tripoll.BuildTemporal(w, edges)
+
+	const delta = 100_000
+	plan := tripoll.NewTemporalPlan().CloseWithin(delta)
+	var wantCount uint64
+	var wantJoint *tripoll.Joint2D
+	if _, err := tripoll.Run(g, tripoll.SurveyOptions{}, plan,
+		tripoll.CountAnalysis[tripoll.Unit, uint64]().Bind(&wantCount),
+		tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(&wantJoint)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	eng := tripoll.NewTemporalQueryEngine()
+	defer eng.Close()
+	if err := eng.Register("reddit", g); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ctx := context.Background()
+	jobs, err := eng.SubmitAll(ctx,
+		tripoll.QuerySpec{Analysis: "count", Delta: tripoll.OptUint64(delta)},
+		tripoll.QuerySpec{Analysis: "closure", Delta: tripoll.OptUint64(delta)})
+	if err != nil {
+		t.Fatalf("SubmitAll: %v", err)
+	}
+	countRes, err := jobs[0].Wait(ctx)
+	if err != nil {
+		t.Fatalf("count job: %v", err)
+	}
+	closureRes, err := jobs[1].Wait(ctx)
+	if err != nil {
+		t.Fatalf("closure job: %v", err)
+	}
+	if got := countRes.Value.(uint64); got != wantCount {
+		t.Errorf("engine count = %d, want %d", got, wantCount)
+	}
+	gotJoint := closureRes.Value.(*tripoll.Joint2D)
+	if gotJoint.Total() != wantJoint.Total() {
+		t.Errorf("engine closure total = %d, want %d", gotJoint.Total(), wantJoint.Total())
+	}
+	if countRes.CoalescedWith != 2 || closureRes.CoalescedWith != 2 {
+		t.Errorf("batch did not coalesce: %d/%d", countRes.CoalescedWith, closureRes.CoalescedWith)
+	}
+	if st := eng.Stats(); st.Traversals != 1 {
+		t.Errorf("Traversals = %d, want 1", st.Traversals)
+	}
+
+	// Repeat one spec: cache hit, still one traversal total.
+	j, err := eng.Submit(ctx, tripoll.QuerySpec{Analysis: "count", Delta: tripoll.OptUint64(delta)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	qr, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !qr.Cached || qr.Value.(uint64) != wantCount {
+		t.Errorf("repeat: cached=%v value=%v, want cached %d", qr.Cached, qr.Value, wantCount)
+	}
+}

@@ -2,7 +2,8 @@
 // interaction multigraph. Duplicate interactions are reduced to the
 // chronologically first edge during graph construction, then every
 // triangle's wedge-opening and triangle-closing times are bucketed into a
-// joint log₂ distribution.
+// joint log₂ distribution — here as a ClosureTimeAnalysis fused into one
+// Run together with the triangle count.
 package main
 
 import (
@@ -26,7 +27,15 @@ func main() {
 	info := tripoll.Info(g)
 	fmt.Printf("reduced graph: |V|=%d  undirected |E|=%d\n", info.Vertices, info.PlusEdges)
 
-	joint, res := tripoll.ClosureTimes(g, tripoll.SurveyOptions{})
+	// Alg. 4 as an attachable analysis: one traversal, the joint grid
+	// tree-reduced across ranks afterwards. Attaching more analyses to
+	// this Run would reuse the same enumeration.
+	var joint *tripoll.Joint2D
+	res, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
+		tripoll.ClosureTimeAnalysis[tripoll.Unit]().Bind(&joint))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("triangles surveyed: %d  (pulls granted: %d, %.1f per rank)\n\n",
 		res.Triangles, res.PullsGranted, res.AvgPullsPerRank)
 

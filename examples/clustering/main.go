@@ -1,6 +1,8 @@
 // Clustering: local triangle participation counts and clustering
 // coefficients — the downstream consumers of per-vertex counting the paper
-// cites (truss decomposition, clustering coefficient computation, §5.3).
+// cites (truss decomposition, clustering coefficient computation, §5.3) —
+// computed as fused analyses: the Barabási–Albert graph answers both
+// questions in a single traversal.
 package main
 
 import (
@@ -20,17 +22,31 @@ func main() {
 	for _, beta := range []float64{0.0, 1.0} {
 		edges := datagen.WattsStrogatz(3_000, 4, beta, 7)
 		g := tripoll.BuildSimple(w, edges)
-		cs, res := tripoll.ClusteringCoefficients(g, tripoll.SurveyOptions{})
+		var cs tripoll.ClusteringAccum
+		res, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
+			tripoll.ClusteringAnalysis(g).Bind(&cs))
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("Watts-Strogatz beta=%.1f: triangles=%d  avg cc=%.4f  transitivity=%.4f\n",
-			beta, res.Triangles, cs.Average, cs.Global)
+			beta, res.Triangles, cs.Stats.Average, cs.Stats.Global)
 	}
 
 	// Per-vertex counts on a hub-dominated graph: hubs accumulate the most
-	// triangles.
+	// triangles. Both analyses fuse into one traversal — asking the second
+	// question costs no additional enumeration.
 	edges := datagen.BarabasiAlbert(4_000, 5, 3)
 	g := tripoll.BuildSimple(w, edges)
-	counts, res := tripoll.LocalVertexCounts(g, tripoll.SurveyOptions{})
-	fmt.Printf("\nBarabasi-Albert: %d triangles across %d vertices\n", res.Triangles, len(counts))
+	var counts map[uint64]uint64
+	var cs tripoll.ClusteringAccum
+	res, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
+		tripoll.VertexCountAnalysis[tripoll.Unit, tripoll.Unit]().Bind(&counts),
+		tripoll.ClusteringAnalysis(g).Bind(&cs))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nBarabasi-Albert: %d triangles across %d vertices (avg cc=%.4f, one fused traversal: %v)\n",
+		res.Triangles, len(counts), cs.Stats.Average, res.Analyses)
 
 	type vc struct{ v, c uint64 }
 	var top []vc

@@ -1,7 +1,9 @@
 // FQDN survey: the §5.8 analysis on a web-host graph with string vertex
 // metadata. Strings travel unpadded through the serialization layer; the
 // survey counts 3-tuples of distinct FQDNs over all triangles with a
-// distributed counting set, then inspects the hub domain's co-occurrences.
+// custom Analysis value — rank-local map accumulators tree-reduced after
+// one traversal, no distributed container traffic — then inspects the hub
+// domain's co-occurrences.
 package main
 
 import (
@@ -13,6 +15,40 @@ import (
 )
 
 type fqdnTriple = tripoll.Triple[string, string, string]
+
+// fqdnTripleAnalysis is a custom analysis on the unified API: count each
+// sorted 3-tuple of pairwise distinct FQDNs. Observe runs on the
+// discovering rank with all six metadata items colocated; Merge folds the
+// per-rank maps during the lg(n)-level tree reduction.
+func fqdnTripleAnalysis() tripoll.Analysis[string, tripoll.Unit, map[fqdnTriple]uint64] {
+	return tripoll.Analysis[string, tripoll.Unit, map[fqdnTriple]uint64]{
+		Name:     "fqdn-triples",
+		NewAccum: func() map[fqdnTriple]uint64 { return map[fqdnTriple]uint64{} },
+		Observe: func(_ *tripoll.Rank, acc map[fqdnTriple]uint64, t *tripoll.Triangle[string, tripoll.Unit]) map[fqdnTriple]uint64 {
+			a, b, c := t.MetaP, t.MetaQ, t.MetaR
+			if a == b || b == c || a == c {
+				return acc
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if b > c {
+				b, c = c, b
+			}
+			if a > b {
+				a, b = b, a
+			}
+			acc[fqdnTriple{First: a, Second: b, Third: c}]++
+			return acc
+		},
+		Merge: func(x, y map[fqdnTriple]uint64) map[fqdnTriple]uint64 {
+			for k, v := range y {
+				x[k] += v
+			}
+			return x
+		},
+	}
+}
 
 func main() {
 	p := datagen.DefaultWebHostParams()
@@ -43,36 +79,11 @@ func main() {
 		}
 	})
 
-	// Count 3-tuples of distinct FQDNs with a distributed counting set.
-	tripleCodec := tripoll.TripleCodec(tripoll.StringCodec(), tripoll.StringCodec(), tripoll.StringCodec())
-	counter := tripoll.NewCounter[fqdnTriple](w, tripleCodec, tripoll.CounterOptions{})
-	s := tripoll.NewSurvey(g, tripoll.SurveyOptions{},
-		func(r *tripoll.Rank, t *tripoll.Triangle[string, tripoll.Unit]) {
-			a, b, c := t.MetaP, t.MetaQ, t.MetaR
-			if a == b || b == c || a == c {
-				return
-			}
-			if a > b {
-				a, b = b, a
-			}
-			if b > c {
-				b, c = c, b
-			}
-			if a > b {
-				a, b = b, a
-			}
-			counter.Inc(r, fqdnTriple{First: a, Second: b, Third: c})
-		})
-	res := s.Run()
-
 	var triples map[fqdnTriple]uint64
-	w.Parallel(func(r *tripoll.Rank) {
-		counter.Barrier(r)
-		m := counter.Gather(r)
-		if r.ID() == 0 {
-			triples = m
-		}
-	})
+	res, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil, fqdnTripleAnalysis().Bind(&triples))
+	if err != nil {
+		panic(err)
+	}
 
 	// Post-process "on a single machine": hub co-occurrence ranking.
 	hub := datagen.HubFQDNs[0]

@@ -1,7 +1,8 @@
 // Max edge label: Alg. 3 of the paper — among triangles whose three vertex
 // labels are pairwise distinct, the distribution of the maximum edge label.
 // Vertex labels model user categories (buyer/seller/moderator); edge labels
-// model interaction types.
+// model interaction types. The survey runs as a MaxEdgeLabelAnalysis value
+// attached to a Run.
 package main
 
 import (
@@ -49,7 +50,14 @@ func main() {
 		}
 	})
 
-	dist, res := tripoll.MaxEdgeLabelDistribution(g, tripoll.SurveyOptions{})
+	// Alg. 3 as an analysis value: distinctLabels=true applies the guard
+	// that the three vertex labels be pairwise distinct.
+	var dist map[uint64]uint64
+	res, err := tripoll.Run(g, tripoll.SurveyOptions{}, nil,
+		tripoll.MaxEdgeLabelAnalysis[uint64](true).Bind(&dist))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("triangles: %d\n", res.Triangles)
 	fmt.Println("max-edge-label distribution over distinct-vertex-label triangles:")
 	var labels []uint64

@@ -134,14 +134,14 @@ type streamPullEntry[VM, EM any] struct {
 // Stream maintains fused analyses over a mutating timestamped edge set.
 // Open one with OpenStream; see the package comment above for semantics.
 type Stream[VM, EM any] struct {
-	g    *graph.DODGr[VM, EM]
-	w    *ygm.World
-	opts StreamOptions[EM]
-	plan *Plan[EM]
+	g       *graph.DODGr[VM, EM]
+	w       *ygm.World
+	opts    StreamOptions[EM]
+	plan    *Plan[EM]
 	filters planFilters[EM]
 	timeOf  func(EM) uint64
-	vm serialize.Codec[VM]
-	em serialize.Codec[EM]
+	vm      serialize.Codec[VM]
+	em      serialize.Codec[EM]
 
 	analyses []StreamAttached[VM, EM]
 	names    []string
@@ -149,11 +149,11 @@ type Stream[VM, EM any] struct {
 	shards []*graph.StreamShard[VM, EM]
 	state  []streamState[VM, EM]
 
-	epoch     uint32
-	cutoff    uint64
-	hasCutoff bool
-	trav      travKind
-	sign      int
+	epoch         uint32
+	cutoff        uint64
+	hasCutoff     bool
+	trav          travKind
+	sign          int
 	pendingCutoff uint64
 
 	triangles uint64

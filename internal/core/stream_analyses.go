@@ -59,9 +59,9 @@ type StreamAttached[VM, EM any] interface {
 	start(nranks int) // fresh accumulators (OpenStream and epoch rebuilds)
 	observeSigned(r *ygm.Rank, t *Triangle[VM, EM], sign int)
 	invertible() bool
-	prepare()             // clone live accumulators for a snapshot reduction
+	prepare() // clone live accumulators for a snapshot reduction
 	reduceClones(r *ygm.Rank)
-	finishClones()        // finalize the reduced clone into *out
+	finishClones() // finalize the reduced clone into *out
 }
 
 type streamBound[VM, EM, T any] struct {

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tripoll/internal/core"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/stats"
+)
+
+// Instance is one compiled occurrence of a registry analysis: the bound
+// attached analysis to fuse into a traversal, and a reader that extracts
+// the finalized result afterwards. A factory must return a fresh Instance
+// per call — the bound accumulator is single-use.
+type Instance[VM, EM any] struct {
+	// Attached is the analysis bound to an output, ready for core.Run.
+	Attached core.Attached[VM, EM]
+	// Result reads the bound output after the run completes. The returned
+	// value is shared verbatim with every job the traversal or the cache
+	// serves; treat it as immutable.
+	Result func() any
+}
+
+// Factory compiles a Spec's analysis against a concrete graph. Factories
+// run at dispatch time (the spec's graph may be a stream materialized just
+// before the traversal) and may reject malformed Args.
+type Factory[VM, EM any] func(g *graph.DODGr[VM, EM], spec Spec) (Instance[VM, EM], error)
+
+// Registry maps analysis names to factories — the table that makes specs
+// wire-shippable: a client names an analysis, the engine compiles it.
+// Register all analyses before handing the registry to New; the engine
+// reads it from its dispatcher goroutine without locking.
+type Registry[VM, EM any] struct {
+	factories map[string]Factory[VM, EM]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[VM, EM any]() *Registry[VM, EM] {
+	return &Registry[VM, EM]{factories: make(map[string]Factory[VM, EM])}
+}
+
+// Register adds (or replaces) a named analysis factory and returns the
+// registry for chaining.
+func (r *Registry[VM, EM]) Register(name string, f Factory[VM, EM]) *Registry[VM, EM] {
+	r.factories[name] = f
+	return r
+}
+
+// Lookup returns the factory for name.
+func (r *Registry[VM, EM]) Lookup(name string) (Factory[VM, EM], bool) {
+	f, ok := r.factories[name]
+	return f, ok
+}
+
+// Names lists the registered analyses, sorted.
+func (r *Registry[VM, EM]) Names() []string {
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TemporalRegistry returns the stock registry for the BuildTemporal graph
+// configuration (Unit vertex metadata, uint64 timestamp edge metadata) —
+// the configuration cmd/tripoll and cmd/tripolld serve. Registered
+// analyses:
+//
+//	count        triangle count (Alg. 2)                        -> uint64
+//	closure      joint open/close time distribution (Alg. 4)    -> *stats.Joint2D
+//	localcounts  per-vertex triangle participation counts       -> map[uint64]uint64
+//	edgecounts   per-edge triangle participation counts         -> map[core.EdgeKey]uint64
+//	labels       max edge label/timestamp distribution (Alg. 3) -> map[uint64]uint64
+//	cc           clustering coefficients                        -> core.ClusteringAccum
+//	sweep        δ-sweep counts; Args {"deltas":[...]}          -> []uint64
+func TemporalRegistry() *Registry[serialize.Unit, uint64] {
+	type U = serialize.Unit
+	r := NewRegistry[U, uint64]()
+	r.Register("count", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+		out := new(uint64)
+		return Instance[U, uint64]{
+			Attached: core.CountAnalysis[U, uint64]().Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	r.Register("closure", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+		out := new(*stats.Joint2D)
+		return Instance[U, uint64]{
+			Attached: core.ClosureTimeAnalysis[U]().Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	r.Register("localcounts", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+		out := new(map[uint64]uint64)
+		return Instance[U, uint64]{
+			Attached: core.VertexCountAnalysis[U, uint64]().Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	r.Register("edgecounts", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+		out := new(map[core.EdgeKey]uint64)
+		return Instance[U, uint64]{
+			Attached: core.EdgeCountAnalysis[U, uint64]().Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	r.Register("labels", func(_ *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+		var args struct {
+			Distinct bool `json:"distinct"`
+		}
+		if err := unmarshalArgs(spec, &args); err != nil {
+			return Instance[U, uint64]{}, err
+		}
+		out := new(map[uint64]uint64)
+		return Instance[U, uint64]{
+			Attached: core.MaxEdgeLabelAnalysis[U](args.Distinct).Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	r.Register("cc", func(g *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+		out := new(core.ClusteringAccum)
+		return Instance[U, uint64]{
+			Attached: core.ClusteringAnalysis(g).Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	r.Register("sweep", func(_ *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+		var args struct {
+			Deltas []uint64 `json:"deltas"`
+		}
+		if err := unmarshalArgs(spec, &args); err != nil {
+			return Instance[U, uint64]{}, err
+		}
+		if len(args.Deltas) == 0 {
+			return Instance[U, uint64]{}, fmt.Errorf(`engine: analysis "sweep" needs args {"deltas":[...]}`)
+		}
+		out := new([]uint64)
+		return Instance[U, uint64]{
+			Attached: core.TemporalSweepAnalysis[U](args.Deltas).Bind(out),
+			Result:   func() any { return *out },
+		}, nil
+	})
+	return r
+}
+
+func unmarshalArgs(spec Spec, into any) error {
+	if len(spec.Args) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(spec.Args, into); err != nil {
+		return fmt.Errorf("engine: analysis %q args: %w", spec.Analysis, err)
+	}
+	return nil
+}
+
+// EdgeCount is the wire form of one per-edge triangle count (map keys
+// that are structs cannot cross encoding/json).
+type EdgeCount struct {
+	U     uint64 `json:"u"`
+	V     uint64 `json:"v"`
+	Count uint64 `json:"count"`
+}
+
+// JSONValue converts a stock analysis result into a form encoding/json
+// can marshal faithfully: Joint2D grids become sorted cell lists and
+// EdgeKey-keyed maps become sorted edge lists; everything else passes
+// through unchanged. tripolld applies it to every result it ships, and the
+// coalesce ablation uses it to compare per-job results byte-for-byte.
+func JSONValue(v any) any {
+	switch t := v.(type) {
+	case *stats.Joint2D:
+		if t == nil {
+			return []stats.JointCell{}
+		}
+		return t.Cells()
+	case map[core.EdgeKey]uint64:
+		out := make([]EdgeCount, 0, len(t))
+		for k, c := range t {
+			out = append(out, EdgeCount{U: k.First, V: k.Second, Count: c})
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].U != out[b].U {
+				return out[a].U < out[b].U
+			}
+			return out[a].V < out[b].V
+		})
+		return out
+	default:
+		return v
+	}
+}

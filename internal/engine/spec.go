@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"tripoll/internal/core"
+)
+
+// Spec is a serializable query: one named analysis plus the declarative
+// plan restricting it. A Spec is the wire form of "ask this question of
+// that graph" — cmd/tripolld accepts it as the JSON body of a submit
+// request, the CLI compiles its flags into one, and the engine's cache and
+// coalescer key on its canonical parts. Because a Spec carries no function
+// values (predicates are windows and δ-bounds, analyses are registry
+// names), every Spec is comparable, union-able with its peers, and
+// cacheable.
+type Spec struct {
+	// Graph names the registered graph to survey; empty selects the
+	// engine's sole registered graph (an error when several are).
+	Graph string `json:"graph,omitempty"`
+	// Analysis names a registry entry ("count", "closure", ...).
+	Analysis string `json:"analysis"`
+	// Args carries analysis-specific arguments as raw JSON; each factory
+	// documents its own shape (e.g. {"deltas":[...]} for "sweep").
+	Args json.RawMessage `json:"args,omitempty"`
+	// Mode selects the traversal algorithm: "push-pull" (default) or
+	// "push-only". Queries with different modes never coalesce.
+	Mode string `json:"mode,omitempty"`
+	// PullFactor scales the dry-run pull inequality; 0 means the default.
+	PullFactor float64 `json:"pull_factor,omitempty"`
+
+	// Delta, From and Until are the declarative plan: keep triangles whose
+	// timestamps span at most Delta, and all of whose timestamps lie in
+	// [From, Until]. nil disables a constraint. They require the engine to
+	// have a Timestamps accessor (EngineOptions).
+	Delta *uint64 `json:"delta,omitempty"`
+	From  *uint64 `json:"from,omitempty"`
+	Until *uint64 `json:"until,omitempty"`
+
+	// NoCache skips the result cache for this job, both lookup and
+	// insertion (the job still coalesces).
+	NoCache bool `json:"nocache,omitempty"`
+}
+
+// Uint64 is a convenience for building optional Spec fields in place.
+func Uint64(v uint64) *uint64 { return &v }
+
+// HasPlan reports whether the spec carries any plan constraint.
+func (s *Spec) HasPlan() bool { return s.Delta != nil || s.From != nil || s.Until != nil }
+
+// mode parses the spec's Mode field.
+func (s *Spec) mode() (core.Mode, error) {
+	switch s.Mode {
+	case "", "push-pull":
+		return core.PushPull, nil
+	case "push-only":
+		return core.PushOnly, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown mode %q (want push-pull or push-only)", s.Mode)
+	}
+}
+
+// options compiles the traversal options the spec asks for. PullFactor
+// is normalized exactly as the survey layer clamps it (non-positive and
+// NaN become 1.0) so that semantically identical specs land in the same
+// dispatch group and cache slot — an unnormalized NaN would even be
+// unequal to itself as a map key, giving every such job a singleton
+// group and silently defeating coalescing.
+func (s *Spec) options() (core.Options, error) {
+	m, err := s.mode()
+	if err != nil {
+		return core.Options{}, err
+	}
+	pf := s.PullFactor
+	if !(pf > 0) {
+		pf = 1.0
+	}
+	return core.Options{Mode: m, PullFactor: pf}, nil
+}
+
+// compilePlan builds the spec's survey plan over the engine's timestamp
+// accessor. A spec without constraints compiles to nil (unrestricted).
+func compilePlan[EM any](s *Spec, timeOf func(EM) uint64) (*core.Plan[EM], error) {
+	if !s.HasPlan() {
+		return nil, nil
+	}
+	if timeOf == nil {
+		return nil, fmt.Errorf("engine: spec %q has temporal constraints but the engine has no Timestamps accessor", s.Analysis)
+	}
+	p := core.NewPlan[EM]().Timestamps(timeOf)
+	if s.Delta != nil {
+		p.CloseWithin(*s.Delta)
+	}
+	if s.From != nil {
+		p.From(*s.From)
+	}
+	if s.Until != nil {
+		p.Until(*s.Until)
+	}
+	return p, nil
+}
+
+// analysisID is the cache identity of the spec's analysis: the registry
+// name plus its compacted Args bytes. Two specs with equal analysisID and
+// equal canonical plans on the same graph epoch may share one result.
+func (s *Spec) analysisID() string {
+	if len(s.Args) == 0 {
+		return s.Analysis
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, s.Args); err != nil {
+		// Malformed args never reach the cache: Submit validates them
+		// against the factory first, which rejects unparsable JSON. Keep
+		// the raw bytes as the identity regardless.
+		return s.Analysis + "?" + string(s.Args)
+	}
+	return s.Analysis + "?" + buf.String()
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tripoll/internal/core"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// TestConcurrentSubmitStress is the engine's race-mode stress test: many
+// client goroutines submit mixed specs against a stream-backed graph while
+// the main goroutine ingests batches and slides the expiry watermark
+// mid-flight. Every job's answer must be byte-identical to a solo Run of
+// its own spec against the graph state of the epoch the engine says it
+// answered for — i.e. coalescing, dedup, caching and epoch invalidation
+// may reorder and share work but never change any answer. Run with -race.
+func TestConcurrentSubmitStress(t *testing.T) {
+	w := ygm.MustWorld(3, ygm.Options{})
+	defer w.Close()
+	keepFirst := func(a, c uint64) uint64 {
+		if a < c {
+			return a
+		}
+		return c
+	}
+
+	// Three graph states: the seed, seed+batch1, (seed+batch1 advanced past
+	// cutoff)+nothing. Epoch e's queries must match state[e].
+	seed := testEdges(90, 700, 11)
+	batch1 := testEdges(90, 260, 12)
+	const cutoff = 1 << 14 // retires roughly a quarter of the horizon
+
+	g := buildTemporal(w, seed)
+	plan := core.TemporalPlan()
+	s, err := core.OpenStream(g, core.StreamOptions[uint64]{MergeEdgeMeta: keepFirst}, plan)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+
+	e := New(TemporalRegistry(), EngineOptions[uint64]{Timestamps: func(ts uint64) uint64 { return ts }})
+	defer e.Close()
+	if err := e.RegisterStream("s", s); err != nil {
+		t.Fatalf("RegisterStream: %v", err)
+	}
+	ctx := context.Background()
+
+	specFor := func(i int) Spec {
+		spec := Spec{Graph: "s"}
+		switch i % 4 {
+		case 0:
+			spec.Analysis = "count"
+		case 1:
+			spec.Analysis = "count"
+			spec.Delta = Uint64(1 << 13)
+		case 2:
+			spec.Analysis = "closure"
+			spec.Delta = Uint64(1 << 14)
+		default:
+			spec.Analysis = "localcounts"
+		}
+		if i%2 == 1 {
+			spec.Mode = "push-only"
+		}
+		return spec
+	}
+
+	type outcome struct {
+		spec  Spec
+		epoch uint64
+		json  string
+	}
+	const clients, perClient = 8, 6
+	outcomes := make([][]outcome, clients)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				spec := specFor(c*perClient + k)
+				j, err := e.Submit(ctx, spec)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d submit: %w", c, err)
+					return
+				}
+				qr, err := j.Wait(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d wait: %w", c, err)
+					return
+				}
+				outcomes[c] = append(outcomes[c], outcome{spec: spec, epoch: qr.Epoch, json: mustJSON(qr.Value)})
+			}
+		}(c)
+	}
+
+	// Mutations race the submissions: one ingest, one advance.
+	var b1 []graph.Edge[uint64]
+	for _, te := range batch1 {
+		b1 = append(b1, graph.Edge[uint64]{U: te.U, V: te.V, Meta: te.Time})
+	}
+	if _, err := e.Ingest(ctx, "s", b1); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if _, err := e.Advance(ctx, "s", cutoff); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Rebuild each epoch's graph state independently of the engine and
+	// verify every recorded answer against a solo run on its epoch.
+	states := map[uint64]*graph.DODGr[serialize.Unit, uint64]{
+		0: buildTemporal(w, seed),
+		1: buildTemporal(w, append(append([]graph.TemporalEdge{}, seed...), batch1...)),
+	}
+	{
+		// The stream merges duplicate edges keep-first on ingest and only
+		// then expires by the merged timestamp, so dedupe before filtering
+		// (an edge re-sent with a late timestamp still dies with its first).
+		merged := map[[2]uint64]uint64{}
+		for _, te := range append(append([]graph.TemporalEdge{}, seed...), batch1...) {
+			u, v := te.U, te.V
+			if u > v {
+				u, v = v, u
+			}
+			k := [2]uint64{u, v}
+			if t0, ok := merged[k]; !ok || te.Time < t0 {
+				merged[k] = te.Time
+			}
+		}
+		var live []graph.TemporalEdge
+		for k, tm := range merged {
+			if tm >= cutoff {
+				live = append(live, graph.TemporalEdge{U: k[0], V: k[1], Time: tm})
+			}
+		}
+		states[2] = buildTemporal(w, live)
+	}
+	baseline := map[string]string{}
+	checked := 0
+	for c := range outcomes {
+		for _, o := range outcomes[c] {
+			st, ok := states[o.epoch]
+			if !ok {
+				t.Fatalf("job answered for unexpected epoch %d", o.epoch)
+			}
+			bk := fmt.Sprintf("%d|%s|%s", o.epoch, o.spec.analysisID(), o.spec.Mode)
+			want, ok := baseline[bk]
+			if !ok {
+				want = mustJSON(solo(t, st, o.spec))
+				baseline[bk] = want
+			}
+			if o.json != want {
+				t.Errorf("spec %+v at epoch %d: engine answer differs from solo run\n got %s\nwant %s",
+					o.spec, o.epoch, o.json, want)
+			}
+			checked++
+		}
+	}
+	if checked != clients*perClient {
+		t.Fatalf("checked %d answers, want %d", checked, clients*perClient)
+	}
+
+	// Epoch bookkeeping: two mutations happened.
+	if ep, _ := e.Epoch("s"); ep != 2 {
+		t.Errorf("final epoch = %d, want 2", ep)
+	}
+	st := e.Stats()
+	if st.Mutations != 2 {
+		t.Errorf("Mutations = %d, want 2", st.Mutations)
+	}
+	if st.Completed != uint64(clients*perClient)+2 {
+		t.Errorf("Completed = %d, want %d", st.Completed, clients*perClient+2)
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(JSONValue(v))
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

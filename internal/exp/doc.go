@@ -1,0 +1,22 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (§5) on the synthetic stand-in
+// datasets, plus ablation studies of TriPoll's design choices (pull
+// threshold, buffer size, transport, grouping, partitioning, vertex
+// ordering, predicate pushdown, analysis fusion, stream maintenance, query
+// coalescing). Each driver is a pure function from a sizing Config to a
+// Report whose Output is the rendered table/figure; cmd/tripoll-bench
+// prints them, bench_test.go wraps them in testing.B benchmarks, and the
+// CI smoke job runs them at Scale ≪ 1.
+//
+// Drivers self-verify the claims they measure — a pushdown run must move
+// strictly fewer bytes than its post-filter baseline, a coalesced batch
+// must answer byte-identically to solo runs — and mark violations with
+// MISMATCH/UNEXPECTED notes that fail the bench command. Reports also
+// carry machine-readable Metrics in the github-action-benchmark shape;
+// `tripoll-bench -json` collects them into the repo's BENCH_PR*.json
+// trajectory files (DESIGN.md §6), whose per-PR deltas the CI smoke job
+// asserts.
+//
+// DESIGN.md's experiment index maps paper artifact → driver; EXPERIMENTS.md
+// records paper-vs-measured shape for each.
+package exp

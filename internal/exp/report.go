@@ -1,11 +1,3 @@
-// Package exp contains the experiment drivers that regenerate every table
-// and figure of the paper's evaluation (§5) on the synthetic stand-in
-// datasets, plus ablation studies of TriPoll's design choices. Each driver
-// returns a Report whose Output is the rendered table/figure; cmd/tripoll-
-// bench prints them and bench_test.go wraps them in testing.B benchmarks.
-//
-// DESIGN.md's experiment index maps paper artifact → driver; EXPERIMENTS.md
-// records paper-vs-measured shape for each.
 package exp
 
 import (
@@ -140,6 +132,7 @@ func All() []Runner {
 		{"pushdown", AblationPushdown, "ablation: survey-plan predicate pushdown vs post-filtering"},
 		{"fusion", AblationFusion, "ablation: fused multi-analysis survey vs sequential passes"},
 		{"stream", AblationStream, "ablation: incremental stream maintenance vs per-batch full recompute"},
+		{"coalesce", AblationCoalesce, "ablation: coalesced concurrent queries vs sequential per-query runs"},
 	}
 }
 

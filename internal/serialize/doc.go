@@ -1,0 +1,19 @@
+// Package serialize is the codec layer under every rank boundary: a
+// compact, allocation-conscious binary encoding (uvarint integers, raw
+// little-endian fixed types, length-prefixed bytes) with typed Codec[T]
+// values composing into pairs, triples and user metadata.
+//
+// The runtime moves *batches* of messages, so Encoder writes into the
+// world's pooled batch buffers and Decoder reads them with deferred error
+// checking (d.Err() once per message, not per field) — the survey inner
+// loops decode millions of candidate entries and pay for no interface
+// dispatch or reflection. Unit is the zero-byte metadata for topology-only
+// graphs: a Codec[Unit] encodes nothing at all, which is what makes "no
+// metadata" genuinely free in the push phase rather than an empty-struct
+// tax.
+//
+// Codecs are the only thing a user must supply to survey custom metadata
+// (NewGraphBuilder takes one per metadata type); everything else —
+// message framing, handler ids, batch compaction — stays internal to
+// internal/ygm. Fuzz and round-trip tests pin the wire format.
+package serialize

@@ -1,0 +1,15 @@
+// Package stats holds the small statistics and rendering toolkit the
+// survey results and experiment drivers share: sparse integer-bucketed
+// histograms (Hist), the sparse 2D bucket grid behind the paper's joint
+// closure-time and FQDN-pair distributions (Joint2D, with group-inverse
+// Sub/Prune semantics so streaming analyses can retire observations), the
+// ceil/floor log₂ bucketing helpers those figures bin by, fixed-width
+// text tables for the regenerated paper tables, and human-readable
+// count/byte/duration formatting used by both CLIs.
+//
+// Rendering is deliberately terminal-grade (bar charts and log-density
+// character heat maps), standing in for the paper's plots without pulling
+// a plotting dependency into the module; Joint2D.Cells exports the same
+// grids in a deterministic, JSON-friendly form for tripolld responses and
+// byte-identity checks.
+package stats

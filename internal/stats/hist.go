@@ -97,6 +97,32 @@ func (j *Joint2D) Sub(x, y int, delta uint64) {
 	j.counts[k] = c
 }
 
+// JointCell is one populated cell of a Joint2D in the exported, wire-
+// friendly form Cells returns (the grid's own map is keyed by [2]int,
+// which encoding/json cannot marshal).
+type JointCell struct {
+	X     int    `json:"x"`
+	Y     int    `json:"y"`
+	Count uint64 `json:"count"`
+}
+
+// Cells returns the populated cells sorted by (x, y) — a deterministic,
+// JSON-serializable snapshot of the grid; tripolld ships closure-time
+// results this way.
+func (j *Joint2D) Cells() []JointCell {
+	out := make([]JointCell, 0, len(j.counts))
+	for k, c := range j.counts {
+		out = append(out, JointCell{X: k[0], Y: k[1], Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].X != out[b].X {
+			return out[a].X < out[b].X
+		}
+		return out[a].Y < out[b].Y
+	})
+	return out
+}
+
 // Prune removes zero-count cells (left behind when merged ranks cancel),
 // making a fully reversed grid deeply equal to a fresh one — the
 // invertible-accumulator contract streaming analyses rely on.

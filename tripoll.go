@@ -50,6 +50,13 @@
 // analyses incrementally over edge batches and a sliding window, without
 // re-surveying per batch (DESIGN.md §9): see Stream, StreamAnalysis and
 // the stock Stream*Analysis constructors in stream.go.
+//
+// Services answering many (possibly concurrent) questions hold a query
+// Engine: graphs and streams register by name, clients submit
+// serializable QuerySpecs from any goroutine, compatible concurrent
+// queries coalesce into shared fused traversals, and repeated questions
+// hit an epoch-keyed result cache (DESIGN.md §10); cmd/tripolld serves
+// the same API over HTTP. See Engine, QuerySpec and NewTemporalQueryEngine.
 package tripoll
 
 import (
