@@ -13,12 +13,21 @@
 // Endpoints:
 //
 //	GET  /healthz                 liveness
+//	GET  /metrics                 engine/WAL/HTTP counters as one JSON doc
 //	GET  /v1/graphs               registered graphs with sizes and epochs
 //	GET  /v1/analyses             analyses QuerySpecs may name
 //	POST /v1/query                submit a QuerySpec; ?wait=1 blocks for the
 //	                              result, otherwise returns a job id to poll
 //	GET  /v1/jobs/{id}            job status (+ result once done)
 //	GET  /v1/jobs/{id}/result     just the result (202 while pending)
+//	POST /v1/ingest               (-wal) ingest timestamped edges into the stream
+//	POST /v1/advance              (-wal) advance the stream's expiry watermark
+//
+// With -wal DIR the graph is served as a durable stream: every ingest and
+// advance is written ahead to a crash-recoverable log under DIR, and a
+// restart with the same flags resumes at the acknowledged epoch. -rate
+// and -max-pending bound hostile traffic with 429 responses. See
+// README.md "Running tripolld in production".
 //
 // Example (count triangles closing within an hour, waiting inline):
 //
@@ -29,13 +38,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tripoll"
 	"tripoll/datagen"
@@ -51,6 +63,15 @@ func main() {
 		transport = flag.String("transport", "channel", "transport: channel|tcp")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		size      = flag.Int("size", 100_000, "generated edge budget / events")
+
+		walDir     = flag.String("wal", "", "durability directory: serve the graph as a WAL-backed stream (enables /v1/ingest, /v1/advance)")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always|never")
+		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0 = default)")
+		checkpoint = flag.Uint64("checkpoint", 0, "snapshot+truncate the WAL every N mutations (0 = default)")
+		rate       = flag.Float64("rate", 0, "per-client request rate limit in requests/second (0 = unlimited)")
+		burst      = flag.Float64("burst", 10, "per-client burst allowance for -rate")
+		maxPending = flag.Int("max-pending", 1024, "shed work with 429 once this many jobs are queued (0 = unbounded)")
+		retain     = flag.Int("retain", 1024, "finished jobs retained for polling before GC")
 	)
 	flag.Parse()
 
@@ -80,17 +101,52 @@ func main() {
 	info := tripoll.Info(g)
 	log.Printf("graph %q: |V|=%d |E|=%d (directed) |W+|=%d", *graphName, info.Vertices, info.DirectedEdges, info.Wedges)
 
-	eng := tripoll.NewTemporalQueryEngine()
+	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), tripoll.QueryEngineOptions[uint64]{
+		Timestamps: func(t uint64) uint64 { return t },
+		MaxPending: *maxPending,
+	})
 	defer eng.Close()
-	if err := eng.Register(*graphName, g); err != nil {
+	if *walDir != "" {
+		sync := tripoll.WALSyncAlways
+		switch *walSync {
+		case "always":
+		case "never":
+			sync = tripoll.WALSyncNever
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -wal-sync %q\n", *walSync)
+			os.Exit(2)
+		}
+		_, epoch, err := eng.OpenDurableStream(*graphName, g,
+			tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp},
+			tripoll.NewTemporalPlan(),
+			tripoll.DurableStreamOptions{Dir: *walDir, Sync: sync, SegmentBytes: *walSegment, CheckpointEvery: *checkpoint})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open durable stream: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("durable stream %q: wal=%s sync=%s epoch=%d", *graphName, *walDir, *walSync, epoch)
+	} else if err := eng.Register(*graphName, g); err != nil {
 		fmt.Fprintf(os.Stderr, "register: %v\n", err)
 		os.Exit(2)
 	}
-	srv := newServer(eng, map[string]tripoll.GraphInfo{*graphName: info})
+	srv := newServer(eng, map[string]tripoll.GraphInfo{*graphName: info}, serverConfig{
+		world:   w,
+		limiter: newLimiter(*rate, *burst),
+		retain:  *retain,
+	})
 	log.Printf("tripolld listening on %s (%d ranks, %s transport)", *addr, *ranks, *transport)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// minTimestamp is the stream's multigraph reduction: keep the earliest
+// timestamp of a repeated edge (the §5.2 Reddit reduction).
+func minTimestamp(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func loadEdges(input, model string, seed int64, size int) ([]tripoll.TemporalEdge, error) {
@@ -127,18 +183,33 @@ func loadEdges(input, model string, seed int64, size int) ([]tripoll.TemporalEdg
 	}
 }
 
-// maxRetainedJobs bounds the poll window: once exceeded, the oldest
+// defaultRetainedJobs bounds the poll window: once exceeded, the oldest
 // *finished* jobs are forgotten (a 404 on a long-finished job beats
 // unbounded growth — map-valued results can be large, and a static
 // graph's engine cache additionally retains distinct answers).
-const maxRetainedJobs = 1024
+const defaultRetainedJobs = 1024
+
+// serverConfig is the production knobs of a server; the zero value means
+// no rate limiting, no world metrics and the default retention.
+type serverConfig struct {
+	world   *tripoll.World // for /metrics transport counters; may be nil
+	limiter *limiter       // per-client rate limiter; nil = unlimited
+	retain  int            // finished-job retention cap; 0 = defaultRetainedJobs
+}
 
 // server is the HTTP front end over one Engine. Job handles are retained
-// for polling until maxRetainedJobs pushes finished ones out.
+// for polling until the retention cap pushes finished ones out.
 type server struct {
-	eng  *tripoll.Engine[tripoll.Unit, uint64]
-	info map[string]tripoll.GraphInfo
-	mux  *http.ServeMux
+	eng    *tripoll.Engine[tripoll.Unit, uint64]
+	info   map[string]tripoll.GraphInfo
+	mux    *http.ServeMux
+	world     *tripoll.World
+	lim       *limiter
+	retainMax int
+
+	requests    atomic.Uint64 // all requests served
+	rateLimited atomic.Uint64 // 429s from the per-client limiter
+	overloaded  atomic.Uint64 // 429s from engine admission (ErrEngineOverloaded)
 
 	mu    sync.Mutex
 	jobs  map[uint64]*tripoll.QueryJob
@@ -152,7 +223,7 @@ func (s *server) retain(j *tripoll.QueryJob) {
 	defer s.mu.Unlock()
 	s.jobs[j.ID()] = j
 	s.order = append(s.order, j.ID())
-	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.order); i++ {
+	for i := 0; len(s.jobs) > s.retainMax && i < len(s.order); i++ {
 		old := s.jobs[s.order[i]]
 		if old == nil {
 			s.order = append(s.order[:i], s.order[i+1:]...)
@@ -167,18 +238,42 @@ func (s *server) retain(j *tripoll.QueryJob) {
 	}
 }
 
-func newServer(eng *tripoll.Engine[tripoll.Unit, uint64], info map[string]tripoll.GraphInfo) *server {
-	s := &server{eng: eng, info: info, jobs: make(map[uint64]*tripoll.QueryJob), mux: http.NewServeMux()}
+func newServer(eng *tripoll.Engine[tripoll.Unit, uint64], info map[string]tripoll.GraphInfo, cfg serverConfig) *server {
+	if cfg.retain <= 0 {
+		cfg.retain = defaultRetainedJobs
+	}
+	s := &server{
+		eng: eng, info: info,
+		world: cfg.world, lim: cfg.limiter, retainMax: cfg.retain,
+		jobs: make(map[uint64]*tripoll.QueryJob), mux: http.NewServeMux(),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /v1/analyses", s.handleAnalyses)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP counts the request and applies the per-client rate limit to
+// the /v1 API (liveness and metrics stay reachable from a throttled
+// client — an operator debugging an overload needs exactly those two).
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.lim != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+		if ok, retryAfter := s.lim.allow(clientKey(r)); !ok {
+			s.rateLimited.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded; retry after %ds", retryAfter)
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -236,12 +331,39 @@ func statusOf(j *tripoll.QueryJob) jobStatus {
 	return st
 }
 
+// decodeBody decodes a JSON request body into v with a size cap,
+// answering 400 for malformed JSON and 413 for an oversized body. Returns
+// false when a response was already written.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decode body: %v", err)
+		return false
+	}
+	return true
+}
+
+// shed answers an ErrEngineOverloaded admission failure with 429 and a
+// Retry-After; returns false for other errors.
+func (s *server) shed(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, tripoll.ErrEngineOverloaded) {
+		return false
+	}
+	s.overloaded.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+	return true
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var spec tripoll.QuerySpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+	if !decodeBody(w, r, 1<<20, &spec) {
 		return
 	}
 	// Admission uses the background context: the job must survive this
@@ -249,7 +371,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// is bounded by the request context.
 	j, err := s.eng.Submit(context.Background(), spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		if !s.shed(w, err) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	s.retain(j)
@@ -313,4 +437,82 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		// a client error, not a server fault.
 		writeJSON(w, http.StatusBadRequest, statusOf(j))
 	}
+}
+
+// resolveGraph defaults an absent graph name when exactly one is
+// registered, mirroring QuerySpec resolution.
+func (s *server) resolveGraph(name string) string {
+	if name != "" {
+		return name
+	}
+	if gs := s.eng.Graphs(); len(gs) == 1 {
+		return gs[0]
+	}
+	return name
+}
+
+// mutationReply is the wire form of an applied Ingest/Advance.
+type mutationReply struct {
+	Graph  string         `json:"graph"`
+	Epoch  uint64         `json:"epoch"`
+	Survey tripoll.Result `json:"survey"`
+}
+
+// ingestRequest is POST /v1/ingest's body: timestamped edges for a
+// stream-backed graph.
+type ingestRequest struct {
+	Graph string `json:"graph,omitempty"`
+	Edges []struct {
+		U uint64 `json:"u"`
+		V uint64 `json:"v"`
+		T uint64 `json:"t"`
+	} `json:"edges"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, 8<<20, &req) {
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "empty edge batch")
+		return
+	}
+	batch := make([]tripoll.StreamEdge[uint64], len(req.Edges))
+	for i, e := range req.Edges {
+		batch[i] = tripoll.StreamEdge[uint64]{U: e.U, V: e.V, Meta: e.T}
+	}
+	name := s.resolveGraph(req.Graph)
+	res, err := s.eng.Ingest(r.Context(), name, batch)
+	if err != nil {
+		if !s.shed(w, err) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	epoch, _ := s.eng.Epoch(name)
+	writeJSON(w, http.StatusOK, mutationReply{Graph: name, Epoch: epoch, Survey: res})
+}
+
+// advanceRequest is POST /v1/advance's body: the new expiry watermark.
+type advanceRequest struct {
+	Graph  string `json:"graph,omitempty"`
+	Cutoff uint64 `json:"cutoff"`
+}
+
+func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req advanceRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		return
+	}
+	name := s.resolveGraph(req.Graph)
+	res, err := s.eng.Advance(r.Context(), name, req.Cutoff)
+	if err != nil {
+		if !s.shed(w, err) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	epoch, _ := s.eng.Epoch(name)
+	writeJSON(w, http.StatusOK, mutationReply{Graph: name, Epoch: epoch, Survey: res})
 }

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,7 +29,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *tripoll.Graph[tripoll.Unit,
 	if err := eng.Register("default", g); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}))
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}, serverConfig{world: w}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -184,4 +187,358 @@ func TestBadRequests(t *testing.T) {
 func jsonNum(v uint64) string {
 	b, _ := json.Marshal(v)
 	return string(b)
+}
+
+// postRaw is postJSON when the test needs the response itself (headers,
+// status of bodies that may not decode).
+func postRaw(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestRateLimit429WithRetryAfter(t *testing.T) {
+	p := datagen.DefaultRedditParams()
+	p.Events = 1000
+	p.Users = 200
+	w := tripoll.NewWorld(2)
+	g := tripoll.BuildTemporal(w, datagen.RedditLike(p))
+	eng := tripoll.NewTemporalQueryEngine()
+	if err := eng.Register("default", g); err != nil {
+		t.Fatal(err)
+	}
+	lim := newLimiter(1, 2) // 1 rps, burst 2
+	clock := time.Unix(1000, 0)
+	lim.now = func() time.Time { return clock }
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}, serverConfig{limiter: lim}))
+	t.Cleanup(func() { srv.Close(); eng.Close(); w.Close() })
+
+	for i := 0; i < 2; i++ {
+		var into []string
+		if code := getJSON(t, srv.URL+"/v1/analyses", &into); code != 200 {
+			t.Fatalf("request %d within burst: code=%d", i, code)
+		}
+	}
+	resp := postRaw(t, srv.URL+"/v1/query", `{"analysis":"count"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over burst: code=%d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+	// The limiter never throttles liveness or metrics.
+	var health map[string]string
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 {
+		t.Errorf("healthz throttled: code=%d", code)
+	}
+	var m metricsPayload
+	if code := getJSON(t, srv.URL+"/metrics", &m); code != 200 {
+		t.Errorf("metrics throttled: code=%d", code)
+	}
+	if m.HTTP.RateLimited == 0 {
+		t.Errorf("rate_limited counter = 0 after a 429")
+	}
+	// Honoring Retry-After restores service: advance the clock by it.
+	clock = clock.Add(time.Duration(ra) * time.Second)
+	var into []string
+	if code := getJSON(t, srv.URL+"/v1/analyses", &into); code != 200 {
+		t.Errorf("after Retry-After: code=%d, want 200", code)
+	}
+}
+
+// TestMetricsSchema is the /metrics golden test: every documented field
+// must be present with the documented JSON type.
+func TestMetricsSchema(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Put traffic through first so counters are live: one query twice (the
+	// second is a cache hit).
+	var st jobStatus
+	postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &st)
+	postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &st)
+
+	var raw map[string]json.RawMessage
+	if code := getJSON(t, srv.URL+"/metrics", &raw); code != 200 {
+		t.Fatalf("metrics: code=%d", code)
+	}
+	for _, key := range []string{"engine", "queue_depth", "cache_hit_rate", "coalesce_ratio", "graphs", "http", "world"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("metrics missing %q: %v", key, raw)
+		}
+	}
+	var eng map[string]float64
+	if err := json.Unmarshal(raw["engine"], &eng); err != nil {
+		t.Fatalf("engine section: %v", err)
+	}
+	for _, key := range []string{"submitted", "completed", "failed", "shed", "cache_hits", "deduped", "coalesced", "traversals", "mutations", "traversal_messages", "traversal_bytes"} {
+		if _, ok := eng[key]; !ok {
+			t.Errorf("engine section missing %q: %v", key, eng)
+		}
+	}
+	if eng["submitted"] < 2 || eng["cache_hits"] < 1 {
+		t.Errorf("counters not live: %v", eng)
+	}
+	var graphs []map[string]any
+	if err := json.Unmarshal(raw["graphs"], &graphs); err != nil || len(graphs) != 1 {
+		t.Fatalf("graphs section: %v (%v)", graphs, err)
+	}
+	if graphs[0]["name"] != "default" {
+		t.Errorf("graphs[0] = %v", graphs[0])
+	}
+	if _, ok := graphs[0]["durable"]; ok {
+		t.Errorf("static graph reports a durable section: %v", graphs[0])
+	}
+	var httpSec map[string]float64
+	if err := json.Unmarshal(raw["http"], &httpSec); err != nil {
+		t.Fatalf("http section: %v", err)
+	}
+	for _, key := range []string{"requests", "rate_limited", "overloaded", "jobs_retained"} {
+		if _, ok := httpSec[key]; !ok {
+			t.Errorf("http section missing %q: %v", key, httpSec)
+		}
+	}
+	if httpSec["requests"] < 3 || httpSec["jobs_retained"] < 2 {
+		t.Errorf("http counters not live: %v", httpSec)
+	}
+	var world map[string]float64
+	if err := json.Unmarshal(raw["world"], &world); err != nil {
+		t.Fatalf("world section: %v", err)
+	}
+	if world["messages_sent"] <= 0 {
+		t.Errorf("world.messages_sent = %v, want > 0 after traversals", world["messages_sent"])
+	}
+}
+
+func TestMalformedAndOversizedBodies(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Oversized: the query body cap is 1 MiB.
+	big := `{"analysis":"` + strings.Repeat("a", 2<<20) + `"}`
+	if resp := postRaw(t, srv.URL+"/v1/query", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized query body: code=%d, want 413", resp.StatusCode)
+	}
+	// Malformed and invalid ingest/advance bodies on a static graph.
+	var e map[string]string
+	if code := postJSON(t, srv.URL+"/v1/ingest", `{nope`, &e); code != 400 {
+		t.Errorf("malformed ingest: code=%d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/ingest", `{"edges":[]}`, &e); code != 400 {
+		t.Errorf("empty ingest batch: code=%d", code)
+	}
+	// A well-formed ingest against a non-stream graph is a client error.
+	if code := postJSON(t, srv.URL+"/v1/ingest", `{"edges":[{"u":1,"v":2,"t":3}]}`, &e); code != 400 || !strings.Contains(e["error"], "not stream-backed") {
+		t.Errorf("ingest into static graph: code=%d err=%v", code, e)
+	}
+	if code := postJSON(t, srv.URL+"/v1/advance", `{"cutoff":"NaN"}`, &e); code != 400 {
+		t.Errorf("malformed advance: code=%d", code)
+	}
+}
+
+// TestJobGCAfterRetention: finished jobs beyond the retention cap are
+// forgotten oldest-first; polling one answers 404.
+func TestJobGCAfterRetention(t *testing.T) {
+	p := datagen.DefaultRedditParams()
+	p.Events = 1000
+	p.Users = 200
+	w := tripoll.NewWorld(2)
+	g := tripoll.BuildTemporal(w, datagen.RedditLike(p))
+	eng := tripoll.NewTemporalQueryEngine()
+	if err := eng.Register("default", g); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}, serverConfig{retain: 4}))
+	t.Cleanup(func() { srv.Close(); eng.Close(); w.Close() })
+
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		var st jobStatus
+		body := `{"analysis":"count","delta":` + jsonNum(uint64(1000+i)) + `}`
+		if code := postJSON(t, srv.URL+"/v1/query?wait=1", body, &st); code != 200 {
+			t.Fatalf("query %d: code=%d", i, code)
+		}
+		ids = append(ids, st.Job)
+	}
+	var st jobStatus
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+jsonNum(ids[0]), &st); code != 404 {
+		t.Errorf("oldest job survived retention: code=%d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+jsonNum(ids[5]), &st); code != 200 {
+		t.Errorf("newest job evicted: code=%d, want 200", code)
+	}
+	var m metricsPayload
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.HTTP.JobsRetained > 4 {
+		t.Errorf("jobs_retained = %d, want ≤ 4", m.HTTP.JobsRetained)
+	}
+}
+
+// durableHarness is a tripolld over a WAL-backed stream with an explicit
+// stop, so restart tests can cycle the whole process-equivalent.
+type durableHarness struct {
+	srv *httptest.Server
+	eng *tripoll.Engine[tripoll.Unit, uint64]
+	w   *tripoll.World
+}
+
+func startDurable(t *testing.T, dir string) *durableHarness {
+	t.Helper()
+	p := datagen.DefaultRedditParams()
+	p.Events = 1500
+	p.Users = 250
+	w := tripoll.NewWorld(2)
+	g := tripoll.BuildTemporal(w, datagen.RedditLike(p))
+	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), tripoll.QueryEngineOptions[uint64]{
+		Timestamps: func(ts uint64) uint64 { return ts },
+	})
+	_, _, err := eng.OpenDurableStream("default", g,
+		tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp},
+		tripoll.NewTemporalPlan(),
+		tripoll.DurableStreamOptions{Dir: dir, CheckpointEvery: 3})
+	if err != nil {
+		eng.Close()
+		w.Close()
+		t.Fatalf("OpenDurableStream: %v", err)
+	}
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}, serverConfig{world: w}))
+	return &durableHarness{srv: srv, eng: eng, w: w}
+}
+
+func (h *durableHarness) stop() {
+	h.srv.Close()
+	h.eng.Close()
+	h.w.Close()
+}
+
+func TestDurableIngestAdvanceOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	h := startDurable(t, dir)
+
+	var rep mutationReply
+	if code := postJSON(t, h.srv.URL+"/v1/ingest", `{"edges":[{"u":9001,"v":9002,"t":50},{"u":9002,"v":9003,"t":60},{"u":9001,"v":9003,"t":70}]}`, &rep); code != 200 {
+		t.Fatalf("ingest: code=%d %+v", code, rep)
+	}
+	if rep.Epoch != 1 || rep.Graph != "default" {
+		t.Errorf("ingest reply: %+v", rep)
+	}
+	if code := postJSON(t, h.srv.URL+"/v1/advance", `{"cutoff":10}`, &rep); code != 200 || rep.Epoch != 2 {
+		t.Fatalf("advance: code=%d %+v", code, rep)
+	}
+	// Backwards advance is rejected by preflight and leaves no WAL record.
+	var e map[string]string
+	if code := postJSON(t, h.srv.URL+"/v1/advance", `{"cutoff":5}`, &e); code != 400 {
+		t.Errorf("backwards advance: code=%d", code)
+	}
+	var m metricsPayload
+	if code := getJSON(t, h.srv.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: code=%d", code)
+	}
+	if len(m.Graphs) != 1 || m.Graphs[0].Durable == nil {
+		t.Fatalf("durable graph metrics missing: %+v", m.Graphs)
+	}
+	if got := m.Graphs[0].Durable.WAL.LastSeq; got != 2 {
+		t.Errorf("WAL last_seq = %d, want 2", got)
+	}
+	// The triangle the ingested edges closed is queryable.
+	var st jobStatus
+	if code := postJSON(t, h.srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &st); code != 200 || st.Result == nil {
+		t.Fatalf("query: code=%d %+v", code, st)
+	}
+	countBefore := st.Result.Value.(float64)
+	h.stop()
+
+	// Restart over the same directory: the acknowledged epoch and the
+	// analysis state both survive.
+	h2 := startDurable(t, dir)
+	defer h2.stop()
+	if code := getJSON(t, h2.srv.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics after restart: code=%d", code)
+	}
+	if m.Graphs[0].Epoch != 2 {
+		t.Errorf("epoch after restart = %d, want 2", m.Graphs[0].Epoch)
+	}
+	if code := postJSON(t, h2.srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &st); code != 200 || st.Result == nil {
+		t.Fatalf("query after restart: code=%d %+v", code, st)
+	}
+	if got := st.Result.Value.(float64); got != countBefore {
+		t.Errorf("count after restart = %v, want %v", got, countBefore)
+	}
+	// And the stream still accepts work at the next sequence.
+	if code := postJSON(t, h2.srv.URL+"/v1/ingest", `{"edges":[{"u":9101,"v":9102,"t":500}]}`, &rep); code != 200 || rep.Epoch != 3 {
+		t.Errorf("post-restart ingest: code=%d %+v", code, rep)
+	}
+}
+
+// TestOverloadShedsWith429: with a tiny admission queue and a scheduler
+// busy on a traversal, submissions overflow and must shed with 429 +
+// Retry-After rather than queue without bound.
+func TestOverloadShedsWith429(t *testing.T) {
+	p := datagen.DefaultRedditParams()
+	p.Events = 4000
+	p.Users = 500
+	w := tripoll.NewWorld(2)
+	g := tripoll.BuildTemporal(w, datagen.RedditLike(p))
+	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), tripoll.QueryEngineOptions[uint64]{
+		Timestamps: func(ts uint64) uint64 { return ts },
+		MaxPending: 2,
+	})
+	if err := eng.Register("default", g); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}, serverConfig{}))
+	t.Cleanup(func() { srv.Close(); eng.Close(); w.Close() })
+
+	// Fire concurrent bursts of async submissions with distinct deltas (no
+	// cache hits, no dedupe): with the queue bounded at 2, a 32-wide burst
+	// overflows admission unless the scheduler drains between every two
+	// arrivals. Repeat until a shed is observed.
+	deadline := time.Now().Add(30 * time.Second)
+	var next atomic.Uint64
+	for !t.Failed() {
+		var (
+			wg       sync.WaitGroup
+			shed     atomic.Bool
+			noHeader atomic.Bool
+		)
+		for j := 0; j < 32; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body := `{"analysis":"closure","delta":` + jsonNum(1000+next.Add(1)) + `}`
+				resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				defer resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusTooManyRequests:
+					shed.Store(true)
+					if resp.Header.Get("Retry-After") == "" {
+						noHeader.Store(true)
+					}
+				case http.StatusAccepted:
+				default:
+					t.Errorf("submit: code=%d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+		if noHeader.Load() {
+			t.Errorf("429 without Retry-After")
+		}
+		if shed.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never shed after %d submissions", next.Load())
+		}
+	}
+	var m metricsPayload
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.Engine.Shed == 0 || m.HTTP.Overloaded == 0 {
+		t.Errorf("shed counters dead after a 429: engine.shed=%d http.overloaded=%d", m.Engine.Shed, m.HTTP.Overloaded)
+	}
 }

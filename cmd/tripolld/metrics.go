@@ -1,0 +1,89 @@
+// The /metrics endpoint: one JSON document (expvar-style, not Prometheus
+// text) with everything the engine, WAL and HTTP front end already count.
+// Schema (asserted by TestMetricsSchema):
+//
+//	{
+//	  "engine":         engine.Stats (submitted/completed/shed/cache_hits/...),
+//	  "queue_depth":    jobs awaiting the scheduler's next admission batch,
+//	  "cache_hit_rate": cache_hits / completed,
+//	  "coalesce_ratio": coalesced / completed,
+//	  "graphs":         [{"name", "epoch", "durable": {"wal": wal.Stats, ...}}],
+//	  "http":           {"requests", "rate_limited", "overloaded", "jobs_retained"},
+//	  "world":          {"messages_sent", "messages_processed"}
+//	}
+package main
+
+import (
+	"net/http"
+
+	"tripoll"
+)
+
+type graphMetrics struct {
+	Name  string `json:"name"`
+	Epoch uint64 `json:"epoch"`
+	// Durable is present for WAL-backed streams only.
+	Durable *tripoll.DurableStreamStatus `json:"durable,omitempty"`
+}
+
+type httpMetrics struct {
+	Requests     uint64 `json:"requests"`
+	RateLimited  uint64 `json:"rate_limited"`
+	Overloaded   uint64 `json:"overloaded"`
+	JobsRetained int    `json:"jobs_retained"`
+}
+
+type worldMetrics struct {
+	MessagesSent      int64 `json:"messages_sent"`
+	MessagesProcessed int64 `json:"messages_processed"`
+}
+
+type metricsPayload struct {
+	Engine     tripoll.EngineStats `json:"engine"`
+	QueueDepth int                 `json:"queue_depth"`
+	// CacheHitRate and CoalesceRatio are completed-job fractions (0 when
+	// nothing has completed).
+	CacheHitRate  float64        `json:"cache_hit_rate"`
+	CoalesceRatio float64        `json:"coalesce_ratio"`
+	Graphs        []graphMetrics `json:"graphs"`
+	HTTP          httpMetrics    `json:"http"`
+	World         *worldMetrics  `json:"world,omitempty"`
+}
+
+func ratio(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	m := metricsPayload{
+		Engine:        st,
+		QueueDepth:    s.eng.QueueDepth(),
+		CacheHitRate:  ratio(st.CacheHits, st.Completed),
+		CoalesceRatio: ratio(st.Coalesced, st.Completed),
+		HTTP: httpMetrics{
+			Requests:    s.requests.Load(),
+			RateLimited: s.rateLimited.Load(),
+			Overloaded:  s.overloaded.Load(),
+		},
+	}
+	for _, name := range s.eng.Graphs() {
+		gm := graphMetrics{Name: name}
+		gm.Epoch, _ = s.eng.Epoch(name)
+		if ds, ok := s.eng.DurableStatus(name); ok {
+			gm.Durable = &ds
+		}
+		m.Graphs = append(m.Graphs, gm)
+	}
+	s.mu.Lock()
+	m.HTTP.JobsRetained = len(s.jobs)
+	s.mu.Unlock()
+	if s.world != nil {
+		sent, proc := s.world.TransportCounters()
+		m.World = &worldMetrics{MessagesSent: sent, MessagesProcessed: proc}
+	}
+	writeJSON(w, http.StatusOK, m)
+}

@@ -3,6 +3,7 @@ package tripoll
 import (
 	"tripoll/internal/engine"
 	"tripoll/internal/serialize"
+	"tripoll/internal/wal"
 )
 
 // Engine is the long-lived query engine (DESIGN.md §10): graphs and
@@ -58,11 +59,42 @@ type QueryResult = engine.QueryResult
 // traversals and their traffic.
 type EngineStats = engine.Stats
 
+// DurableStreamOptions configures Engine.OpenDurableStream: the WAL
+// directory, fsync policy, segment rotation size and checkpoint cadence
+// (DESIGN.md §11).
+type DurableStreamOptions = engine.DurableOptions
+
+// DurableStreamStatus reports a durable stream's WAL and checkpoint state
+// (Engine.DurableStatus; surfaced by tripolld's /metrics).
+type DurableStreamStatus = engine.DurableStatus
+
+// WALStats counts a write-ahead log's extent and lifetime activity.
+type WALStats = wal.Stats
+
+// WAL fsync policies for DurableStreamOptions.Sync.
+const (
+	// WALSyncAlways fsyncs every appended mutation before it is applied —
+	// an acknowledged batch survives any crash.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncNever leaves flushing to the OS; a crash may lose the most
+	// recently acknowledged batches.
+	WALSyncNever = wal.SyncNever
+)
+
 // ErrEngineClosed is returned by Submit and friends after Close.
 var ErrEngineClosed = engine.ErrClosed
 
 // ErrJobNotDone is returned by QueryJob.Result while the job is in flight.
 var ErrJobNotDone = engine.ErrNotDone
+
+// ErrEngineOverloaded is returned at admission when the pending queue is
+// at QueryEngineOptions.MaxPending; retrying after a backoff is always
+// safe (a shed job had no effect).
+var ErrEngineOverloaded = engine.ErrOverloaded
+
+// ErrWALCorrupt is the base class of unrecoverable write-ahead log damage
+// (errors.Is).
+var ErrWALCorrupt = wal.ErrCorrupt
 
 // NewQueryEngine creates an engine over the given analysis registry and
 // starts its scheduler. Register graphs, Submit from any goroutine, Close

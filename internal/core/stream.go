@@ -241,6 +241,39 @@ func (s *Stream[VM, EM]) Seed() Result { return s.seed }
 // in the live window.
 func (s *Stream[VM, EM]) Triangles() uint64 { return s.triangles }
 
+// Cutoff returns the expiry watermark and whether Advance has ever set
+// one. Durable streams persist it in checkpoint manifests so a recovered
+// stream resumes with the same monotonicity guard.
+func (s *Stream[VM, EM]) Cutoff() (uint64, bool) { return s.cutoff, s.hasCutoff }
+
+// RestoreCutoff reinstates a persisted expiry watermark without retiring
+// anything. Recovery only: a checkpoint snapshot already reflects every
+// expiry its watermark caused, and any live edges below it are late
+// arrivals the next Advance retires — exactly as in the original stream.
+// Running Advance instead would retire those late arrivals early and
+// diverge from an uninterrupted run.
+func (s *Stream[VM, EM]) RestoreCutoff(cutoff uint64) {
+	if s.hasCutoff && cutoff < s.cutoff {
+		return
+	}
+	s.cutoff = cutoff
+	s.hasCutoff = true
+}
+
+// CheckAdvance reports whether Advance(cutoff) would be admitted, without
+// applying anything. Durable engines preflight with it before logging the
+// advance, so the write-ahead log never holds a record whose replay would
+// deterministically fail.
+func (s *Stream[VM, EM]) CheckAdvance(cutoff uint64) error {
+	if s.timeOf == nil {
+		return ErrStreamNoTimestamps
+	}
+	if s.hasCutoff && cutoff < s.cutoff {
+		return fmt.Errorf("core: stream cutoff moved backwards: %d < %d", cutoff, s.cutoff)
+	}
+	return nil
+}
+
 // Stats returns the stream's cumulative counters.
 func (s *Stream[VM, EM]) Stats() StreamStats {
 	st := s.stats
@@ -659,11 +692,8 @@ func (s *Stream[VM, EM]) premerge(batch []graph.Edge[EM]) []graph.Edge[EM] {
 // and retired at the next Advance. Requires a plan with a Timestamps
 // accessor. Collective; call outside parallel regions.
 func (s *Stream[VM, EM]) Advance(cutoff uint64) (Result, error) {
-	if s.timeOf == nil {
-		return Result{}, ErrStreamNoTimestamps
-	}
-	if s.hasCutoff && cutoff < s.cutoff {
-		return Result{}, fmt.Errorf("core: stream cutoff moved backwards: %d < %d", cutoff, s.cutoff)
+	if err := s.CheckAdvance(cutoff); err != nil {
+		return Result{}, err
 	}
 	s.resetBatch(-1, travExpire)
 	s.pendingCutoff = cutoff

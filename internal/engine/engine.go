@@ -31,6 +31,7 @@ import (
 
 	"tripoll/internal/core"
 	"tripoll/internal/graph"
+	"tripoll/internal/wal"
 )
 
 // ErrClosed is returned by Submit and friends after Close, and delivered
@@ -41,6 +42,12 @@ var ErrClosed = errors.New("engine: engine is closed")
 // running.
 var ErrNotDone = errors.New("engine: job has not finished")
 
+// ErrOverloaded is returned by Submit, SubmitAll, Ingest and Advance when
+// the admission queue is at EngineOptions.MaxPending: the engine sheds the
+// job instead of queuing it forever. Servers translate it to 429 with a
+// Retry-After; the shed job had no effect, so retrying is always safe.
+var ErrOverloaded = errors.New("engine: admission queue is full")
+
 // EngineOptions configures an Engine.
 type EngineOptions[EM any] struct {
 	// Timestamps extracts a timestamp from edge metadata, enabling the
@@ -48,22 +55,30 @@ type EngineOptions[EM any] struct {
 	// compiled with this one accessor, which is what makes their canonical
 	// plan keys comparable. nil rejects temporal specs.
 	Timestamps func(EM) uint64
+	// MaxPending bounds the admission queue: a Submit/Ingest/Advance that
+	// would push the pending count past it fails with ErrOverloaded
+	// instead of queuing unboundedly. 0 means unbounded (the pre-PR 6
+	// behavior). Shedding happens before enqueue, so a shed mutation was
+	// never logged or applied.
+	MaxPending int
 }
 
 // Stats counts what the engine has done since New. Traversal* fields
 // accumulate the enumeration traffic of fused runs only (mutations and
-// materializations are accounted by their own Results).
+// materializations are accounted by their own Results). The JSON shape is
+// part of tripolld's /metrics surface.
 type Stats struct {
-	Submitted         uint64 // jobs accepted: Submit/SubmitAll queries and Ingest/Advance mutations
-	Completed         uint64 // jobs (incl. mutations) finished with a result
-	Failed            uint64 // jobs (incl. mutations) finished with an error or cancellation
-	CacheHits         uint64 // jobs served entirely from the result cache
-	Deduped           uint64 // jobs served by an identical twin in the same batch
-	Coalesced         uint64 // jobs that shared a fused traversal with ≥ 1 other job
-	Traversals        uint64 // fused traversals executed
-	Mutations         uint64 // stream mutations executed
-	TraversalMessages int64  // transport messages across all traversals
-	TraversalBytes    int64  // transport bytes across all traversals
+	Submitted         uint64 `json:"submitted"`          // jobs accepted: Submit/SubmitAll queries and Ingest/Advance mutations
+	Completed         uint64 `json:"completed"`          // jobs (incl. mutations) finished with a result
+	Failed            uint64 `json:"failed"`             // jobs (incl. mutations) finished with an error or cancellation
+	Shed              uint64 `json:"shed"`               // jobs refused with ErrOverloaded at admission
+	CacheHits         uint64 `json:"cache_hits"`         // jobs served entirely from the result cache
+	Deduped           uint64 `json:"deduped"`            // jobs served by an identical twin in the same batch
+	Coalesced         uint64 `json:"coalesced"`          // jobs that shared a fused traversal with ≥ 1 other job
+	Traversals        uint64 `json:"traversals"`         // fused traversals executed
+	Mutations         uint64 `json:"mutations"`          // stream mutations executed
+	TraversalMessages int64  `json:"traversal_messages"` // transport messages across all traversals
+	TraversalBytes    int64  `json:"traversal_bytes"`    // transport bytes across all traversals
 }
 
 // QueryResult is one job's answer.
@@ -186,10 +201,15 @@ type queryPayload[VM, EM any] struct {
 // shareKey identifies jobs that may share one answer.
 func (p *queryPayload[VM, EM]) shareKey() string { return p.planKey + "\x00" + p.analysisID }
 
-// mutation is the typed half of a stream mutation job.
+// mutation is the typed half of a stream mutation job. On durable streams
+// the scheduler runs preflight (validation that replay would also pass),
+// then logAppend (the write-ahead point), then apply; on plain streams
+// apply alone.
 type mutation[VM, EM any] struct {
-	entry *graphEntry[VM, EM]
-	apply func(s *core.Stream[VM, EM]) (core.Result, error)
+	entry     *graphEntry[VM, EM]
+	preflight func(s *core.Stream[VM, EM]) error               // durable only; nil = nothing to validate
+	logAppend func(l *wal.Log[EM]) (uint64, error)             // durable only
+	apply     func(s *core.Stream[VM, EM]) (core.Result, error)
 }
 
 // graphEntry is one registered graph or stream.
@@ -198,7 +218,8 @@ type graphEntry[VM, EM any] struct {
 	g      *graph.DODGr[VM, EM] // current queryable snapshot (nil until a stream materializes)
 	stream *core.Stream[VM, EM] // nil for static graphs
 	epoch  uint64
-	stale  bool // stream mutated since g was materialized
+	stale  bool              // stream mutated since g was materialized
+	dur    *durable[VM, EM]  // non-nil for WAL-backed streams (OpenDurableStream)
 }
 
 // cacheKey is the result cache's identity: epoch-keyed, so a mutation
@@ -417,17 +438,31 @@ func (e *Engine[VM, EM]) prepare(ctx context.Context, spec Spec) (*Job, error) {
 }
 
 // enqueue appends jobs to the pending queue in one critical section (one
-// admission batch) and wakes the scheduler.
+// admission batch) and wakes the scheduler — or sheds the whole batch with
+// ErrOverloaded when it would push the queue past MaxPending (all-or-
+// nothing, so SubmitAll's same-batch guarantee survives shedding).
 func (e *Engine[VM, EM]) enqueue(jobs ...*Job) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
+	if e.opts.MaxPending > 0 && len(e.pending)+len(jobs) > e.opts.MaxPending {
+		e.stats.Shed += uint64(len(jobs))
+		return ErrOverloaded
+	}
 	e.pending = append(e.pending, jobs...)
 	e.stats.Submitted += uint64(len(jobs))
 	e.cond.Signal()
 	return nil
+}
+
+// QueueDepth returns the number of jobs waiting for the scheduler's next
+// admission batch.
+func (e *Engine[VM, EM]) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
 }
 
 // Ingest routes a batch of edge insertions to the named stream-backed
@@ -439,20 +474,27 @@ func (e *Engine[VM, EM]) enqueue(jobs ...*Job) error {
 // never that the batch may or may not have landed — retrying it would
 // double-apply. Observe completion through Epoch if needed.
 func (e *Engine[VM, EM]) Ingest(ctx context.Context, name string, batch []graph.Edge[EM]) (core.Result, error) {
-	return e.mutate(ctx, name, func(s *core.Stream[VM, EM]) (core.Result, error) {
-		return s.Ingest(batch)
+	return e.mutate(ctx, name, &mutation[VM, EM]{
+		logAppend: func(l *wal.Log[EM]) (uint64, error) { return l.AppendIngest(batch) },
+		apply: func(s *core.Stream[VM, EM]) (core.Result, error) {
+			return s.Ingest(batch)
+		},
 	})
 }
 
 // Advance slides the named stream's expiry watermark (see Stream.Advance)
 // through the scheduler, bumping the epoch like Ingest.
 func (e *Engine[VM, EM]) Advance(ctx context.Context, name string, cutoff uint64) (core.Result, error) {
-	return e.mutate(ctx, name, func(s *core.Stream[VM, EM]) (core.Result, error) {
-		return s.Advance(cutoff)
+	return e.mutate(ctx, name, &mutation[VM, EM]{
+		preflight: func(s *core.Stream[VM, EM]) error { return s.CheckAdvance(cutoff) },
+		logAppend: func(l *wal.Log[EM]) (uint64, error) { return l.AppendAdvance(cutoff) },
+		apply: func(s *core.Stream[VM, EM]) (core.Result, error) {
+			return s.Advance(cutoff)
+		},
 	})
 }
 
-func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, apply func(s *core.Stream[VM, EM]) (core.Result, error)) (core.Result, error) {
+func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, m *mutation[VM, EM]) (core.Result, error) {
 	e.mu.Lock()
 	entry, ok := e.graphs[name]
 	if !ok {
@@ -466,12 +508,13 @@ func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, apply func(s *
 	e.nextID++
 	id := e.nextID
 	e.mu.Unlock()
+	m.entry = entry
 	j := &Job{
 		id:      id,
 		spec:    Spec{Graph: name},
 		ctx:     ctx,
 		done:    make(chan struct{}),
-		payload: &mutation[VM, EM]{entry: entry, apply: apply},
+		payload: m,
 	}
 	if err := e.enqueue(j); err != nil {
 		return core.Result{}, err
@@ -483,7 +526,8 @@ func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, apply func(s *
 // Close shuts the engine down: still-pending jobs fail with ErrClosed, the
 // in-flight dispatch batch (if any) completes, and Close returns once the
 // scheduler has exited. Registered graphs and their worlds are the
-// caller's to close; Close does not touch them.
+// caller's to close; Close does not touch them — but write-ahead logs the
+// engine opened itself (OpenDurableStream) are synced and closed here.
 func (e *Engine[VM, EM]) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -495,7 +539,17 @@ func (e *Engine[VM, EM]) Close() error {
 	e.cond.Signal()
 	e.mu.Unlock()
 	<-e.loopDone
-	return nil
+	var err error
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, entry := range e.graphs {
+		if entry.dur != nil {
+			if cerr := entry.dur.close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
 }
 
 // --- Scheduler -----------------------------------------------------------
@@ -764,16 +818,38 @@ func (e *Engine[VM, EM]) snapshot(name string) (*graph.DODGr[VM, EM], uint64, er
 }
 
 // runMutation applies one stream mutation, bumps the epoch and drops the
-// dead epoch's cache entries.
+// dead epoch's cache entries. On durable streams the mutation is validated
+// (preflight), then logged and fsynced, then applied — the write-ahead
+// order — and the epoch is the record's WAL sequence number, so epochs
+// survive restarts and stay aligned with the log.
 func (e *Engine[VM, EM]) runMutation(j *Job) {
 	m := j.payload.(*mutation[VM, EM])
+	seq := uint64(0)
+	if m.entry.dur != nil {
+		if m.preflight != nil {
+			if err := m.preflight(m.entry.stream); err != nil {
+				e.fail(j, err)
+				return
+			}
+		}
+		s, err := m.entry.dur.append(m.logAppend)
+		if err != nil {
+			e.fail(j, fmt.Errorf("engine: wal append for %q: %w", m.entry.name, err))
+			return
+		}
+		seq = s
+	}
 	res, err := m.apply(m.entry.stream)
 	if err != nil {
 		e.fail(j, err)
 		return
 	}
 	e.mu.Lock()
-	m.entry.epoch++
+	if seq != 0 {
+		m.entry.epoch = seq
+	} else {
+		m.entry.epoch++
+	}
 	m.entry.stale = true
 	epoch := m.entry.epoch
 	e.stats.Mutations++
@@ -784,6 +860,9 @@ func (e *Engine[VM, EM]) runMutation(j *Job) {
 	}
 	e.mu.Unlock()
 	e.complete(j, QueryResult{Graph: m.entry.name, Epoch: epoch, Survey: res}, false)
+	if m.entry.dur != nil {
+		e.maybeCheckpoint(m.entry)
+	}
 }
 
 func (e *Engine[VM, EM]) cacheGet(k cacheKey) (QueryResult, bool) {

@@ -133,6 +133,7 @@ func All() []Runner {
 		{"fusion", AblationFusion, "ablation: fused multi-analysis survey vs sequential passes"},
 		{"stream", AblationStream, "ablation: incremental stream maintenance vs per-batch full recompute"},
 		{"coalesce", AblationCoalesce, "ablation: coalesced concurrent queries vs sequential per-query runs"},
+		{"wal", AblationWAL, "ablation: WAL-backed durable streams — overhead and crash recovery"},
 	}
 }
 

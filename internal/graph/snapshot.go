@@ -3,6 +3,7 @@ package graph
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -67,8 +68,22 @@ func (g *DODGr[VM, EM]) saveShard(r *ygm.Rank, dir string) error {
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := g.encodeShard(r.ID(), bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encodeShard streams one rank's vertices to w; the inverse of
+// decodeShard.
+func (g *DODGr[VM, EM]) encodeShard(rank int, w io.Writer) error {
 	var e serialize.Encoder
-	rl := &g.local[r.ID()]
+	rl := &g.local[rank]
 	e.PutUvarint(uint64(len(rl.verts)))
 	for i := range rl.verts {
 		v := &rl.verts[i]
@@ -86,26 +101,72 @@ func (g *DODGr[VM, EM]) saveShard(r *ygm.Rank, dir string) error {
 		}
 		// Flush per vertex to keep the encoder small on huge shards.
 		if e.Len() > 1<<20 {
-			if _, err := bw.Write(e.Bytes()); err != nil {
-				f.Close()
+			if _, err := w.Write(e.Bytes()); err != nil {
 				return err
 			}
 			e.Reset()
 		}
 	}
-	if _, err := bw.Write(e.Bytes()); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	_, err := w.Write(e.Bytes())
+	return err
 }
 
 func shardPath(dir string, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%04d.tpg", rank))
+}
+
+// snapshotMeta is the decoded form of meta.tpg. The decoder is a pure
+// function of the bytes (no world, no filesystem) so FuzzSnapshot can
+// drive it directly.
+type snapshotMeta struct {
+	nranks           int
+	part             Partitioner
+	ordering         Ordering
+	numVertices      uint64
+	numDirectedEdges uint64
+	numPlusEdges     uint64
+	numWedges        uint64
+	maxDeg           uint32
+	maxOutDeg        uint32
+	degeneracy       uint32
+	selfLoopsDropped uint64
+	multiEdgesMerged uint64
+}
+
+func decodeSnapshotMeta(raw []byte) (snapshotMeta, error) {
+	var m snapshotMeta
+	d := serialize.NewDecoder(raw)
+	if magic := d.String(); magic != snapshotMagic {
+		return m, fmt.Errorf("graph: not a DODGr snapshot (magic %q)", magic)
+	}
+	m.nranks = int(d.Uvarint())
+	partName := d.String()
+	ordName := d.String()
+	m.numVertices = d.Uvarint()
+	m.numDirectedEdges = d.Uvarint()
+	m.numPlusEdges = d.Uvarint()
+	m.numWedges = d.Uvarint()
+	m.maxDeg = uint32(d.Uvarint())
+	m.maxOutDeg = uint32(d.Uvarint())
+	m.degeneracy = uint32(d.Uvarint())
+	m.selfLoopsDropped = d.Uvarint()
+	m.multiEdgesMerged = d.Uvarint()
+	if d.Err() != nil {
+		return m, fmt.Errorf("graph: corrupt snapshot meta: %w", d.Err())
+	}
+	// Name lookups only after the whole header decoded cleanly, so a
+	// truncated buffer reports corruption rather than a garbage name.
+	var ok bool
+	if m.part, ok = PartitionerByName(partName); !ok {
+		return m, fmt.Errorf("graph: unknown partitioner %q in snapshot", partName)
+	}
+	if m.ordering, ok = OrderingByName(ordName); !ok {
+		return m, fmt.Errorf("graph: unknown ordering %q in snapshot", ordName)
+	}
+	if m.nranks < 1 {
+		return m, fmt.Errorf("graph: snapshot claims %d ranks", m.nranks)
+	}
+	return m, nil
 }
 
 // Load reads a snapshot written by Save into a graph over w. The world
@@ -115,38 +176,24 @@ func Load[VM, EM any](w *ygm.World, dir string, vm serialize.Codec[VM], em seria
 	if err != nil {
 		return nil, err
 	}
-	d := serialize.NewDecoder(metaRaw)
-	if magic := d.String(); magic != snapshotMagic {
-		return nil, fmt.Errorf("graph: %s is not a DODGr snapshot (magic %q)", dir, magic)
+	m, err := decodeSnapshotMeta(metaRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, dir)
 	}
-	nranks := int(d.Uvarint())
-	if nranks != w.Size() {
-		return nil, fmt.Errorf("graph: snapshot has %d ranks, world has %d", nranks, w.Size())
+	if m.nranks != w.Size() {
+		return nil, fmt.Errorf("graph: snapshot has %d ranks, world has %d", m.nranks, w.Size())
 	}
-	partName := d.String()
-	part, ok := PartitionerByName(partName)
-	if !ok {
-		return nil, fmt.Errorf("graph: unknown partitioner %q in snapshot", partName)
-	}
-	ordName := d.String()
-	ord, ok := OrderingByName(ordName)
-	if !ok {
-		return nil, fmt.Errorf("graph: unknown ordering %q in snapshot", ordName)
-	}
-	g := &DODGr[VM, EM]{w: w, part: part, vm: vm, em: em, ordering: ord}
+	g := &DODGr[VM, EM]{w: w, part: m.part, vm: vm, em: em, ordering: m.ordering}
 	g.local = make([]rankLocal[VM, EM], w.Size())
-	g.numVertices = d.Uvarint()
-	g.numDirectedEdges = d.Uvarint()
-	g.numPlusEdges = d.Uvarint()
-	g.numWedges = d.Uvarint()
-	g.maxDeg = uint32(d.Uvarint())
-	g.maxOutDeg = uint32(d.Uvarint())
-	g.degeneracy = uint32(d.Uvarint())
-	g.selfLoopsDropped = d.Uvarint()
-	g.multiEdgesMerged = d.Uvarint()
-	if d.Err() != nil {
-		return nil, fmt.Errorf("graph: corrupt snapshot meta: %w", d.Err())
-	}
+	g.numVertices = m.numVertices
+	g.numDirectedEdges = m.numDirectedEdges
+	g.numPlusEdges = m.numPlusEdges
+	g.numWedges = m.numWedges
+	g.maxDeg = m.maxDeg
+	g.maxOutDeg = m.maxOutDeg
+	g.degeneracy = m.degeneracy
+	g.selfLoopsDropped = m.selfLoopsDropped
+	g.multiEdgesMerged = m.multiEdgesMerged
 
 	errs := make([]error, w.Size())
 	w.Parallel(func(r *ygm.Rank) {
@@ -165,14 +212,29 @@ func (g *DODGr[VM, EM]) loadShard(r *ygm.Rank, dir string) error {
 	if err != nil {
 		return err
 	}
+	return g.decodeShard(r.ID(), raw)
+}
+
+// decodeShard rebuilds one rank's vertices from shard bytes. Pure with
+// respect to the world — only g.local[rank] and the codecs are touched —
+// so FuzzSnapshot can drive it on arbitrary bytes. Every count decoded
+// from the input is checked against the bytes actually remaining before
+// any allocation it sizes: a vertex or adjacency entry costs at least one
+// encoded byte each, so a count exceeding Remaining() is corruption, not
+// a licence for a gigantic make.
+func (g *DODGr[VM, EM]) decodeShard(rank int, raw []byte) error {
 	d := serialize.NewDecoder(raw)
 	n := int(d.Uvarint())
 	if d.Err() != nil {
-		return fmt.Errorf("graph: corrupt shard %d: %w", r.ID(), d.Err())
+		return fmt.Errorf("graph: corrupt shard %d: %w", rank, d.Err())
 	}
-	rl := &g.local[r.ID()]
+	if n < 0 || n > d.Remaining() {
+		return fmt.Errorf("graph: corrupt shard %d: %d vertices in %d bytes", rank, n, d.Remaining())
+	}
+	rl := &g.local[rank]
 	rl.index = make(map[uint64]int32, n)
 	rl.verts = make([]Vertex[VM, EM], n)
+	rl.arena = nil
 	// Adjacency entries accumulate in one arena; per-vertex subslices are
 	// re-pointed afterwards (appends may move the arena), reproducing the
 	// CSR layout Build produces.
@@ -185,10 +247,13 @@ func (g *DODGr[VM, EM]) loadShard(r *ygm.Rank, dir string) error {
 		v.Meta = g.vm.Decode(d)
 		adjLen := int(d.Uvarint())
 		if d.Err() != nil {
-			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", r.ID(), i, d.Err())
+			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", rank, i, d.Err())
+		}
+		if adjLen < 0 || adjLen > d.Remaining() {
+			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %d adjacencies in %d bytes", rank, i, adjLen, d.Remaining())
 		}
 		adjLens[i] = adjLen
-		for k := 0; k < adjLen; k++ {
+		for k := 0; k < adjLen && d.Err() == nil; k++ {
 			var o OutEdge[VM, EM]
 			o.Target = d.Uvarint()
 			o.TOrd = uint32(d.Uvarint())
@@ -197,12 +262,12 @@ func (g *DODGr[VM, EM]) loadShard(r *ygm.Rank, dir string) error {
 			rl.arena = append(rl.arena, o)
 		}
 		if d.Err() != nil {
-			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", r.ID(), i, d.Err())
+			return fmt.Errorf("graph: corrupt shard %d at vertex %d: %w", rank, i, d.Err())
 		}
 		rl.index[v.ID] = int32(i)
 	}
 	if d.Remaining() != 0 {
-		return fmt.Errorf("graph: shard %d has %d trailing bytes", r.ID(), d.Remaining())
+		return fmt.Errorf("graph: shard %d has %d trailing bytes", rank, d.Remaining())
 	}
 	off := 0
 	for i := 0; i < n; i++ {

@@ -1,0 +1,549 @@
+// Package wal is the durability layer under stream-backed graphs: a
+// write-ahead log of every Ingest/Advance batch, replayable after a crash.
+// The streaming tier (DESIGN.md §9) makes this cheap — batches are the
+// stream's own mutation unit and re-applying them is deterministic — so
+// recovery is nothing more than re-Ingest in log order.
+//
+// Layout: a directory of segment files named wal-<base seq, hex>.tpw. Each
+// segment starts with a fixed header (magic + the sequence number of its
+// first record) followed by length-prefixed, CRC-framed records:
+//
+//	[uint32 payload length][uint32 CRC32-C of payload][payload]
+//
+// The payload is a serialize-encoded record: kind byte, sequence number,
+// then the body (the edge batch for ingests via the graph's edge-metadata
+// codec, the cutoff watermark for advances). Sequence numbers increase by
+// exactly one across segment boundaries, which is what lets recovery
+// detect duplicated or overlapping segment files.
+//
+// Recovery (Open) replays every complete record. A torn tail in the *last*
+// segment — a crash mid-append — is truncated away and appending resumes
+// at the last good record; any other damage (a bad frame in a non-final
+// segment, a CRC-valid record that fails to decode, a sequence
+// discontinuity) returns a *CorruptError wrapping ErrCorrupt, because
+// records after the damage were acknowledged and silently dropping them
+// would break the write-ahead contract.
+//
+// Checkpointing: once the stream's state is snapshotted elsewhere (the
+// TPDG2 graph snapshot), Truncate(seq) seals the live segment and deletes
+// every segment wholly covered by the checkpoint, bounding log growth.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// ErrCorrupt is the base class of unrecoverable log damage; every
+// *CorruptError wraps it (errors.Is(err, ErrCorrupt)).
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// CorruptError describes unrecoverable damage: where it was found and why
+// the log cannot be trusted past it.
+type CorruptError struct {
+	Segment string // segment file path
+	Offset  int64  // byte offset of the damage within the segment
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt log: %s at %s:%d", e.Reason, e.Segment, e.Offset)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch survives
+	// any crash. The default, and the policy the recovery guarantees are
+	// stated under.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS; a crash may lose the most
+	// recent acknowledged batches (they become a truncated tail). Callers
+	// can still force durability points with Sync.
+	SyncNever
+)
+
+// Kind discriminates record payloads.
+type Kind uint8
+
+const (
+	// KindIngest records one Ingest batch of timestamped edge insertions.
+	KindIngest Kind = 1
+	// KindAdvance records one Advance of the expiry watermark.
+	KindAdvance Kind = 2
+)
+
+// Record is one replayed log entry.
+type Record[EM any] struct {
+	Seq    uint64
+	Kind   Kind
+	Batch  []graph.Edge[EM] // KindIngest
+	Cutoff uint64           // KindAdvance
+}
+
+// Options configures a Log.
+type Options struct {
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SegmentBytes rotates to a fresh segment once the live one exceeds
+	// this size; 0 means the 4 MiB default.
+	SegmentBytes int64
+	// BaseSeq is the sequence number the first record receives when the
+	// directory holds no records yet (a fresh log, or one whose segments
+	// were all truncated away before a crash); existing records always
+	// win. Engines resuming from a checkpoint manifest pass
+	// checkpointSeq+1 so sequence numbers stay aligned with epochs.
+	BaseSeq uint64
+}
+
+// Stats counts the log's current extent and lifetime activity.
+type Stats struct {
+	Segments       int    `json:"segments"`        // live segment files
+	Records        uint64 `json:"records"`         // records in live segments (replayed + appended)
+	Bytes          int64  `json:"bytes"`           // bytes across live segments
+	LastSeq        uint64 `json:"last_seq"`        // sequence number of the newest record
+	TruncatedBytes int64  `json:"truncated_bytes"` // torn-tail bytes dropped at recovery
+	Checkpoints    uint64 `json:"checkpoints"`     // Truncate calls
+	CheckpointSeq  uint64 `json:"checkpoint_seq"`  // newest sequence covered by a checkpoint
+	Syncs          uint64 `json:"syncs"`           // fsyncs issued
+}
+
+const (
+	segMagic     = "TPWAL1"
+	segHeaderLen = len(segMagic) + 8 // magic + LE64 base sequence
+	frameLen     = 8                 // LE32 length + LE32 CRC32-C
+	// maxRecordBytes bounds one record's payload; frames claiming more are
+	// treated as damage rather than allocated.
+	maxRecordBytes = 1 << 30
+	defaultSegment = 4 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is one live on-disk segment file.
+type segment struct {
+	path string
+	base uint64 // sequence number of its first record
+	recs uint64 // records it holds
+	size int64
+}
+
+// Log is an open write-ahead log. Not safe for concurrent use; the engine
+// appends only from its scheduler goroutine.
+type Log[EM any] struct {
+	dir  string
+	em   serialize.Codec[EM]
+	opts Options
+
+	segs []segment // all live segments, oldest first; last is the write head
+	f    *os.File  // write head, positioned at end
+	seq  uint64    // newest record's sequence number
+
+	stats  Stats
+	enc    serialize.Encoder
+	closed bool
+}
+
+func segPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.tpw", base))
+}
+
+// Open opens (creating if needed) the log in dir and replays every
+// complete record, returning them in sequence order. A torn tail in the
+// final segment is truncated away; any other damage returns a
+// *CorruptError and no Log. The returned Log appends after the last
+// replayed record.
+func Open[EM any](dir string, em serialize.Codec[EM], opts Options) (*Log[EM], []Record[EM], error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegment
+	}
+	if opts.BaseSeq == 0 {
+		opts.BaseSeq = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	l := &Log[EM]{dir: dir, em: em, opts: opts}
+
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.tpw"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names) // fixed-width hex base: lexicographic == numeric
+	// A final segment shorter than its header is a crash between file
+	// creation and the header write: nothing in it was ever acknowledged,
+	// so drop it and recreate the head below. The surviving bytes must
+	// still be a prefix of a valid header — anything else is not a torn
+	// write but damage.
+	if n := len(names); n > 0 {
+		data, err := os.ReadFile(names[n-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(data) < segHeaderLen {
+			m := len(data)
+			if m > len(segMagic) {
+				m = len(segMagic)
+			}
+			if string(data[:m]) != segMagic[:m] {
+				return nil, nil, &CorruptError{Segment: names[n-1], Reason: "bad segment header"}
+			}
+			if err := os.Remove(names[n-1]); err != nil {
+				return nil, nil, err
+			}
+			names = names[:n-1]
+		}
+	}
+	var recs []Record[EM]
+	expected := uint64(0) // base the next segment must start at; 0 = first
+	for i, path := range names {
+		final := i == len(names)-1
+		segRecs, err := l.replaySegment(path, final, expected, &recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.segs = append(l.segs, segRecs)
+		expected = l.seq + 1
+	}
+	if len(l.segs) == 0 {
+		l.seq = opts.BaseSeq - 1
+		if err := l.startSegment(opts.BaseSeq); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		head := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(head.path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Seek(head.size, 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f = f
+	}
+	l.stats.Segments = len(l.segs)
+	return l, recs, nil
+}
+
+// replaySegment scans one segment file, appending its records to out.
+// Damage in a final segment truncates the file to the last good record;
+// damage anywhere else is a *CorruptError.
+func (l *Log[EM]) replaySegment(path string, final bool, expected uint64, out *[]Record[EM]) (segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segment{}, err
+	}
+	corrupt := func(off int, reason string) error {
+		return &CorruptError{Segment: path, Offset: int64(off), Reason: reason}
+	}
+	if len(data) == 0 {
+		// Open already removed a zero-length *final* segment; an empty
+		// earlier segment means a later segment holds records that were
+		// acknowledged after it — damage, not a crash artifact.
+		return segment{}, corrupt(0, "empty non-final segment")
+	}
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return segment{}, corrupt(0, "bad segment header")
+	}
+	base := binary.LittleEndian.Uint64(data[len(segMagic):segHeaderLen])
+	if expected != 0 && base != expected {
+		return segment{}, corrupt(0, fmt.Sprintf("segment base %d, want %d (duplicated or missing segment)", base, expected))
+	}
+	seg := segment{path: path, base: base}
+	seq := base - 1
+	off := segHeaderLen
+	for off < len(data) {
+		torn := func(reason string) (segment, error) {
+			if !final {
+				return segment{}, corrupt(off, reason)
+			}
+			// Crash mid-append: drop the tail, resume after the last good
+			// record. Nothing past a torn write was ever acknowledged
+			// under SyncAlways.
+			l.stats.TruncatedBytes += int64(len(data) - off)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return segment{}, err
+			}
+			seg.size = int64(off)
+			l.seq = seq
+			return seg, nil
+		}
+		if off+frameLen > len(data) {
+			return torn("truncated frame header")
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxRecordBytes {
+			return torn(fmt.Sprintf("implausible record length %d", n))
+		}
+		if off+frameLen+n > len(data) {
+			return torn("truncated record payload")
+		}
+		payload := data[off+frameLen : off+frameLen+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return torn("CRC mismatch")
+		}
+		// A CRC-valid payload that fails to decode was fully written and
+		// acknowledged — that is corruption (or a codec mismatch), not a
+		// torn write, so it is never silently dropped.
+		rec, err := l.decodeRecord(payload)
+		if err != nil {
+			return segment{}, corrupt(off, err.Error())
+		}
+		if rec.Seq != seq+1 {
+			return segment{}, corrupt(off, fmt.Sprintf("sequence %d after %d (duplicated or reordered records)", rec.Seq, seq))
+		}
+		seq = rec.Seq
+		seg.recs++
+		l.stats.Records++
+		*out = append(*out, rec)
+		off += frameLen + n
+	}
+	seg.size = int64(off)
+	l.seq = seq
+	return seg, nil
+}
+
+func (l *Log[EM]) decodeRecord(payload []byte) (Record[EM], error) {
+	d := serialize.NewDecoder(payload)
+	var rec Record[EM]
+	rec.Kind = Kind(d.Uint8())
+	rec.Seq = d.Uvarint()
+	switch rec.Kind {
+	case KindIngest:
+		n := d.Uvarint()
+		if d.Err() != nil {
+			return rec, d.Err()
+		}
+		capHint := int(n)
+		if rem := d.Remaining(); capHint > rem {
+			capHint = rem // adversarial counts never pre-allocate past the payload
+		}
+		rec.Batch = make([]graph.Edge[EM], 0, capHint)
+		for i := uint64(0); i < n; i++ {
+			var e graph.Edge[EM]
+			e.U = d.Uvarint()
+			e.V = d.Uvarint()
+			e.Meta = l.em.Decode(d)
+			if d.Err() != nil {
+				return rec, d.Err()
+			}
+			rec.Batch = append(rec.Batch, e)
+		}
+	case KindAdvance:
+		rec.Cutoff = d.Uvarint()
+	default:
+		return rec, fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+	if d.Err() != nil {
+		return rec, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return rec, fmt.Errorf("%d trailing bytes in record", d.Remaining())
+	}
+	return rec, nil
+}
+
+// startSegment creates and heads a fresh segment whose first record will
+// carry sequence number base.
+func (l *Log[EM]) startSegment(base uint64) error {
+	path := segPath(l.dir, base)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic):], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.stats.Syncs++
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.segs = append(l.segs, segment{path: path, base: base, size: int64(segHeaderLen)})
+	l.stats.Segments = len(l.segs)
+	l.syncDir()
+	return nil
+}
+
+// syncDir flushes the directory so segment creates/removes survive a
+// crash; best-effort (some filesystems refuse directory fsync).
+func (l *Log[EM]) syncDir() {
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// AppendIngest logs one edge batch and returns its sequence number. Under
+// SyncAlways the record is on stable storage when AppendIngest returns —
+// the write-ahead point the engine applies the batch behind.
+func (l *Log[EM]) AppendIngest(batch []graph.Edge[EM]) (uint64, error) {
+	l.enc.Reset()
+	l.enc.PutUint8(uint8(KindIngest))
+	l.enc.PutUvarint(l.seq + 1)
+	l.enc.PutUvarint(uint64(len(batch)))
+	for i := range batch {
+		l.enc.PutUvarint(batch[i].U)
+		l.enc.PutUvarint(batch[i].V)
+		l.em.Encode(&l.enc, batch[i].Meta)
+	}
+	return l.append(l.enc.Bytes())
+}
+
+// AppendAdvance logs one watermark advance and returns its sequence
+// number.
+func (l *Log[EM]) AppendAdvance(cutoff uint64) (uint64, error) {
+	l.enc.Reset()
+	l.enc.PutUint8(uint8(KindAdvance))
+	l.enc.PutUvarint(l.seq + 1)
+	l.enc.PutUvarint(cutoff)
+	return l.append(l.enc.Bytes())
+}
+
+func (l *Log[EM]) append(payload []byte) (uint64, error) {
+	if l.closed {
+		return 0, errors.New("wal: log is closed")
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(payload), maxRecordBytes)
+	}
+	head := &l.segs[len(l.segs)-1]
+	if head.size+int64(frameLen+len(payload)) > l.opts.SegmentBytes && head.recs > 0 {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+		head = &l.segs[len(l.segs)-1]
+	}
+	var frame [frameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(frame[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return 0, err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		l.stats.Syncs++
+	}
+	l.seq++
+	head.size += int64(frameLen + len(payload))
+	head.recs++
+	l.stats.Records++
+	return l.seq, nil
+}
+
+// rotate seals the live segment and heads a fresh one.
+func (l *Log[EM]) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.stats.Syncs++
+	return l.startSegment(l.seq + 1)
+}
+
+// Sync forces buffered appends to stable storage — the durability point
+// under SyncNever.
+func (l *Log[EM]) Sync() error {
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.stats.Syncs++
+	return nil
+}
+
+// Truncate marks every record with sequence ≤ seq as checkpointed (their
+// effects are captured in a snapshot elsewhere) and deletes the segments
+// wholly covered by the checkpoint. The live segment is sealed first, so
+// after a checkpoint at the current LastSeq the log keeps exactly one
+// empty segment and sequence numbering continues unbroken.
+func (l *Log[EM]) Truncate(seq uint64) error {
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if seq > l.seq {
+		return fmt.Errorf("wal: checkpoint at %d beyond last record %d", seq, l.seq)
+	}
+	if head := &l.segs[len(l.segs)-1]; head.recs > 0 && seq >= l.seq {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	keep := l.segs[:0]
+	for i := range l.segs {
+		// A segment's records end where the next one's begin; the write
+		// head is never deleted.
+		last := i+1 < len(l.segs) && l.segs[i+1].base-1 <= seq
+		if last {
+			if err := os.Remove(l.segs[i].path); err != nil {
+				return err
+			}
+			l.stats.Records -= l.segs[i].recs
+			continue
+		}
+		keep = append(keep, l.segs[i])
+	}
+	l.segs = keep
+	l.stats.Segments = len(l.segs)
+	l.stats.Checkpoints++
+	if seq > l.stats.CheckpointSeq {
+		l.stats.CheckpointSeq = seq
+	}
+	l.syncDir()
+	return nil
+}
+
+// LastSeq returns the sequence number of the newest record (BaseSeq-1 on
+// an empty log).
+func (l *Log[EM]) LastSeq() uint64 { return l.seq }
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log[EM]) Stats() Stats {
+	st := l.stats
+	st.LastSeq = l.seq
+	st.Bytes = 0
+	for i := range l.segs {
+		st.Bytes += l.segs[i].size
+	}
+	return st
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (l *Log[EM]) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

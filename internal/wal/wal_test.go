@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// testBatch builds a small deterministic edge batch keyed by i.
+func testBatch(i int) []graph.Edge[uint64] {
+	base := uint64(i * 100)
+	return []graph.Edge[uint64]{
+		{U: base + 1, V: base + 2, Meta: base + 10},
+		{U: base + 2, V: base + 3, Meta: base + 20},
+		{U: base + 7, V: base + 1, Meta: base + 30},
+	}
+}
+
+// appendN writes n alternating ingest/advance records and returns them.
+func appendN(t *testing.T, l *Log[uint64], n int) []Record[uint64] {
+	t.Helper()
+	var recs []Record[uint64]
+	for i := 0; i < n; i++ {
+		var (
+			seq uint64
+			err error
+			rec Record[uint64]
+		)
+		if i%4 == 3 {
+			cutoff := uint64(i * 50)
+			seq, err = l.AppendAdvance(cutoff)
+			rec = Record[uint64]{Seq: seq, Kind: KindAdvance, Cutoff: cutoff}
+		} else {
+			batch := testBatch(i)
+			seq, err = l.AppendIngest(batch)
+			rec = Record[uint64]{Seq: seq, Kind: KindIngest, Batch: batch}
+		}
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log[uint64], []Record[uint64]) {
+	t.Helper()
+	l, recs, err := Open(dir, serialize.Uint64Codec(), opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, recs
+}
+
+func segments(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.tpw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := appendN(t, l, 10)
+	if l.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10", l.LastSeq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Appends continue the sequence unbroken.
+	seq, err := l2.AppendAdvance(999)
+	if err != nil || seq != 11 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+	}
+	st := l2.Stats()
+	if st.Records != 11 || st.LastSeq != 11 {
+		t.Fatalf("stats after reopen: %+v", st)
+	}
+}
+
+func TestSegmentRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 128})
+	want := appendN(t, l, 30)
+	if n := len(segments(t, dir)); n < 3 {
+		t.Fatalf("expected rotation, got %d segments", n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := mustOpen(t, dir, Options{SegmentBytes: 128})
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("multi-segment replay lost records: got %d, want %d", len(got), len(want))
+	}
+}
+
+// TestKillAtAnyByte truncates the log at every possible byte boundary of
+// the final segment and verifies recovery always yields an exact prefix of
+// the appended records — never a panic, never a gap, never a corrupted
+// record surfaced as data — and that the log accepts appends afterwards.
+func TestKillAtAnyByte(t *testing.T) {
+	ref := t.TempDir()
+	l, _ := mustOpen(t, ref, Options{})
+	want := appendN(t, l, 6)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segments(t, ref)
+	if len(segs) != 1 {
+		t.Fatalf("want single segment, got %d", len(segs))
+	}
+	whole, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(whole); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, filepath.Base(segs[0]))
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, got, err := Open(dir, serialize.Uint64Codec(), Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery error: %v", cut, err)
+		}
+		if len(got) > len(want) {
+			t.Fatalf("cut=%d: recovered %d > appended %d", cut, len(got), len(want))
+		}
+		if len(got) > 0 && !reflect.DeepEqual(got, want[:len(got)]) {
+			t.Fatalf("cut=%d: recovered records are not a prefix", cut)
+		}
+		if cut == len(whole) && len(got) != len(want) {
+			t.Fatalf("uncut log lost records: %d of %d", len(got), len(want))
+		}
+		// The recovered log must keep working and number records densely.
+		seq, err := l2.AppendAdvance(1)
+		if err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if wantSeq := uint64(len(got)) + 1; seq != wantSeq {
+			t.Fatalf("cut=%d: post-recovery seq %d, want %d", cut, seq, wantSeq)
+		}
+		l2.Close()
+	}
+}
+
+func TestFlippedCRCByteInFinalSegmentRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	want := appendN(t, l, 5)
+	l.Close()
+	path := segments(t, dir)[0]
+	data, _ := os.ReadFile(path)
+	// Flip a byte in the middle of the file (inside some record's bytes).
+	mid := segHeaderLen + (len(data)-segHeaderLen)/2
+	data[mid] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(got) >= len(want) {
+		t.Fatalf("flipped byte not detected: recovered %d of %d", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got, want[:len(got)]) {
+		t.Fatalf("recovered records are not a clean prefix")
+	}
+	if l2.Stats().TruncatedBytes == 0 {
+		t.Fatalf("expected truncated bytes to be accounted")
+	}
+}
+
+func TestFlippedByteInEarlierSegmentIsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 128})
+	appendN(t, l, 30)
+	l.Close()
+	segs := segments(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	data, _ := os.ReadFile(segs[0])
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, serialize.Uint64Codec(), Options{SegmentBytes: 128})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("damage before acknowledged records must be ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Segment == "" {
+		t.Fatalf("want *CorruptError with location, got %#v", err)
+	}
+}
+
+func TestZeroLengthFinalSegment(t *testing.T) {
+	// Case 1: the only file is zero-length — a fresh-looking log.
+	dir := t.TempDir()
+	if err := os.WriteFile(segPath(dir, 1), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("zero-length log replayed %d records", len(recs))
+	}
+	if seq, err := l.AppendAdvance(7); err != nil || seq != 1 {
+		t.Fatalf("append: seq=%d err=%v", seq, err)
+	}
+	l.Close()
+
+	// Case 2: a zero-length segment after real ones — crash during
+	// rotation; the earlier records survive.
+	dir2 := t.TempDir()
+	l2, _ := mustOpen(t, dir2, Options{})
+	want := appendN(t, l2, 4)
+	l2.Close()
+	if err := os.WriteFile(segPath(dir2, 5), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, got := mustOpen(t, dir2, Options{})
+	defer l3.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records lost around empty rotated segment")
+	}
+	if seq, err := l3.AppendAdvance(9); err != nil || seq != 5 {
+		t.Fatalf("append after empty-segment recovery: seq=%d err=%v", seq, err)
+	}
+
+	// Case 3: a zero-length segment *before* acknowledged records is
+	// damage, not a crash artifact.
+	dir3 := t.TempDir()
+	l4, _ := mustOpen(t, dir3, Options{})
+	appendN(t, l4, 2)
+	l4.Close()
+	if err := os.WriteFile(segPath(dir3, 0), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir3, serialize.Uint64Codec(), Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty non-final segment must be ErrCorrupt, got %v", err)
+	}
+}
+
+func TestDuplicateSegmentIsTypedError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 128})
+	appendN(t, l, 30)
+	l.Close()
+	segs := segments(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	// A stray copy of an old segment under a name that sorts after the
+	// head: its base disagrees with the established sequence.
+	data, _ := os.ReadFile(segs[0])
+	if err := os.WriteFile(segPath(dir, 1<<40), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, serialize.Uint64Codec(), Options{SegmentBytes: 128})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicated segment must be ErrCorrupt, got %v", err)
+	}
+}
+
+func TestTruncateCheckpointsAndKeepsSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 128})
+	appendN(t, l, 20)
+	last := l.LastSeq()
+	if err := l.Truncate(last); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	st := l.Stats()
+	if st.Records != 0 || st.Segments != 1 || st.CheckpointSeq != last {
+		t.Fatalf("after full checkpoint: %+v", st)
+	}
+	// Sequence numbering survives the checkpoint and a restart.
+	if seq, err := l.AppendAdvance(1); err != nil || seq != last+1 {
+		t.Fatalf("append after checkpoint: seq=%d err=%v (want %d)", seq, err, last+1)
+	}
+	l.Close()
+	l2, recs := mustOpen(t, dir, Options{SegmentBytes: 128})
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].Seq != last+1 {
+		t.Fatalf("replay after checkpoint: %+v", recs)
+	}
+
+	// Partial checkpoints only drop wholly covered segments and never the
+	// uncovered tail records.
+	dir2 := t.TempDir()
+	l3, _ := mustOpen(t, dir2, Options{SegmentBytes: 128})
+	want := appendN(t, l3, 30)
+	if err := l3.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	l3.Close()
+	_, got := mustOpen(t, dir2, Options{SegmentBytes: 128})
+	if len(got) == 0 || got[len(got)-1].Seq != 30 {
+		t.Fatalf("tail records lost by partial checkpoint")
+	}
+	// Everything replayed must be a suffix of what was written.
+	off := int(got[0].Seq - 1)
+	if !reflect.DeepEqual(got, want[off:]) {
+		t.Fatalf("partial checkpoint replay mismatch at seq %d", got[0].Seq)
+	}
+	if got[0].Seq > 11 {
+		t.Fatalf("checkpoint at 10 dropped uncovered record %d", got[0].Seq)
+	}
+}
+
+func TestBaseSeqSeedsEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := mustOpen(t, dir, Options{BaseSeq: 101})
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatal("fresh log replayed records")
+	}
+	if seq, err := l.AppendAdvance(3); err != nil || seq != 101 {
+		t.Fatalf("BaseSeq ignored: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestSyncNeverStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Sync: SyncNever})
+	want := appendN(t, l, 8)
+	if err := l.Sync(); err != nil { // explicit durability point
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, got := mustOpen(t, dir, Options{Sync: SyncNever})
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SyncNever replay mismatch")
+	}
+}

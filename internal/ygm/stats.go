@@ -18,15 +18,16 @@ type RankStats struct {
 }
 
 // Stats aggregates traffic across the world. BytesSent is the communication
-// volume figure reported in Table 4 of the paper.
+// volume figure reported in Table 4 of the paper. The JSON shape is part
+// of tripolld's /metrics surface.
 type Stats struct {
-	MessagesSent      int64
-	MessagesProcessed int64
-	BatchesSent       int64
-	BytesSent         int64
-	MessagesForwarded int64
-	RemoteBatches     int64
-	RemoteBytes       int64
+	MessagesSent      int64 `json:"messages_sent"`
+	MessagesProcessed int64 `json:"messages_processed"`
+	BatchesSent       int64 `json:"batches_sent"`
+	BytesSent         int64 `json:"bytes_sent"`
+	MessagesForwarded int64 `json:"messages_forwarded"`
+	RemoteBatches     int64 `json:"remote_batches"`
+	RemoteBytes       int64 `json:"remote_bytes"`
 }
 
 func (s *Stats) add(r *RankStats) {

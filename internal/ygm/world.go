@@ -270,6 +270,14 @@ func (w *World) Stats() Stats {
 	return s
 }
 
+// TransportCounters returns the atomic-backed message counters — unlike
+// Stats, safe to read concurrently with a running parallel region, which
+// is what a monitoring endpoint needs (the full Stats reads per-rank
+// counters and is only consistent between regions).
+func (w *World) TransportCounters() (sent, processed int64) {
+	return w.totalSent(), w.totalProcessed()
+}
+
 // ResetStats zeroes all per-rank counters. Experiments call this between
 // phases to attribute communication volume per phase.
 func (w *World) ResetStats() {

@@ -76,6 +76,10 @@ type Rank = ygm.Rank
 // WorldOptions configures transports and buffering.
 type WorldOptions = ygm.Options
 
+// WorldStats aggregates transport traffic across a World's ranks
+// (World.Stats; surfaced by tripolld's /metrics).
+type WorldStats = ygm.Stats
+
 // TransportChannel and TransportTCP select the batch transport.
 const (
 	TransportChannel = ygm.TransportChannel
