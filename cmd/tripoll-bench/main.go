@@ -11,6 +11,11 @@
 //	tripoll-bench -list                   # show available experiments
 //	tripoll-bench -json BENCH_PR1.json    # also write the machine-readable
 //	                                      # trajectory point (see DESIGN.md §6)
+//	tripoll-bench -compare old.json new.json
+//	                                      # regression-gate new against old;
+//	                                      # exits 1 on any regression. Add
+//	                                      # -skip-wall when the records come
+//	                                      # from different machines.
 package main
 
 import (
@@ -33,8 +38,27 @@ func main() {
 		transport = flag.String("transport", "channel", "transport: channel or tcp")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		jsonOut   = flag.String("json", "", "write a BENCH_*.json trajectory point to this path")
+
+		compare    = flag.Bool("compare", false, "compare two trajectory points: -compare old.json new.json")
+		skipWall   = flag.Bool("skip-wall", false, "with -compare: ignore wall-clock numbers (cross-machine records)")
+		wallRatio  = flag.Float64("wall-ratio", 0, "with -compare: allowed new/old wall-clock ratio (default 1.5)")
+		allocRatio = flag.Float64("alloc-ratio", 0, "with -compare: allowed allocs/alloc_bytes ratio (default 1.10)")
+		countRatio = flag.Float64("count-ratio", 0, "with -compare: allowed counter-value ratio (default 1.05)")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: tripoll-bench -compare [-skip-wall] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), exp.CompareOptions{
+			SkipWall:   *skipWall,
+			WallRatio:  *wallRatio,
+			AllocRatio: *allocRatio,
+			CountRatio: *countRatio,
+		}))
+	}
 
 	if *list {
 		for _, r := range exp.All() {
@@ -72,12 +96,15 @@ func main() {
 	var reports []*exp.Report
 	for _, r := range runners {
 		start := time.Now()
+		span := exp.BeginMeasure()
 		rep := r.Run(cfg)
+		m := span.End()
 		elapsed := time.Since(start)
 		rep.Metrics = append(rep.Metrics, exp.Metric{
-			Name:  r.ID + "/wall_ns",
-			Value: float64(elapsed.Nanoseconds()),
-			Unit:  "ns/op",
+			Name:   r.ID + "/wall_ns",
+			Value:  float64(elapsed.Nanoseconds()),
+			Unit:   "ns/op",
+			WallNs: m.WallNs, Allocs: m.Allocs, AllocBytes: m.AllocBytes,
 			Extra: fmt.Sprintf("scale=%g max-ranks=%d transport=%s", *scale, *maxRanks, *transport),
 		})
 		reports = append(reports, rep)
@@ -103,6 +130,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "one or more experiments reported verification failures")
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs newPath against oldPath and reports every regression;
+// its return value is the process exit code.
+func runCompare(oldPath, newPath string, opts exp.CompareOptions) int {
+	oldRec, err := exp.ReadBenchFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRec, err := exp.ReadBenchFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if !opts.SkipWall && oldRec.Env != nil && newRec.Env != nil && *oldRec.Env != *newRec.Env {
+		fmt.Fprintf(os.Stderr, "note: records come from different environments (%+v vs %+v); wall-clock comparisons may be meaningless — consider -skip-wall\n",
+			*oldRec.Env, *newRec.Env)
+	}
+	regs := exp.CompareRecords(oldRec, newRec, opts)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions: %s vs %s (%d baseline metrics)\n", newPath, oldPath, len(oldRec.Benches))
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "%d regression(s) in %s vs %s:\n", len(regs), newPath, oldPath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	return 1
 }
 
 // gitCommit identifies the working tree's HEAD, best effort: trajectory

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// The delta candidate codec: the wire format shared by stream push payloads
+// and pull replies. A candidate section is
+//
+//	uvarint(count)
+//	ceil(count/8) bytes   in-delta bitmask, one bit per candidate, LSB first
+//	count ×               uvarint(id gap) em vm
+//
+// where each id gap is the candidate's target id minus the previous
+// candidate's (the list is sorted by id, so gaps are small varints; the
+// first gap is the absolute id). The bitmask carries the "edge is in the
+// current delta" bit the multi-delta dedup rule needs, packed up front so
+// the per-candidate loop stays branch-light.
+//
+// Encoding lives in encodeCandList, decoding in candScan; both are free of
+// Stream state so the fuzz harness can drive the exact production code over
+// synthetic and adversarial inputs.
+
+// ErrCandidateCount reports a candidate section whose declared count cannot
+// fit in the remaining payload — the guard that keeps a corrupt count from
+// turning into an unbounded decode loop.
+var ErrCandidateCount = errors.New("core: candidate count exceeds remaining payload")
+
+// encodeCandList appends the candidate section for adj's keep indices.
+// trav/epoch/cutoff/timeOf parameterize the in-delta test (see
+// Stream.inDelta); timeOf is only consulted for expiry traversals.
+func encodeCandList[VM, EM any](e *serialize.Encoder, em serialize.Codec[EM], vm serialize.Codec[VM],
+	adj []graph.StreamEntry[VM, EM], keep []int32,
+	trav travKind, epoch uint32, cutoff uint64, timeOf func(EM) uint64) {
+	inDelta := func(c *graph.StreamEntry[VM, EM]) bool {
+		if trav == travInsert {
+			return c.Epoch == epoch
+		}
+		return timeOf(c.EMeta) < cutoff
+	}
+	e.PutUvarint(uint64(len(keep)))
+	var mask uint8
+	bits := 0
+	for _, j := range keep {
+		if inDelta(&adj[j]) {
+			mask |= 1 << bits
+		}
+		bits++
+		if bits == 8 {
+			e.PutUint8(mask)
+			mask, bits = 0, 0
+		}
+	}
+	if bits > 0 {
+		e.PutUint8(mask)
+	}
+	prev := uint64(0)
+	for _, j := range keep {
+		c := &adj[j]
+		e.PutUvarint(c.Target - prev)
+		prev = c.Target
+		em.Encode(e, c.EMeta)
+		vm.Encode(e, c.TMeta)
+	}
+}
+
+// candScan iterates a candidate section in place: open reads the header,
+// each next decodes one candidate into the exported cursor fields. Malformed
+// input never panics — the scan stops and err holds the first failure
+// (ErrCandidateCount for an impossible count, the decoder's truncation error
+// otherwise). Callers on the trusted transport path treat err as a fatal
+// invariant violation; the fuzz harness treats it as a correct rejection.
+type candScan[VM, EM any] struct {
+	d    *serialize.Decoder
+	em   serialize.Codec[EM]
+	vm   serialize.Codec[VM]
+	mask []byte
+	n    int
+	i    int
+	err  error
+
+	id    uint64 // absolute target id (gaps accumulated)
+	fresh bool   // the in-delta bit
+	emv   EM
+	tm    VM
+}
+
+func (c *candScan[VM, EM]) open(d *serialize.Decoder, em serialize.Codec[EM], vm serialize.Codec[VM]) bool {
+	c.d, c.em, c.vm = d, em, vm
+	c.i, c.n, c.id, c.err = 0, 0, 0, nil
+	n := d.Uvarint()
+	if err := d.Err(); err != nil {
+		c.err = err
+		return false
+	}
+	// Every candidate costs at least its one-byte id gap, so a count beyond
+	// the remaining bytes is corrupt regardless of the metadata codecs —
+	// and (count+7)/8 below must not be computed from an overflowing int.
+	if n > uint64(d.Remaining()) {
+		c.err = ErrCandidateCount
+		return false
+	}
+	c.n = int(n)
+	c.mask = d.Raw((c.n + 7) / 8)
+	if err := d.Err(); err != nil {
+		c.err = err
+		return false
+	}
+	return true
+}
+
+// next advances to the next candidate; false at the end of the section or
+// on the first malformed field (distinguished by err).
+func (c *candScan[VM, EM]) next() bool {
+	if c.i >= c.n || c.err != nil {
+		return false
+	}
+	c.id += c.d.Uvarint()
+	c.fresh = c.mask[c.i>>3]>>(c.i&7)&1 == 1
+	c.emv = c.em.Decode(c.d)
+	c.tm = c.vm.Decode(c.d)
+	if err := c.d.Err(); err != nil {
+		c.err = err
+		return false
+	}
+	c.i++
+	return true
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// FuzzCandidateCodec exercises the delta candidate wire format from both
+// directions: (a) encodeCandList → candScan round-trips every candidate's
+// id, in-delta bit, and metadata exactly, and consumes exactly the bytes it
+// wrote; (b) truncated encodings and arbitrary byte soup never panic — the
+// scan stops with a typed error (ErrCandidateCount for an impossible
+// count, the decoder's truncation error otherwise) and never fabricates a
+// fully decoded section from incomplete input.
+func FuzzCandidateCodec(f *testing.F) {
+	f.Add([]byte{3, 0, 9, 1, 200, 4}, uint32(2), uint64(100), false, 0)
+	f.Add([]byte{}, uint32(0), uint64(0), true, 0)
+	f.Add([]byte{255, 255, 255, 255}, uint32(7), uint64(1), false, 3)
+	f.Fuzz(func(t *testing.T, data []byte, epoch uint32, cutoff uint64, expire bool, cut int) {
+		em := serialize.Uint64Codec()
+		vm := serialize.UnitCodec()
+		trav := travInsert
+		if expire {
+			trav = travExpire
+		}
+		timeOf := func(m uint64) uint64 { return m }
+
+		// Half the input builds the candidate list (sorted by id via
+		// cumulative gaps, duplicates allowed; epochs and metadata vary so
+		// both in-delta rules get exercised), the other half seeds probes.
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		adj := make([]graph.StreamEntry[serialize.Unit, uint64], 0, len(data)/2)
+		cur := uint64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			cur += uint64(data[i] % 32)
+			adj = append(adj, graph.StreamEntry[serialize.Unit, uint64]{
+				Target: cur,
+				EMeta:  uint64(data[i+1]) * 3,
+				Epoch:  epoch - uint32(data[i+1]%2), // some in, some out of the delta
+				Dead:   data[i+1]%5 == 0,
+			})
+		}
+		keep := make([]int32, len(adj))
+		for i := range keep {
+			keep[i] = int32(i)
+		}
+
+		var e serialize.Encoder
+		encodeCandList(&e, em, vm, adj, keep, trav, epoch, cutoff, timeOf)
+		wire := e.Bytes()
+
+		// (a) Round-trip: every field back, exact byte consumption.
+		var d serialize.Decoder
+		d.Reset(wire)
+		var cs candScan[serialize.Unit, uint64]
+		if !cs.open(&d, em, vm) {
+			t.Fatalf("open rejected a well-formed section: %v", cs.err)
+		}
+		inDelta := func(c *graph.StreamEntry[serialize.Unit, uint64]) bool {
+			if trav == travInsert {
+				return c.Epoch == epoch
+			}
+			return timeOf(c.EMeta) < cutoff
+		}
+		got := 0
+		for cs.next() {
+			c := &adj[got]
+			if cs.id != c.Target || cs.fresh != inDelta(c) || cs.emv != c.EMeta {
+				t.Fatalf("candidate %d: decoded (id=%d fresh=%v em=%d), want (id=%d fresh=%v em=%d)",
+					got, cs.id, cs.fresh, cs.emv, c.Target, inDelta(c), c.EMeta)
+			}
+			got++
+		}
+		if cs.err != nil {
+			t.Fatalf("scan of a well-formed section errored after %d candidates: %v", got, cs.err)
+		}
+		if got != len(adj) {
+			t.Fatalf("decoded %d candidates, encoded %d", got, len(adj))
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("%d bytes left after a full scan", d.Remaining())
+		}
+
+		// (b1) Every truncated prefix: no panic, and a full decode is
+		// impossible (the section is shorter than its own declaration).
+		if len(wire) > 0 {
+			if cut < 0 {
+				cut = -cut
+			}
+			prefixes := []int{cut % len(wire), 0, len(wire) / 2, len(wire) - 1}
+			for _, p := range prefixes {
+				var dt serialize.Decoder
+				dt.Reset(wire[:p])
+				var ct candScan[serialize.Unit, uint64]
+				n := 0
+				if ct.open(&dt, em, vm) {
+					for ct.next() {
+						n++
+					}
+				}
+				if ct.err == nil && n == len(adj) && len(adj) > 0 {
+					t.Fatalf("prefix %d/%d decoded all %d candidates without error", p, len(wire), len(adj))
+				}
+				if ct.err != nil && !errors.Is(ct.err, ErrCandidateCount) && dt.Err() == nil {
+					t.Fatalf("prefix %d: scan error %v with a clean decoder", p, ct.err)
+				}
+			}
+		}
+
+		// (b2) The raw fuzz input as a section: must not panic; a reported
+		// count that cannot fit must surface as ErrCandidateCount.
+		var dr serialize.Decoder
+		dr.Reset(data)
+		var cr candScan[serialize.Unit, uint64]
+		if cr.open(&dr, em, vm) {
+			for cr.next() {
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/ygm"
+)
+
+// The zero-copy encode equivalence property: a world running the pooled
+// in-place framing path (Rank.Begin/Commit writing directly into batch
+// buffers) must be observationally identical to one running the
+// pre-zero-copy CopyEncode reference discipline — same triangle counts,
+// same wedge checks, same bytes and messages on the wire, same per-phase
+// batch counts — across random graphs × PushOnly/PushPull ×
+// channel/TCP transports × degree/degeneracy orderings, for both full
+// surveys and incremental stream batches. Byte counts are tallied at the
+// transport seam, so equal Bytes across the two disciplines means the
+// encoded batches were byte-identical, not merely equivalent.
+
+// zeroDurations strips wall-clock and batch counts from a Result so two
+// runs compare on machine-independent counters only. Batch counts are
+// excluded because where a flush lands (buffer threshold vs barrier poll)
+// depends on goroutine scheduling in reactive handler chains — the same
+// bytes can arrive split across a different number of transport batches.
+// Bytes and Messages are the encode-identity contract.
+func zeroDurations(res Result) Result {
+	res.Total = 0
+	for _, ph := range []*PhaseStats{&res.DryRun, &res.Push, &res.Pull, &res.Mutate} {
+		ph.Duration = 0
+		ph.Batches = 0
+	}
+	return res
+}
+
+func TestCopyEncodeEquivalenceProperty(t *testing.T) {
+	for _, tr := range []ygm.TransportKind{ygm.TransportChannel, ygm.TransportTCP} {
+		for _, ord := range []graph.Ordering{graph.OrderDegree, graph.OrderDegeneracy} {
+			for _, mode := range []Mode{PushOnly, PushPull} {
+				tr, ord, mode := tr, ord, mode
+				t.Run(fmt.Sprintf("%v/%v/%v", tr, ord, mode), func(t *testing.T) {
+					t.Parallel()
+					seed := int64(100*int(tr) + 10*int(ord) + int(mode))
+					wZero := ygm.MustWorld(4, ygm.Options{Transport: tr})
+					defer wZero.Close()
+					wCopy := ygm.MustWorld(4, ygm.Options{Transport: tr, CopyEncode: true})
+					defer wCopy.Close()
+
+					// Full survey half.
+					rng := rand.New(rand.NewSource(seed))
+					live := map[livePair]uint64{}
+					for i := 0; i < 1200; i++ {
+						u, v := uint64(rng.Intn(250)), uint64(rng.Intn(250))
+						if u == v {
+							continue
+						}
+						k := canonPair(u, v)
+						if old, ok := live[k]; ok {
+							live[k] = minMerge(old, uint64(i))
+						} else {
+							live[k] = uint64(i)
+						}
+					}
+					gZero := buildLive(wZero, live, ord)
+					gCopy := buildLive(wCopy, live, ord)
+					resZero := zeroDurations(NewSurvey(gZero, Options{Mode: mode}, nil).Run())
+					resCopy := zeroDurations(NewSurvey(gCopy, Options{Mode: mode}, nil).Run())
+					if !reflect.DeepEqual(resZero, resCopy) {
+						t.Errorf("survey results diverge between encode disciplines:\nzero-copy: %+v\ncopy:      %+v", resZero, resCopy)
+					}
+
+					// Stream half: identical batch sequences into a zero-copy
+					// and a copy-encode stream, comparing every per-batch
+					// Result and the final analyses.
+					gsZero := buildLive(wZero, map[livePair]uint64{}, ord)
+					gsCopy := buildLive(wCopy, map[livePair]uint64{}, ord)
+					sZero, outZero := openTestStream(t, gsZero, mode, TemporalPlan())
+					sCopy, outCopy := openTestStream(t, gsCopy, mode, TemporalPlan())
+					rng = rand.New(rand.NewSource(seed + 1))
+					now := uint64(0)
+					for b := 0; b < 6; b++ {
+						batch := make([]graph.Edge[uint64], 0, 40)
+						for i := 0; i < 40; i++ {
+							now++
+							batch = append(batch, graph.Edge[uint64]{
+								U: uint64(rng.Intn(120)), V: uint64(rng.Intn(120)), Meta: now,
+							})
+						}
+						bZero, err := sZero.Ingest(batch)
+						if err != nil {
+							t.Fatalf("batch %d: zero-copy ingest: %v", b, err)
+						}
+						bCopy, err := sCopy.Ingest(batch)
+						if err != nil {
+							t.Fatalf("batch %d: copy ingest: %v", b, err)
+						}
+						if !reflect.DeepEqual(zeroDurations(bZero), zeroDurations(bCopy)) {
+							t.Errorf("batch %d: ingest results diverge:\nzero-copy: %+v\ncopy:      %+v",
+								b, zeroDurations(bZero), zeroDurations(bCopy))
+						}
+					}
+					aZero, err := sZero.Advance(now / 2)
+					if err != nil {
+						t.Fatalf("zero-copy advance: %v", err)
+					}
+					aCopy, err := sCopy.Advance(now / 2)
+					if err != nil {
+						t.Fatalf("copy advance: %v", err)
+					}
+					if !reflect.DeepEqual(zeroDurations(aZero), zeroDurations(aCopy)) {
+						t.Errorf("advance results diverge:\nzero-copy: %+v\ncopy:      %+v",
+							zeroDurations(aZero), zeroDurations(aCopy))
+					}
+					sZero.Snapshot()
+					sCopy.Snapshot()
+					if sZero.Triangles() != sCopy.Triangles() {
+						t.Errorf("net triangles diverge: zero-copy %d, copy %d", sZero.Triangles(), sCopy.Triangles())
+					}
+					if !reflect.DeepEqual(outZero, outCopy) {
+						t.Errorf("stream analyses diverge between encode disciplines")
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/bits"
+
+	"tripoll/internal/graph"
+)
+
+// Sorted-list intersection primitives for the survey and stream hot paths.
+//
+// The merge cursors in onPush/onPull used to advance linearly: fine when the
+// two lists are the same length, quadratic in feel when a short pushed
+// suffix is intersected against a hub's adjacency (the cursor crawls over
+// thousands of entries per candidate). Galloping — a bounded linear probe,
+// then exponential search, then binary search over the probed range — costs
+// O(log gap) per advance; the linear prelude keeps the balanced-list case
+// (cursors advancing a step or two) at exactly the old loop's cost instead
+// of paying the exponential machinery's constant factor on every step.
+//
+// The functions are monomorphized per call-site element type instead of
+// taking a comparison closure: these run per candidate per message, and a
+// captured-variable closure would put one allocation on every message.
+
+// gallopOutKey returns the smallest j >= k with !(adj[j].Key() < ck);
+// adj must be sorted by Key (the DODGr adjacency invariant).
+func gallopOutKey[VM, EM any](adj []graph.OutEdge[VM, EM], k int, ck graph.OrderKey) int {
+	for n := 0; n < gallopLinearSteps; n++ {
+		if k >= len(adj) || !adj[k].Key().Less(ck) {
+			return k
+		}
+		k++
+	}
+	// Re-establish adj[k] < ck before probing: the binary search below
+	// excludes k from its range.
+	if k >= len(adj) || !adj[k].Key().Less(ck) {
+		return k
+	}
+	step := 1
+	for k+step < len(adj) && adj[k+step].Key().Less(ck) {
+		k += step
+		step <<= 1
+	}
+	lo, hi := k+1, k+step
+	if hi > len(adj) {
+		hi = len(adj)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].Key().Less(ck) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopPullKey is gallopOutKey over a decoded survey pull reply.
+func gallopPullKey[EM any](xs []pullEntry[EM], k int, ck graph.OrderKey) int {
+	for n := 0; n < gallopLinearSteps; n++ {
+		if k >= len(xs) || !keyOfPull(&xs[k]).Less(ck) {
+			return k
+		}
+		k++
+	}
+	if k >= len(xs) || !keyOfPull(&xs[k]).Less(ck) {
+		return k
+	}
+	step := 1
+	for k+step < len(xs) && keyOfPull(&xs[k+step]).Less(ck) {
+		k += step
+		step <<= 1
+	}
+	lo, hi := k+1, k+step
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyOfPull(&xs[mid]).Less(ck) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopStreamID returns the smallest j >= k with adj[j].Target >= w; adj
+// must be sorted by Target (the stream shard invariant; tombstones keep
+// their slot and sort normally).
+func gallopStreamID[VM, EM any](adj []graph.StreamEntry[VM, EM], k int, w uint64) int {
+	for n := 0; n < gallopLinearSteps; n++ {
+		if k >= len(adj) || adj[k].Target >= w {
+			return k
+		}
+		k++
+	}
+	if k >= len(adj) || adj[k].Target >= w {
+		return k
+	}
+	step := 1
+	for k+step < len(adj) && adj[k+step].Target < w {
+		k += step
+		step <<= 1
+	}
+	lo, hi := k+1, k+step
+	if hi > len(adj) {
+		hi = len(adj)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].Target < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopStreamPullID is gallopStreamID over a decoded stream pull reply.
+func gallopStreamPullID[VM, EM any](xs []streamPullEntry[VM, EM], k int, w uint64) int {
+	for n := 0; n < gallopLinearSteps; n++ {
+		if k >= len(xs) || xs[k].id >= w {
+			return k
+		}
+		k++
+	}
+	if k >= len(xs) || xs[k].id >= w {
+		return k
+	}
+	step := 1
+	for k+step < len(xs) && xs[k+step].id < w {
+		k += step
+		step <<= 1
+	}
+	lo, hi := k+1, k+step
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid].id < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// idBitset answers "is id present, and at which list index" in O(1): a bit
+// per id in [base, last] plus a per-word popcount rank directory, so lookup
+// is one word test and one OnesCount64. A stream pull reply is intersected
+// against *every* parked delta edge targeting the pulled vertex, which is
+// what amortizes the O(span/64 + count) build; per-message intersections
+// (onPush) stick with galloping.
+//
+// The density threshold for building one is bitsetMinCount ids spanning at
+// most bitsetSpanFactor× their count: below that the words are mostly empty
+// and galloping's O(log gap) wins on cache footprint alone.
+type idBitset struct {
+	base  uint64
+	last  uint64
+	words []uint64
+	rank  []int32
+}
+
+const (
+	bitsetMinCount   = 32
+	bitsetSpanFactor = 128
+)
+
+// gallopLinearSteps is how far a gallop cursor walks linearly before
+// switching to exponential probing. Merge-path advances are usually 1-2
+// entries; below this distance plain stepping beats the probe/bisect
+// machinery's extra comparisons.
+const gallopLinearSteps = 4
+
+// buildPullBitset populates b from the (id-sorted) pull reply when it is
+// dense enough to be worth it, reusing b's storage across messages. It
+// reports whether b is usable.
+func buildPullBitset[VM, EM any](b *idBitset, pulled []streamPullEntry[VM, EM]) bool {
+	n := len(pulled)
+	if n < bitsetMinCount {
+		return false
+	}
+	base, last := pulled[0].id, pulled[n-1].id
+	span := last - base + 1
+	if span > uint64(bitsetSpanFactor)*uint64(n) {
+		return false
+	}
+	nw := int((span + 63) / 64)
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+		b.rank = make([]int32, nw)
+	}
+	b.words = b.words[:nw]
+	b.rank = b.rank[:nw]
+	clear(b.words)
+	for i := range pulled {
+		if i > 0 && pulled[i].id == pulled[i-1].id {
+			// A duplicate id would desynchronize the rank directory from
+			// list indices. Production replies hold unique targets; refuse
+			// rather than misindex if one ever doesn't.
+			return false
+		}
+		off := pulled[i].id - base
+		b.words[off>>6] |= 1 << (off & 63)
+	}
+	var r int32
+	for i, w := range b.words {
+		b.rank[i] = r
+		r += int32(bits.OnesCount64(w))
+	}
+	b.base, b.last = base, last
+	return true
+}
+
+// lookup returns the list index of w and whether it is present.
+func (b *idBitset) lookup(w uint64) (int, bool) {
+	if w < b.base || w > b.last {
+		return 0, false
+	}
+	off := w - b.base
+	word := b.words[off>>6]
+	bit := uint64(1) << (off & 63)
+	if word&bit == 0 {
+		return 0, false
+	}
+	return int(b.rank[off>>6]) + bits.OnesCount64(word&(bit-1)), true
+}

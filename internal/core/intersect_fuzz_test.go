@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// FuzzGallopIntersect drives the hybrid galloping cursors (linear prelude →
+// exponential probe → binary search) and the dense-reply bitset against a
+// naive sorted-merge reference over adversarial adjacency shapes: duplicate
+// targets, zero gaps, tombstoned entries, cursor starts anywhere including
+// past the end. The invariant under test is the one the triangle counts
+// ride on: the cursor must land on the SMALLEST j >= k with adj[j] >= w —
+// off by even one (the bug class: skipping the re-check after the linear
+// prelude) silently drops triangles.
+func FuzzGallopIntersect(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 0, 0, 7, 2, 255}, uint8(2), uint64(5))
+	f.Add([]byte{16, 16, 16, 16, 16, 16, 16, 16, 16, 16}, uint8(0), uint64(64))
+	f.Add([]byte{}, uint8(9), uint64(0))
+	f.Fuzz(func(t *testing.T, gaps []byte, kByte uint8, w uint64) {
+		if len(gaps) > 4096 {
+			gaps = gaps[:4096]
+		}
+		// Sorted target list from cumulative gaps; gap 0 makes duplicates.
+		ids := make([]uint64, len(gaps))
+		cur := uint64(0)
+		for i, b := range gaps {
+			cur += uint64(b % 16)
+			ids[i] = cur
+		}
+		adj := make([]graph.StreamEntry[serialize.Unit, uint64], len(ids))
+		for i, id := range ids {
+			adj[i] = graph.StreamEntry[serialize.Unit, uint64]{
+				Target: id,
+				EMeta:  uint64(i),
+				Dead:   i%3 == 0, // tombstones keep their slot and sort normally
+			}
+		}
+		k := int(kByte)
+		if k > len(adj) {
+			k = len(adj)
+		}
+
+		// Probe the fuzzed w plus every value adjacent to a list element,
+		// hitting exact matches, gaps, and both ends.
+		probes := []uint64{w, cur, cur + 1}
+		for i := 0; i < len(ids); i += 1 + len(ids)/16 {
+			probes = append(probes, ids[i])
+			if ids[i] > 0 {
+				probes = append(probes, ids[i]-1)
+			}
+		}
+		for _, p := range probes {
+			want := k
+			for want < len(adj) && adj[want].Target < p {
+				want++
+			}
+			if got := gallopStreamID(adj, k, p); got != want {
+				t.Fatalf("gallopStreamID(k=%d, w=%d) = %d, want %d (len %d)", k, p, got, want, len(adj))
+			}
+		}
+
+		// gallopOutKey over the composite (Deg, Mix64(id), id) order —
+		// ties on Deg break by hash, so the list must be sorted by Key,
+		// not by Target.
+		out := make([]graph.OutEdge[serialize.Unit, uint64], len(ids))
+		for i, id := range ids {
+			out[i] = graph.OutEdge[serialize.Unit, uint64]{Target: id, TOrd: uint32(id >> 2)}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key().Less(out[j].Key()) })
+		for _, p := range probes {
+			ck := graph.KeyOf(uint32(p>>2), p)
+			want := k
+			for want < len(out) && out[want].Key().Less(ck) {
+				want++
+			}
+			if got := gallopOutKey(out, k, ck); got != want {
+				t.Fatalf("gallopOutKey(k=%d, ck=%v) = %d, want %d", k, ck, got, want)
+			}
+		}
+
+		// Dense-reply bitset vs gallopStreamPullID over the deduplicated
+		// list: both must agree with linear search on membership and index.
+		pulled := make([]streamPullEntry[serialize.Unit, uint64], 0, len(ids))
+		for i, id := range ids {
+			if i > 0 && id == ids[i-1] {
+				continue
+			}
+			pulled = append(pulled, streamPullEntry[serialize.Unit, uint64]{id: id, em: uint64(i)})
+		}
+		var bs idBitset
+		dense := buildPullBitset(&bs, pulled)
+		for _, p := range probes {
+			wantIdx := -1
+			for i := range pulled {
+				if pulled[i].id == p {
+					wantIdx = i
+					break
+				}
+			}
+			j := gallopStreamPullID(pulled, 0, p)
+			gotGallop := -1
+			if j < len(pulled) && pulled[j].id == p {
+				gotGallop = j
+			}
+			if gotGallop != wantIdx {
+				t.Fatalf("gallopStreamPullID(%d): got index %d, want %d", p, gotGallop, wantIdx)
+			}
+			if dense {
+				gotBits := -1
+				if idx, ok := bs.lookup(p); ok {
+					gotBits = idx
+				}
+				if gotBits != wantIdx {
+					t.Fatalf("bitset lookup(%d): got index %d, want %d", p, gotBits, wantIdx)
+				}
+			}
+		}
+
+		// A reply with duplicate ids must refuse the bitset: its rank
+		// directory counts set bits, not list entries.
+		if len(ids) >= bitsetMinCount {
+			dup := make([]streamPullEntry[serialize.Unit, uint64], len(ids))
+			for i, id := range ids {
+				dup[i] = streamPullEntry[serialize.Unit, uint64]{id: id}
+			}
+			hasDup := false
+			for i := 1; i < len(ids); i++ {
+				if ids[i] == ids[i-1] {
+					hasDup = true
+					break
+				}
+			}
+			var bs2 idBitset
+			if hasDup && buildPullBitset(&bs2, dup) {
+				t.Fatalf("buildPullBitset accepted a reply with duplicate ids")
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"tripoll/internal/graph"
@@ -160,6 +161,14 @@ type Stream[VM, EM any] struct {
 	stats     StreamStats
 	seed      Result
 
+	// Per-batch scratch reused across Ingest/Advance calls (premerge's
+	// dedup index and output, Advance's per-rank tombstone counts): a
+	// long-lived stream ingests thousands of batches, and remaking these
+	// was a measurable slice of per-batch allocations.
+	scratchIdx    map[edgeKey]int
+	scratchMerged []graph.Edge[EM]
+	scratchHalves []uint64
+
 	hRoute, hComplete, hFinish       ygm.HandlerID
 	hDirect, hAssign                 ygm.HandlerID
 	hPropose, hDecline, hPush, hPull ygm.HandlerID
@@ -188,6 +197,7 @@ type streamState[VM, EM any] struct {
 	scratchTri  Triangle[VM, EM]
 	scratchKeep []int32
 	scratchPull []streamPullEntry[VM, EM]
+	pullBits    idBitset // dense-reply index reused across onPull messages
 }
 
 // OpenStream opens a stream over g's world, partitioning and ordering,
@@ -293,14 +303,25 @@ func (s *Stream[VM, EM]) metaCmp() func(a, b EM) bool {
 	return s.metaEq
 }
 
+// metaEqPool holds the scratch encoders metaEq compares through. Package
+// level because metaEq runs inside handlers on any rank's goroutine, so
+// per-Stream scratch would race; a sync.Pool keeps the steady state
+// allocation-free either way.
+var metaEqPool = sync.Pool{New: func() any { return serialize.NewEncoder(64) }}
+
 // metaEq compares edge metadata through the codec: byte-identical encoding
 // is the package's notion of "the merge kept the stored value".
 func (s *Stream[VM, EM]) metaEq(a, b EM) bool {
-	ea := serialize.NewEncoder(64)
-	eb := serialize.NewEncoder(64)
+	ea := metaEqPool.Get().(*serialize.Encoder)
+	eb := metaEqPool.Get().(*serialize.Encoder)
+	ea.Reset()
+	eb.Reset()
 	s.em.Encode(ea, a)
 	s.em.Encode(eb, b)
-	return bytes.Equal(ea.Bytes(), eb.Bytes())
+	eq := bytes.Equal(ea.Bytes(), eb.Bytes())
+	metaEqPool.Put(ea)
+	metaEqPool.Put(eb)
+	return eq
 }
 
 func (s *Stream[VM, EM]) registerHandlers() {
@@ -333,12 +354,12 @@ func (s *Stream[VM, EM]) registerHandlers() {
 				return
 			}
 		}
-		e := r.Enc()
+		e := r.Begin(s.owner(v), s.hComplete)
 		e.PutUvarint(v)
 		e.PutUvarint(u)
 		s.em.Encode(e, em)
 		s.vm.Encode(e, sh.Verts[vi].Meta)
-		r.Async(s.owner(v), s.hComplete, e)
+		r.Commit(e)
 	})
 	s.hComplete = s.w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
 		v := d.Uvarint()
@@ -359,11 +380,11 @@ func (s *Stream[VM, EM]) registerHandlers() {
 			return // revising duplicate: merged at both owners, chain ends
 		}
 		st.pending = append(st.pending, deltaEdge{a: v, b: u})
-		e := r.Enc()
+		e := r.Begin(s.owner(u), s.hFinish)
 		e.PutUvarint(u)
 		e.PutUvarint(v)
 		s.vm.Encode(e, sh.Verts[vi].Meta)
-		r.Async(s.owner(u), s.hFinish, e)
+		r.Commit(e)
 	})
 	s.hFinish = s.w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
 		u := d.Uvarint()
@@ -404,10 +425,10 @@ func (s *Stream[VM, EM]) registerHandlers() {
 			st.delta = append(st.delta, deltaEdge{a: u, b: v})
 			return
 		}
-		e := r.Enc()
+		e := r.Begin(s.owner(v), s.hAssign)
 		e.PutUvarint(v)
 		e.PutUvarint(u)
-		r.Async(s.owner(v), s.hAssign, e)
+		r.Commit(e)
 	})
 	s.hAssign = s.w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
 		v := d.Uvarint()
@@ -463,12 +484,12 @@ func (s *Stream[VM, EM]) seedFrom(g *graph.DODGr[VM, EM]) {
 				// <+-smaller endpoint is the low-degree side, exactly the
 				// direction the ingest chain would choose.
 				sh.Verts[vi].Adj = append(sh.Verts[vi].Adj, graph.StreamEntry[VM, EM]{Target: o.Target, EMeta: o.EMeta, TMeta: o.TMeta, Init: true})
-				e := r.Enc()
+				e := r.Begin(s.owner(o.Target), hSeed)
 				e.PutUvarint(o.Target)
 				e.PutUvarint(v.ID)
 				s.em.Encode(e, o.EMeta)
 				s.vm.Encode(e, v.Meta)
-				r.Async(s.owner(o.Target), hSeed, e)
+				r.Commit(e)
 			}
 		}
 		r.Barrier() // all seeds delivered before sealing
@@ -617,11 +638,11 @@ func (s *Stream[VM, EM]) Ingest(batch []graph.Edge[EM]) (Result, error) {
 	merged := s.premerge(batch)
 	s.phase(&prev, &res.Mutate, func(r *ygm.Rank) {
 		for i := r.ID(); i < len(merged); i += r.Size() {
-			e := r.Enc()
+			e := r.Begin(s.owner(merged[i].U), s.hRoute)
 			e.PutUvarint(merged[i].U)
 			e.PutUvarint(merged[i].V)
 			s.em.Encode(e, merged[i].Meta)
-			r.Async(s.owner(merged[i].U), s.hRoute, e)
+			r.Commit(e)
 		}
 	})
 	// Direction round: degrees are settled behind the phase barrier, so
@@ -630,11 +651,11 @@ func (s *Stream[VM, EM]) Ingest(batch []graph.Edge[EM]) (Result, error) {
 		sh := s.shards[r.ID()]
 		st := &s.state[r.ID()]
 		for _, p := range st.pending {
-			e := r.Enc()
+			e := r.Begin(s.owner(p.b), s.hDirect)
 			e.PutUvarint(p.b)
 			e.PutUvarint(p.a)
 			e.PutUvarint(uint64(sh.LiveDeg(sh.Index[p.a])))
-			r.Async(s.owner(p.b), s.hDirect, e)
+			r.Commit(e)
 		}
 	})
 	changed := false
@@ -662,9 +683,16 @@ func (s *Stream[VM, EM]) Ingest(batch []graph.Edge[EM]) (Result, error) {
 // premerge canonicalizes a batch: self-loops dropped (and counted),
 // duplicate pairs merged with MergeEdgeMeta, endpoints ordered lo < hi —
 // so both owners of a pair receive exactly one deterministic insertion.
+// The returned slice is the stream's scratch storage, valid until the next
+// Ingest.
 func (s *Stream[VM, EM]) premerge(batch []graph.Edge[EM]) []graph.Edge[EM] {
-	idx := make(map[edgeKey]int, len(batch))
-	out := make([]graph.Edge[EM], 0, len(batch))
+	if s.scratchIdx == nil {
+		s.scratchIdx = make(map[edgeKey]int, len(batch))
+	} else {
+		clear(s.scratchIdx)
+	}
+	idx := s.scratchIdx
+	out := s.scratchMerged[:0]
 	for _, e := range batch {
 		if e.U == e.V {
 			s.stats.SelfLoopsDropped++
@@ -681,6 +709,7 @@ func (s *Stream[VM, EM]) premerge(batch []graph.Edge[EM]) []graph.Edge[EM] {
 		idx[k] = len(out)
 		out = append(out, graph.Edge[EM]{U: k.lo, V: k.hi, Meta: e.Meta})
 	}
+	s.scratchMerged = out
 	return out
 }
 
@@ -729,7 +758,10 @@ func (s *Stream[VM, EM]) Advance(cutoff uint64) (Result, error) {
 		})
 		s.runDelta(&res, &prev)
 	}
-	halves := make([]uint64, s.w.Size())
+	if s.scratchHalves == nil {
+		s.scratchHalves = make([]uint64, s.w.Size())
+	}
+	halves := s.scratchHalves
 	s.phase(&prev, &res.Mutate, func(r *ygm.Rank) {
 		sh := s.shards[r.ID()]
 		halves[r.ID()] = uint64(sh.ExpireBefore(s.timeOf, cutoff))
@@ -851,11 +883,11 @@ func (s *Stream[VM, EM]) dryRunPhase(r *ygm.Rank) {
 		st.parked[de.b] = append(st.parked[de.b], int32(di))
 	}
 	for hi, vol := range st.targVol {
-		e := r.Enc()
+		e := r.Begin(s.owner(hi), s.hPropose)
 		e.PutUvarint(hi)
 		e.PutUvarint(vol)
 		e.PutUvarint(uint64(r.ID()))
-		r.Async(s.owner(hi), s.hPropose, e)
+		r.Commit(e)
 	}
 }
 
@@ -891,9 +923,9 @@ func (s *Stream[VM, EM]) onPropose(r *ygm.Rank, d *serialize.Decoder) {
 		st.numGrants++
 		return
 	}
-	e := r.Enc()
+	e := r.Begin(src, s.hDecline)
 	e.PutUvarint(hi)
-	r.Async(src, s.hDecline, e)
+	r.Commit(e)
 }
 
 func (s *Stream[VM, EM]) onDecline(r *ygm.Rank, d *serialize.Decoder) {
@@ -965,46 +997,21 @@ func (s *Stream[VM, EM]) pushPhase(r *ygm.Rank) {
 		if f.active {
 			st.prunedCands += uint64(cands - len(keep))
 		}
-		e := r.Enc()
+		e := r.Begin(s.owner(de.b), s.hPush)
 		e.PutUvarint(de.a)
 		s.vm.Encode(e, v.Meta)
 		e.PutUvarint(de.b)
 		s.em.Encode(e, em)
 		s.encodeCandidates(e, v.Adj, keep)
-		r.Async(s.owner(de.b), s.hPush, e)
+		r.Commit(e)
 	}
 }
 
-// encodeCandidates writes a neighborhood slice in the delta wire format:
-// count, a packed in-delta bitmask (one bit per candidate, LSB first),
-// then per candidate the gap from the previous target id (the list is
-// sorted, so gaps are small varints), edge metadata and inlined target
-// vertex metadata.
+// encodeCandidates writes a neighborhood slice in the delta candidate wire
+// format (see candcodec.go), parameterizing the shared codec with this
+// batch's in-delta test.
 func (s *Stream[VM, EM]) encodeCandidates(e *serialize.Encoder, adj []graph.StreamEntry[VM, EM], keep []int32) {
-	e.PutUvarint(uint64(len(keep)))
-	var mask uint8
-	bits := 0
-	for _, j := range keep {
-		if s.inDelta(&adj[j]) {
-			mask |= 1 << bits
-		}
-		bits++
-		if bits == 8 {
-			e.PutUint8(mask)
-			mask, bits = 0, 0
-		}
-	}
-	if bits > 0 {
-		e.PutUint8(mask)
-	}
-	prev := uint64(0)
-	for _, j := range keep {
-		c := &adj[j]
-		e.PutUvarint(c.Target - prev)
-		prev = c.Target
-		s.em.Encode(e, c.EMeta)
-		s.vm.Encode(e, c.TMeta)
-	}
+	encodeCandList(e, s.em, s.vm, adj, keep, s.trav, s.epoch, s.pendingCutoff, s.timeOf)
 }
 
 // onPush intersects a pushed delta neighborhood against the local live
@@ -1016,7 +1023,6 @@ func (s *Stream[VM, EM]) onPush(r *ygm.Rank, d *serialize.Decoder) {
 	metaA := s.vm.Decode(d)
 	b := d.Uvarint() // partner: a local vertex of this rank
 	emAB := s.em.Decode(d)
-	count := int(d.Uvarint())
 	if d.Err() != nil {
 		panic("core: corrupt stream push header: " + d.Err().Error())
 	}
@@ -1029,38 +1035,32 @@ func (s *Stream[VM, EM]) onPush(r *ygm.Rank, d *serialize.Decoder) {
 	v := &sh.Verts[vi]
 	adj := v.Adj
 	eKey := pairKey(a, b)
-	mask := d.Raw((count + 7) / 8)
-	if d.Err() != nil {
-		panic("core: corrupt stream push bitmask: " + d.Err().Error())
+	var cs candScan[VM, EM]
+	if !cs.open(d, s.em, s.vm) {
+		panic("core: corrupt stream push candidates: " + cs.err.Error())
 	}
 	k := 0
-	w := uint64(0)
-	for i := 0; i < count; i++ {
-		w += d.Uvarint()
-		freshAW := mask[i/8]>>(i%8)&1 == 1
-		emAW := s.em.Decode(d)
-		metaW := s.vm.Decode(d)
-		if d.Err() != nil {
-			panic("core: corrupt stream push candidate: " + d.Err().Error())
-		}
-		for k < len(adj) && adj[k].Target < w {
-			k++
-		}
+	for cs.next() {
+		w := cs.id
+		k = gallopStreamID(adj, k, w)
 		st.wedgeChecks++
 		if k < len(adj) && adj[k].Target == w && !adj[k].Dead {
 			c := &adj[k]
-			if freshAW && keyLess(pairKey(a, w), eKey) {
+			if cs.fresh && keyLess(pairKey(a, w), eKey) {
 				continue // counted at delta edge {a, w}
 			}
 			if s.inDelta(c) && keyLess(pairKey(b, w), eKey) {
 				continue // counted at delta edge {b, w}
 			}
-			if s.filters.active && !s.filters.tri(emAB, emAW, c.EMeta) {
+			if s.filters.active && !s.filters.tri(emAB, cs.emv, c.EMeta) {
 				continue
 			}
 			st.triangles++
-			s.dispatch(r, a, metaA, b, v.Meta, w, metaW, emAB, emAW, c.EMeta)
+			s.dispatch(r, a, metaA, b, v.Meta, w, cs.tm, emAB, cs.emv, c.EMeta)
 		}
+	}
+	if cs.err != nil {
+		panic("core: corrupt stream push candidate: " + cs.err.Error())
 	}
 }
 
@@ -1095,46 +1095,43 @@ func (s *Stream[VM, EM]) pullPhase(r *ygm.Rank) {
 			continue
 		}
 		for _, src := range srcs {
-			e := r.Enc()
+			e := r.Begin(int(src), s.hPull)
 			e.PutUvarint(hi)
 			s.vm.Encode(e, v.Meta)
 			s.encodeCandidates(e, v.Adj, keep)
-			r.Async(int(src), s.hPull, e)
+			r.Commit(e)
 		}
 	}
 }
 
 // onPull completes, back at the initiating rank, every parked delta edge
-// targeting the pulled vertex: the mirror intersection of onPush.
+// targeting the pulled vertex: the mirror intersection of onPush. One
+// decoded reply is intersected against *many* parked neighborhoods, so a
+// dense reply is indexed once into the rank's reusable idBitset (O(1)
+// membership + list index per candidate); sparse replies gallop like the
+// push side.
 func (s *Stream[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
 	hi := d.Uvarint()
 	metaHi := s.vm.Decode(d)
-	count := int(d.Uvarint())
 	if d.Err() != nil {
 		panic("core: corrupt stream pull header: " + d.Err().Error())
 	}
 	sh := s.shards[r.ID()]
 	st := &s.state[r.ID()]
-	mask := d.Raw((count + 7) / 8)
-	if d.Err() != nil {
-		panic("core: corrupt stream pull bitmask: " + d.Err().Error())
+	var cs candScan[VM, EM]
+	if !cs.open(d, s.em, s.vm) {
+		panic("core: corrupt stream pull candidates: " + cs.err.Error())
 	}
 	pulled := st.scratchPull[:0]
-	prev := uint64(0)
-	for i := 0; i < count; i++ {
-		var pe streamPullEntry[VM, EM]
-		pe.id = prev + d.Uvarint()
-		prev = pe.id
-		pe.fresh = mask[i/8]>>(i%8)&1 == 1
-		pe.em = s.em.Decode(d)
-		pe.tmeta = s.vm.Decode(d)
-		if d.Err() != nil {
-			panic("core: corrupt stream pull entry: " + d.Err().Error())
-		}
-		pulled = append(pulled, pe)
+	for cs.next() {
+		pulled = append(pulled, streamPullEntry[VM, EM]{id: cs.id, fresh: cs.fresh, em: cs.emv, tmeta: cs.tm})
+	}
+	if cs.err != nil {
+		panic("core: corrupt stream pull entry: " + cs.err.Error())
 	}
 	st.scratchPull = pulled
 
+	dense := buildPullBitset(&st.pullBits, pulled)
 	f := &s.filters
 	for _, di := range st.parked[hi] {
 		de := st.delta[di]
@@ -1154,11 +1151,15 @@ func (s *Stream[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
 				continue
 			}
 			w := c.Target
-			for k < len(pulled) && pulled[k].id < w {
-				k++
-			}
 			st.wedgeChecks++
-			if k < len(pulled) && pulled[k].id == w {
+			var hit bool
+			if dense {
+				k, hit = st.pullBits.lookup(w)
+			} else {
+				k = gallopStreamPullID(pulled, k, w)
+				hit = k < len(pulled) && pulled[k].id == w
+			}
+			if hit {
 				p := &pulled[k]
 				if s.inDelta(c) && keyLess(pairKey(de.a, w), eKey) {
 					continue

@@ -204,12 +204,24 @@ func NewPlannedSurvey[VM, EM any](g *graph.DODGr[VM, EM], opts Options, plan *Pl
 func (s *Survey[VM, EM]) Run() Result {
 	for i := range s.state {
 		st := &s.state[i]
-		st.targVol = make(map[uint64]uint64)
-		st.targReq = make(map[uint64][]reqRef)
-		st.declined = make(map[uint64]bool)
-		st.pullGrants = make(map[int32][]int32)
+		if st.targVol == nil {
+			st.targVol = make(map[uint64]uint64)
+			st.targReq = make(map[uint64][]reqRef)
+			st.declined = make(map[uint64]bool)
+			st.pullGrants = make(map[int32][]int32)
+		} else {
+			// Reuse the previous Run's maps: repeated surveys over the same
+			// graph (ablation sweeps, stream rebuilds) were paying a fresh
+			// set of map allocations per rank per run.
+			clear(st.targVol)
+			clear(st.targReq)
+			clear(st.declined)
+			clear(st.pullGrants)
+		}
 		st.numGrants = 0
-		st.filteredAdj = nil
+		if st.filteredAdj != nil {
+			clear(st.filteredAdj)
+		}
 		st.triangles = 0
 		st.wedgeChecks = 0
 		st.prunedBatches = 0
@@ -312,11 +324,11 @@ func (s *Survey[VM, EM]) dryRunPhase(r *ygm.Rank) {
 		}
 	}
 	for q, vol := range st.targVol {
-		e := r.Enc()
+		e := r.Begin(s.g.Owner(q), s.hPropose)
 		e.PutUvarint(q)
 		e.PutUvarint(vol)
 		e.PutUvarint(uint64(r.ID()))
-		r.Async(s.g.Owner(q), s.hPropose, e)
+		r.Commit(e)
 	}
 }
 
@@ -351,9 +363,9 @@ func (s *Survey[VM, EM]) onPropose(r *ygm.Rank, d *serialize.Decoder) {
 		st.numGrants++
 		return
 	}
-	e := r.Enc()
+	e := r.Begin(src, s.hDecline)
 	e.PutUvarint(q)
-	r.Async(src, s.hDecline, e)
+	r.Commit(e)
 }
 
 // filteredAdjLen returns the edge-filtered length of v's adjacency list,
@@ -441,7 +453,7 @@ func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 				}
 				st.prunedCands += uint64(len(rest) - len(keep))
 			}
-			e := r.Enc()
+			e := r.Begin(s.g.Owner(q.Target), s.hPush)
 			e.PutUvarint(p.ID)
 			vmC.Encode(e, p.Meta)
 			e.PutUvarint(q.Target)
@@ -449,12 +461,18 @@ func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 			// Candidate entries carry (r, d(r), meta(p,r)) but not meta(r):
 			// Rank(q) already stores meta(r) for any r closing a triangle
 			// (§4.3: "this extra metadata is never actually transmitted").
+			// d(r) is sent as the gap from the previous candidate's — the
+			// suffix is sorted by order key, so TOrd is non-decreasing and
+			// the gaps are near-zero varints where absolute values (hub
+			// degrees) routinely cost multiple bytes.
+			prevOrd := uint32(0)
 			if filtered {
 				e.PutUvarint(uint64(len(keep)))
 				for _, k := range keep {
 					c := &rest[k]
 					e.PutUvarint(c.Target)
-					e.PutUvarint(uint64(c.TOrd))
+					e.PutUvarint(uint64(c.TOrd - prevOrd))
+					prevOrd = c.TOrd
 					emC.Encode(e, c.EMeta)
 				}
 			} else {
@@ -462,11 +480,12 @@ func (s *Survey[VM, EM]) pushPhase(r *ygm.Rank) {
 				for k := range rest {
 					c := &rest[k]
 					e.PutUvarint(c.Target)
-					e.PutUvarint(uint64(c.TOrd))
+					e.PutUvarint(uint64(c.TOrd - prevOrd))
+					prevOrd = c.TOrd
 					emC.Encode(e, c.EMeta)
 				}
 			}
-			r.Async(s.g.Owner(q.Target), s.hPush, e)
+			r.Commit(e)
 		}
 	}
 }
@@ -494,17 +513,16 @@ func (s *Survey[VM, EM]) onPush(r *ygm.Rank, d *serialize.Decoder) {
 	}
 	adj := q.Adj
 	k := 0
+	cdeg := uint32(0)
 	for i := 0; i < count; i++ {
 		cid := d.Uvarint()
-		cdeg := uint32(d.Uvarint())
+		cdeg += uint32(d.Uvarint())
 		metaPR := emC.Decode(d)
 		if d.Err() != nil {
 			panic("core: corrupt push candidate: " + d.Err().Error())
 		}
 		ck := graph.KeyOf(cdeg, cid)
-		for k < len(adj) && adj[k].Key().Less(ck) {
-			k++
-		}
+		k = gallopOutKey(adj, k, ck)
 		st.wedgeChecks++
 		if k < len(adj) && adj[k].Target == cid {
 			o := &adj[k]
@@ -564,15 +582,19 @@ func (s *Survey[VM, EM]) pullPhase(r *ygm.Rank) {
 			}
 		}
 		for _, src := range srcs {
-			e := r.Enc()
+			e := r.Begin(int(src), s.hPull)
 			e.PutUvarint(q.ID)
 			vmC.Encode(e, q.Meta)
+			// Same TOrd gap encoding as the push candidates: Adj⁺ᵐ(q) is
+			// sorted by order key, so the gaps are near-zero varints.
+			prevOrd := uint32(0)
 			if f.hasEdge {
 				e.PutUvarint(uint64(len(keep)))
 				for _, k := range keep {
 					o := &q.Adj[k]
 					e.PutUvarint(o.Target)
-					e.PutUvarint(uint64(o.TOrd))
+					e.PutUvarint(uint64(o.TOrd - prevOrd))
+					prevOrd = o.TOrd
 					emC.Encode(e, o.EMeta)
 				}
 			} else {
@@ -580,11 +602,12 @@ func (s *Survey[VM, EM]) pullPhase(r *ygm.Rank) {
 				for k := range q.Adj {
 					o := &q.Adj[k]
 					e.PutUvarint(o.Target)
-					e.PutUvarint(uint64(o.TOrd))
+					e.PutUvarint(uint64(o.TOrd - prevOrd))
+					prevOrd = o.TOrd
 					emC.Encode(e, o.EMeta)
 				}
 			}
-			r.Async(int(src), s.hPull, e)
+			r.Commit(e)
 		}
 	}
 }
@@ -605,10 +628,12 @@ func (s *Survey[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
 		panic("core: corrupt pull header: " + d.Err().Error())
 	}
 	pulled := st.scratchPull[:0]
+	prevOrd := uint32(0)
 	for i := 0; i < count; i++ {
 		var pe pullEntry[EM]
 		pe.id = d.Uvarint()
-		pe.deg = uint32(d.Uvarint())
+		pe.deg = prevOrd + uint32(d.Uvarint())
+		prevOrd = pe.deg
 		pe.em = emC.Decode(d)
 		if d.Err() != nil {
 			panic("core: corrupt pull entry: " + d.Err().Error())
@@ -633,9 +658,7 @@ func (s *Survey[VM, EM]) onPull(r *ygm.Rank, d *serialize.Decoder) {
 				continue
 			}
 			ck := c.Key()
-			for k < len(pulled) && keyOfPull(&pulled[k]).Less(ck) {
-				k++
-			}
+			k = gallopPullKey(pulled, k, ck)
 			st.wedgeChecks++
 			if k < len(pulled) && pulled[k].id == c.Target {
 				if f.active && !f.tri(metaPQ, c.EMeta, pulled[k].em) {

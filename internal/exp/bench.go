@@ -3,6 +3,7 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -30,12 +31,16 @@ type BenchRecord struct {
 	// Tool is always "go".
 	Tool    string   `json:"tool"`
 	Benches []Metric `json:"benches"`
+	// Env stamps the environment the record was measured in. A pointer so
+	// trajectory files from before the stamp existed still parse.
+	Env *BenchEnv `json:"env,omitempty"`
 }
 
 // NewBenchRecord collects the metrics of the given reports, in report
-// order, into a trajectory point.
+// order, into a trajectory point stamped with the current environment.
 func NewBenchRecord(commit BenchCommit, dateMillis int64, reports []*Report) BenchRecord {
-	rec := BenchRecord{Commit: commit, Date: dateMillis, Tool: "go"}
+	env := CurrentBenchEnv()
+	rec := BenchRecord{Commit: commit, Date: dateMillis, Tool: "go", Env: &env}
 	for _, rep := range reports {
 		rec.Benches = append(rec.Benches, rep.Metrics...)
 	}
@@ -92,13 +97,29 @@ func (rec *BenchRecord) Validate() error {
 		if b.Unit == "" {
 			return fmt.Errorf("bench %q: empty unit", b.Name)
 		}
-		if b.Value != b.Value || b.Value < 0 { // NaN or negative
+		if math.IsNaN(b.Value) || math.IsInf(b.Value, 0) || b.Value < 0 {
 			return fmt.Errorf("bench %q: bad value %v", b.Name, b.Value)
+		}
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{{"wall_ns", b.WallNs}, {"allocs", b.Allocs}, {"alloc_bytes", b.AllocBytes}} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return fmt.Errorf("bench %q: bad %s %v", b.Name, f.name, f.v)
+			}
 		}
 		if seen[b.Name] {
 			return fmt.Errorf("bench %q: duplicate name", b.Name)
 		}
 		seen[b.Name] = true
+	}
+	if rec.Env != nil {
+		if rec.Env.GoVersion == "" || rec.Env.GOOS == "" || rec.Env.GOARCH == "" {
+			return fmt.Errorf("env: missing go_version/goos/goarch")
+		}
+		if rec.Env.NumCPU <= 0 || rec.Env.GOMAXPROCS <= 0 {
+			return fmt.Errorf("env: bad cpu counts %d/%d", rec.Env.NumCPU, rec.Env.GOMAXPROCS)
+		}
 	}
 	return nil
 }

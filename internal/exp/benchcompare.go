@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trajectory comparison: the CI bench gate diffs a fresh BenchRecord
+// against the committed one and fails on regressions. Two tolerance
+// classes exist because the two kinds of numbers travel differently:
+//
+//   - wall-clock (ns units, wall_ns fields) is machine-dependent and
+//     noisy, so it gets a wide ratio plus an absolute noise floor, and
+//     can be skipped entirely for cross-machine comparisons;
+//   - allocator traffic and work counters (allocs, bytes, messages,
+//     wedge checks) are deterministic per commit, so they get tight
+//     ratios — these are what a cross-machine gate actually enforces.
+//
+// Improvements always pass: the gate is one-sided.
+
+// CompareOptions tunes the regression thresholds. Zero values select the
+// defaults documented on each field.
+type CompareOptions struct {
+	// WallRatio is the allowed new/old ratio for wall-clock numbers
+	// (metric values in ns units and wall_ns brackets). Default 1.5.
+	WallRatio float64
+	// WallFloorNs is an absolute noise floor: wall regressions under this
+	// many ns are ignored regardless of ratio. Default 100_000 (0.1 ms).
+	WallFloorNs float64
+	// AllocRatio is the allowed ratio for allocs/alloc_bytes brackets.
+	// Default 1.10.
+	AllocRatio float64
+	// AllocSlack/ByteSlack are absolute headroom on the alloc brackets so
+	// near-zero baselines don't fail on scheduler jitter. Defaults 16
+	// allocs and 4096 bytes.
+	AllocSlack float64
+	ByteSlack  float64
+	// CountRatio is the allowed ratio for non-time metric values
+	// (messages, bytes on the wire, wedge checks). Default 1.05.
+	CountRatio float64
+	// SkipWall drops all wall-clock checks — the cross-machine mode.
+	SkipWall bool
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.WallRatio == 0 {
+		o.WallRatio = 1.5
+	}
+	if o.WallFloorNs == 0 {
+		o.WallFloorNs = 100_000
+	}
+	if o.AllocRatio == 0 {
+		o.AllocRatio = 1.10
+	}
+	if o.AllocSlack == 0 {
+		o.AllocSlack = 16
+	}
+	if o.ByteSlack == 0 {
+		o.ByteSlack = 4096
+	}
+	if o.CountRatio == 0 {
+		o.CountRatio = 1.05
+	}
+	return o
+}
+
+// Regression is one failed comparison.
+type Regression struct {
+	// Name is the metric name; Field is which number regressed: "value",
+	// "wall_ns", "allocs", "alloc_bytes", or "missing" when the metric
+	// disappeared from the new record.
+	Name  string
+	Field string
+	Old   float64
+	New   float64
+	// Limit is the largest New that would have passed.
+	Limit float64
+}
+
+func (r Regression) String() string {
+	if r.Field == "missing" {
+		return fmt.Sprintf("%s: present in old record, missing from new", r.Name)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g exceeds limit %.4g (%+.1f%%)",
+		r.Name, r.Field, r.Old, r.New, r.Limit, 100*(r.New-r.Old)/max(r.Old, 1))
+}
+
+// CompareRecords diffs newRec against oldRec and returns every regression.
+// Metrics only present in the new record pass (new instrumentation is not
+// a regression); metrics that disappeared fail, so a driver silently
+// dropping coverage is caught.
+func CompareRecords(oldRec, newRec BenchRecord, opts CompareOptions) []Regression {
+	opts = opts.withDefaults()
+	byName := make(map[string]Metric, len(newRec.Benches))
+	for _, b := range newRec.Benches {
+		byName[b.Name] = b
+	}
+	var regs []Regression
+	for _, ob := range oldRec.Benches {
+		nb, ok := byName[ob.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: ob.Name, Field: "missing", Old: ob.Value})
+			continue
+		}
+		if isWallUnit(ob.Unit) {
+			regs = appendWall(regs, ob.Name, "value", ob.Value, nb.Value, opts)
+		} else if lim := ob.Value * opts.CountRatio; nb.Value > lim {
+			regs = append(regs, Regression{Name: ob.Name, Field: "value", Old: ob.Value, New: nb.Value, Limit: lim})
+		}
+		regs = appendWall(regs, ob.Name, "wall_ns", ob.WallNs, nb.WallNs, opts)
+		if lim := ob.Allocs*opts.AllocRatio + opts.AllocSlack; nb.Allocs > lim {
+			regs = append(regs, Regression{Name: ob.Name, Field: "allocs", Old: ob.Allocs, New: nb.Allocs, Limit: lim})
+		}
+		if lim := ob.AllocBytes*opts.AllocRatio + opts.ByteSlack; nb.AllocBytes > lim {
+			regs = append(regs, Regression{Name: ob.Name, Field: "alloc_bytes", Old: ob.AllocBytes, New: nb.AllocBytes, Limit: lim})
+		}
+	}
+	return regs
+}
+
+func appendWall(regs []Regression, name, field string, old, new float64, opts CompareOptions) []Regression {
+	if opts.SkipWall || old == 0 {
+		return regs
+	}
+	lim := old*opts.WallRatio + opts.WallFloorNs
+	if new > lim {
+		regs = append(regs, Regression{Name: name, Field: field, Old: old, New: new, Limit: lim})
+	}
+	return regs
+}
+
+// isWallUnit reports whether a metric value is a wall-clock time ("ns/op",
+// "ns", "ms") rather than a deterministic counter.
+func isWallUnit(unit string) bool {
+	return strings.HasPrefix(unit, "ns") || strings.HasPrefix(unit, "ms")
+}

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func compareFixture() BenchRecord {
+	rec := NewBenchRecord(BenchCommit{ID: "test"}, 1, nil)
+	rec.Benches = []Metric{
+		{Name: "hotpath/pushonly/run", Value: 1_000_000, Unit: "ns/op",
+			WallNs: 1_000_000, Allocs: 22, AllocBytes: 616},
+		{Name: "hotpath/pushonly/push_bytes", Value: 50_000, Unit: "bytes"},
+		{Name: "hotpath/stream/ingest", Value: 40_000, Unit: "ns/op",
+			WallNs: 40_000, Allocs: 34, AllocBytes: 1_140},
+	}
+	return rec
+}
+
+func findReg(regs []Regression, name, field string) *Regression {
+	for i := range regs {
+		if regs[i].Name == name && regs[i].Field == field {
+			return &regs[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareRecordsIdenticalPasses(t *testing.T) {
+	rec := compareFixture()
+	if regs := CompareRecords(rec, rec, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("identical records produced regressions: %v", regs)
+	}
+}
+
+// The CI gate's core promise: a 2× wall regression fails the default
+// comparison, and -skip-wall waves the same regression through (the
+// cross-machine mode) while still holding the line on allocator numbers.
+func TestCompareRecordsWallRegression(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+	newRec.Benches[0].Value *= 2
+	newRec.Benches[0].WallNs *= 2
+
+	regs := CompareRecords(oldRec, newRec, CompareOptions{})
+	if findReg(regs, "hotpath/pushonly/run", "value") == nil {
+		t.Errorf("2x ns/op value regression not flagged: %v", regs)
+	}
+	if findReg(regs, "hotpath/pushonly/run", "wall_ns") == nil {
+		t.Errorf("2x wall_ns regression not flagged: %v", regs)
+	}
+
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{SkipWall: true}); len(regs) != 0 {
+		t.Errorf("SkipWall still flagged wall-only regressions: %v", regs)
+	}
+
+	// SkipWall is not a blanket waiver: an alloc regression in the same
+	// record still fails.
+	newRec.Benches[2].Allocs = 500
+	regs = CompareRecords(oldRec, newRec, CompareOptions{SkipWall: true})
+	if findReg(regs, "hotpath/stream/ingest", "allocs") == nil {
+		t.Errorf("SkipWall suppressed an alloc regression: %v", regs)
+	}
+}
+
+// Wall noise floor: a regression that is large in ratio but tiny in
+// absolute ns is jitter, not a regression.
+func TestCompareRecordsWallNoiseFloor(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+	oldRec.Benches[0].WallNs = 10_000 // 10 µs baseline
+	oldRec.Benches[0].Value = 10_000
+	newRec.Benches[0].WallNs = 60_000 // 6x, but only +50 µs — under the floor
+	newRec.Benches[0].Value = 60_000
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("sub-floor wall jitter flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareRecordsAllocTolerance(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+
+	// Inside ratio+slack: 22 -> 38 is within 22*1.10+16.
+	newRec.Benches[0].Allocs = 38
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("allocs within slack flagged: %v", regs)
+	}
+	// Just beyond: fails.
+	newRec.Benches[0].Allocs = 41
+	regs := CompareRecords(oldRec, newRec, CompareOptions{})
+	r := findReg(regs, "hotpath/pushonly/run", "allocs")
+	if r == nil {
+		t.Fatalf("allocs beyond slack not flagged: %v", regs)
+	}
+	if r.Limit < 40 || r.Limit > 41 {
+		t.Errorf("alloc limit = %v, want 22*1.10+16 = 40.2", r.Limit)
+	}
+}
+
+func TestCompareRecordsCounterRegression(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+	// Non-time counters are deterministic: +10% wire bytes fails at 1.05.
+	newRec.Benches[1].Value = 55_000
+	regs := CompareRecords(oldRec, newRec, CompareOptions{})
+	if findReg(regs, "hotpath/pushonly/push_bytes", "value") == nil {
+		t.Fatalf("counter regression not flagged: %v", regs)
+	}
+	// Counters never hit the wall floor: the same +10% expressed in a
+	// wall-sized value would pass, a bytes counter must not.
+	if findReg(regs, "hotpath/pushonly/push_bytes", "value").Limit != 50_000*1.05 {
+		t.Errorf("counter limit should be old*CountRatio")
+	}
+}
+
+func TestCompareRecordsImprovementsPass(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+	for i := range newRec.Benches {
+		newRec.Benches[i].Value /= 2
+		newRec.Benches[i].WallNs /= 2
+		newRec.Benches[i].Allocs /= 2
+		newRec.Benches[i].AllocBytes /= 2
+	}
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("one-sided gate flagged improvements: %v", regs)
+	}
+}
+
+func TestCompareRecordsMissingAndNewMetrics(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+	// Dropped metric: coverage loss, fails.
+	newRec.Benches = newRec.Benches[:2]
+	regs := CompareRecords(oldRec, newRec, CompareOptions{})
+	r := findReg(regs, "hotpath/stream/ingest", "missing")
+	if r == nil {
+		t.Fatalf("dropped metric not flagged: %v", regs)
+	}
+	if !strings.Contains(r.String(), "missing") {
+		t.Errorf("missing-metric message unclear: %q", r.String())
+	}
+
+	// New-only metric: new instrumentation, passes.
+	oldRec2, newRec2 := compareFixture(), compareFixture()
+	newRec2.Benches = append(newRec2.Benches, Metric{Name: "hotpath/new/thing", Value: 9, Unit: "count"})
+	if regs := CompareRecords(oldRec2, newRec2, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("new-only metric flagged: %v", regs)
+	}
+}
+
+func TestIsWallUnit(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": true, "ns": true, "ms": true,
+		"bytes": false, "count": false, "allocs/op": false, "": false,
+	} {
+		if got := isWallUnit(unit); got != want {
+			t.Errorf("isWallUnit(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}

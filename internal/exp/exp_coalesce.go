@@ -62,6 +62,7 @@ func AblationCoalesce(cfg Config) *Report {
 			var seqMsgs, seqBytes int64
 			var seqDur time.Duration
 			seqVals := make([]string, len(specs))
+			seqSpan := BeginMeasure()
 			for i, spec := range specs {
 				factory, ok := reg.Lookup(spec.Analysis)
 				if !ok {
@@ -81,6 +82,7 @@ func AblationCoalesce(cfg Config) *Report {
 				seqDur += res.Total
 				seqVals[i] = mustJSON(engine.JSONValue(inst.Result()))
 			}
+			seqM := seqSpan.End()
 
 			// Coalesced: the same four queries admitted as one concurrent
 			// batch through the engine.
@@ -94,6 +96,7 @@ func AblationCoalesce(cfg Config) *Report {
 				modeSpecs[i] = spec
 			}
 			t0 := time.Now()
+			coalSpan := BeginMeasure()
 			jobs, err := eng.SubmitAll(ctx, modeSpecs...)
 			if err != nil {
 				panic("coalesce ablation: " + err.Error())
@@ -109,6 +112,7 @@ func AblationCoalesce(cfg Config) *Report {
 			// Stop the clock before marshaling: the sequential half's timing
 			// (res.Total) covers only traversals, so the comparison must not
 			// charge JSON rendering to the coalesced side.
+			coalM := coalSpan.End()
 			coalDur := time.Since(t0)
 			coalVals := make([]string, len(jobs))
 			for i, v := range vals {
@@ -123,9 +127,10 @@ func AblationCoalesce(cfg Config) *Report {
 				msgs       int64
 				bytes      int64
 				dur        time.Duration
+				m          Measured
 			}{
-				{"sequential", uint64(len(specs)), seqMsgs, seqBytes, seqDur},
-				{"coalesced", est.Traversals, est.TraversalMessages, est.TraversalBytes, coalDur},
+				{"sequential", uint64(len(specs)), seqMsgs, seqBytes, seqDur, seqM},
+				{"coalesced", est.Traversals, est.TraversalMessages, est.TraversalBytes, coalDur, coalM},
 			} {
 				tb.AddRow(d.Name, modeStr, o.strat,
 					fmt.Sprintf("%d", o.traversals),
@@ -137,6 +142,7 @@ func AblationCoalesce(cfg Config) *Report {
 				rep.metric(prefix+"/traversals", float64(o.traversals), "traversals", extra)
 				rep.metric(prefix+"/messages", float64(o.msgs), "msgs", extra)
 				rep.metric(prefix+"/bytes", float64(o.bytes), "bytes", extra)
+				rep.metricM(prefix+"/latency_ns", float64(o.dur.Nanoseconds()), "ns/op", extra, o.m)
 			}
 
 			identical := true

@@ -42,14 +42,17 @@ func AblationFusion(cfg Config) *Report {
 				msgs       int64
 				bytes      int64
 				dur        time.Duration
+				m          Measured
 				traversals int
 				analyses   []string
 			}
 			mustRun := func(out *outcome, analyses ...core.Attached[serialize.Unit, uint64]) core.Result {
+				sp := BeginMeasure()
 				res, err := core.Run(g, opts, nil, analyses...)
 				if err != nil {
 					panic("fusion ablation: " + err.Error())
 				}
+				out.m = out.m.Add(sp.End())
 				out.msgs += msgsOf(res)
 				out.bytes += bytesOf(res)
 				out.dur += res.Total
@@ -82,7 +85,7 @@ func AblationFusion(cfg Config) *Report {
 					d.Name, n, mode.String(), strings.Join(o.oc.analyses, "+"))
 				rep.metric(prefix+"/messages", float64(o.oc.msgs), "msgs", extra)
 				rep.metric(prefix+"/bytes", float64(o.oc.bytes), "bytes", extra)
-				rep.metric(prefix+"/survey_ns", float64(o.oc.dur.Nanoseconds()), "ns/op", extra)
+				rep.metricM(prefix+"/survey_ns", float64(o.oc.dur.Nanoseconds()), "ns/op", extra, o.oc.m)
 			}
 			switch {
 			case fus.count != seq.count ||

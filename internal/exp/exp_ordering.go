@@ -48,6 +48,7 @@ func AblationOrdering(cfg Config) *Report {
 				graph.BuilderOptions[serialize.Unit]{Ordering: ord})
 			var g *graph.DODGr[serialize.Unit, serialize.Unit]
 			buildStart := time.Now()
+			buildSpan := BeginMeasure()
 			w.Parallel(func(r *ygm.Rank) {
 				for i := r.ID(); i < len(d.Edges); i += r.Size() {
 					b.AddEdge(r, d.Edges[i][0], d.Edges[i][1], serialize.Unit{})
@@ -57,8 +58,11 @@ func AblationOrdering(cfg Config) *Report {
 					g = gg
 				}
 			})
+			buildM := buildSpan.End()
 			buildTime := time.Since(buildStart)
+			surveySpan := BeginMeasure()
 			res := core.Count(g, core.Options{Mode: core.PushPull})
+			surveyM := surveySpan.End()
 			msgs := res.DryRun.Messages + res.Push.Messages + res.Pull.Messages
 			byOrd[ord] = row{wedges: g.NumWedges(), triangles: res.Triangles}
 			tb.AddRow(d.Name, ord.String(),
@@ -72,8 +76,8 @@ func AblationOrdering(cfg Config) *Report {
 
 			prefix := fmt.Sprintf("ordering/%s/%s", d.Name, ord.String())
 			extra := fmt.Sprintf("dataset=%s ranks=%d ordering=%s", d.Name, n, ord.String())
-			rep.metric(prefix+"/survey_ns", float64(res.Total.Nanoseconds()), "ns/op", extra)
-			rep.metric(prefix+"/build_ns", float64(buildTime.Nanoseconds()), "ns/op", extra)
+			rep.metricM(prefix+"/survey_ns", float64(res.Total.Nanoseconds()), "ns/op", extra, surveyM)
+			rep.metricM(prefix+"/build_ns", float64(buildTime.Nanoseconds()), "ns/op", extra, buildM)
 			rep.metric(prefix+"/wedges", float64(g.NumWedges()), "wedges", extra)
 			rep.metric(prefix+"/messages", float64(msgs), "msgs", extra)
 			w.Close()

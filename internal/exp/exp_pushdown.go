@@ -87,14 +87,16 @@ func AblationPushdown(cfg Config) *Report {
 				bytes   int64
 				wedges  uint64
 				dur     time.Duration
+				m       Measured
 			}
 			run := func(pushdown bool) outcome {
+				sp := BeginMeasure()
 				if pushdown {
 					res, err := core.WindowedCount(g, plan, core.Options{Mode: mode})
 					if err != nil {
 						panic("pushdown ablation: " + err.Error())
 					}
-					return outcome{res.Triangles, msgsOf(res), bytesOf(res), res.WedgeChecks, res.Total}
+					return outcome{res.Triangles, msgsOf(res), bytesOf(res), res.WedgeChecks, res.Total, sp.End()}
 				}
 				matched := make([]uint64, n)
 				s := core.NewSurvey(g, core.Options{Mode: mode}, func(r *ygm.Rank, t *core.Triangle[serialize.Unit, uint64]) {
@@ -107,7 +109,7 @@ func AblationPushdown(cfg Config) *Report {
 				for _, c := range matched {
 					m += c
 				}
-				return outcome{m, msgsOf(res), bytesOf(res), res.WedgeChecks, res.Total}
+				return outcome{m, msgsOf(res), bytesOf(res), res.WedgeChecks, res.Total, sp.End()}
 			}
 			base := run(false)
 			pd := run(true)
@@ -126,7 +128,7 @@ func AblationPushdown(cfg Config) *Report {
 				rep.metric(prefix+"/messages", float64(o.oc.msgs), "msgs", extra)
 				rep.metric(prefix+"/bytes", float64(o.oc.bytes), "bytes", extra)
 				rep.metric(prefix+"/wedge_checks", float64(o.oc.wedges), "wedges", extra)
-				rep.metric(prefix+"/survey_ns", float64(o.oc.dur.Nanoseconds()), "ns/op", extra)
+				rep.metricM(prefix+"/survey_ns", float64(o.oc.dur.Nanoseconds()), "ns/op", extra, o.oc.m)
 			}
 			switch {
 			case pd.matched != base.matched:

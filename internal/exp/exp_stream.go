@@ -55,6 +55,7 @@ func AblationStream(cfg Config) *Report {
 				msgs  int64
 				bytes int64
 				dur   time.Duration
+				m     Measured
 			}
 			type answers struct {
 				count uint64
@@ -93,10 +94,12 @@ func AblationStream(cfg Config) *Report {
 				// behind this batch's first event.
 				if start := edges[lo].Time; b > 0 && start > window && start-window > cutoff {
 					cutoff = start - window
+					advSpan := BeginMeasure()
 					ares, err := s.Advance(cutoff)
 					if err != nil {
 						panic("stream ablation: advance: " + err.Error())
 					}
+					inc.m = inc.m.Add(advSpan.End())
 					inc.msgs += streamMsgs(ares)
 					inc.bytes += streamBytes(ares)
 					inc.dur += ares.Total
@@ -124,10 +127,12 @@ func AblationStream(cfg Config) *Report {
 						live[k] = e.Time
 					}
 				}
+				ingSpan := BeginMeasure()
 				res, err := s.Ingest(batch)
 				if err != nil {
 					panic("stream ablation: ingest: " + err.Error())
 				}
+				inc.m = inc.m.Add(ingSpan.End())
 				inc.msgs += streamMsgs(res)
 				inc.bytes += streamBytes(res)
 				inc.dur += res.Total
@@ -146,6 +151,7 @@ func AblationStream(cfg Config) *Report {
 					return keys[i][1] < keys[j][1]
 				})
 				t0 := time.Now()
+				fullSpan := BeginMeasure()
 				wFull.ResetStats()
 				bld := graph.NewBuilder(wFull, serialize.UnitCodec(), serialize.Uint64Codec(), graph.BuilderOptions[uint64]{MergeEdgeMeta: minMerge})
 				var gFull *graph.DODGr[serialize.Unit, uint64]
@@ -167,6 +173,7 @@ func AblationStream(cfg Config) *Report {
 				if err != nil {
 					panic("stream ablation: full run: " + err.Error())
 				}
+				full.m = full.m.Add(fullSpan.End())
 				full.msgs += buildStats.MessagesSent + msgsOf(fres)
 				full.bytes += buildStats.BytesSent + bytesOf(fres)
 				full.dur += time.Since(t0)
@@ -193,7 +200,7 @@ func AblationStream(cfg Config) *Report {
 					d.Name, n, mode.String(), batches, window)
 				rep.metric(prefix+"/messages", float64(o.oc.msgs), "msgs", extra)
 				rep.metric(prefix+"/bytes", float64(o.oc.bytes), "bytes", extra)
-				rep.metric(prefix+"/maintenance_ns", float64(o.oc.dur.Nanoseconds()), "ns/op", extra)
+				rep.metricM(prefix+"/maintenance_ns", float64(o.oc.dur.Nanoseconds()), "ns/op", extra, o.oc.m)
 			}
 			switch {
 			case mismatched != "":

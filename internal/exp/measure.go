@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"runtime"
+	"time"
+)
+
+// Wall-clock and allocation measurement for the benchmark trajectory.
+// Every timed metric can carry the wall time and the allocator traffic of
+// the bracket that produced it, so BENCH_*.json diffs surface both "got
+// slower" and "started allocating" regressions (the latter being machine
+// independent, and therefore the part a cross-machine CI gate can enforce
+// strictly).
+
+// BenchEnv stamps the environment a trajectory point was measured in. Wall
+// times are only comparable within one env; alloc counts travel across.
+type BenchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentBenchEnv captures the running process's environment stamp.
+func CurrentBenchEnv() BenchEnv {
+	return BenchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Measured is what one measurement bracket observed: wall time plus the
+// process-wide allocator delta (objects and bytes). The allocator numbers
+// include every goroutine — for the single-process simulated-rank runtime
+// that is exactly the cost being tracked.
+type Measured struct {
+	WallNs     float64
+	Allocs     float64
+	AllocBytes float64
+}
+
+// Span is an open measurement bracket; close it with End.
+type Span struct {
+	start   time.Time
+	mallocs uint64
+	bytes   uint64
+}
+
+// BeginMeasure opens a bracket. It reads runtime.MemStats, which briefly
+// stops the world — bracket phases, not inner loops.
+func BeginMeasure() Span {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Span{start: time.Now(), mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+// End closes the bracket.
+func (sp Span) End() Measured {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Measured{
+		WallNs:     float64(time.Since(sp.start).Nanoseconds()),
+		Allocs:     float64(ms.Mallocs - sp.mallocs),
+		AllocBytes: float64(ms.TotalAlloc - sp.bytes),
+	}
+}
+
+// Add accumulates another bracket, for per-batch loops reporting totals.
+func (m Measured) Add(o Measured) Measured {
+	return Measured{WallNs: m.WallNs + o.WallNs, Allocs: m.Allocs + o.Allocs, AllocBytes: m.AllocBytes + o.AllocBytes}
+}
+
+// Per divides the bracket by n operations, for per-op metrics.
+func (m Measured) Per(n int) Measured {
+	if n <= 0 {
+		return m
+	}
+	f := float64(n)
+	return Measured{WallNs: m.WallNs / f, Allocs: m.Allocs / f, AllocBytes: m.AllocBytes / f}
+}

@@ -77,6 +77,12 @@ type Metric struct {
 	// Unit is "ns/op" for times, otherwise the counted thing ("wedges",
 	// "msgs", "bytes", "triangles").
 	Unit string `json:"unit"`
+	// WallNs/Allocs/AllocBytes carry the measurement bracket that produced
+	// this point (see Measured): wall time and process-wide allocator
+	// traffic. Zero-valued on metrics that only restate a counter.
+	WallNs     float64 `json:"wall_ns,omitempty"`
+	Allocs     float64 `json:"allocs,omitempty"`
+	AllocBytes float64 `json:"alloc_bytes,omitempty"`
 	// Extra carries free-form context (dataset, rank count, ordering).
 	Extra string `json:"extra,omitempty"`
 }
@@ -84,6 +90,14 @@ type Metric struct {
 // metric appends one machine-readable data point to the report.
 func (r *Report) metric(name string, value float64, unit, extra string) {
 	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit, Extra: extra})
+}
+
+// metricM appends a data point together with its measurement bracket.
+func (r *Report) metricM(name string, value float64, unit, extra string, m Measured) {
+	r.Metrics = append(r.Metrics, Metric{
+		Name: name, Value: value, Unit: unit, Extra: extra,
+		WallNs: m.WallNs, Allocs: m.Allocs, AllocBytes: m.AllocBytes,
+	})
 }
 
 // Render formats the full report.
@@ -134,6 +148,7 @@ func All() []Runner {
 		{"stream", AblationStream, "ablation: incremental stream maintenance vs per-batch full recompute"},
 		{"coalesce", AblationCoalesce, "ablation: coalesced concurrent queries vs sequential per-query runs"},
 		{"wal", AblationWAL, "ablation: WAL-backed durable streams — overhead and crash recovery"},
+		{"hotpath", HotPath, "hot-path microbenchmarks: encode, survey, intersection, stream ingest"},
 	}
 }
 

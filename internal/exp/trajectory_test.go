@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -30,8 +31,24 @@ const goldenBenchJSON = `{
       "value": 39684,
       "unit": "wedges",
       "extra": "dataset=rmat-social ranks=4 ordering=degeneracy"
+    },
+    {
+      "name": "ordering/rmat-social/degree/survey_ns",
+      "value": 1202108,
+      "unit": "ns/op",
+      "wall_ns": 1202108,
+      "allocs": 54,
+      "alloc_bytes": 2008,
+      "extra": "dataset=rmat-social ranks=4 ordering=degree"
     }
-  ]
+  ],
+  "env": {
+    "go_version": "go1.24.0",
+    "goos": "linux",
+    "goarch": "amd64",
+    "num_cpu": 8,
+    "gomaxprocs": 8
+  }
 }
 `
 
@@ -49,6 +66,13 @@ func goldenRecord() BenchRecord {
 				Extra: "dataset=rmat-social ranks=4 ordering=degree"},
 			{Name: "ordering/rmat-social/degeneracy/wedges", Value: 39684, Unit: "wedges",
 				Extra: "dataset=rmat-social ranks=4 ordering=degeneracy"},
+			{Name: "ordering/rmat-social/degree/survey_ns", Value: 1202108, Unit: "ns/op",
+				WallNs: 1202108, Allocs: 54, AllocBytes: 2008,
+				Extra: "dataset=rmat-social ranks=4 ordering=degree"},
+		},
+		Env: &BenchEnv{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			NumCPU: 8, GOMAXPROCS: 8,
 		},
 	}
 }
@@ -74,7 +98,7 @@ func TestBenchFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Commit.ID != goldenRecord().Commit.ID || len(rec.Benches) != 2 {
+	if rec.Commit.ID != goldenRecord().Commit.ID || len(rec.Benches) != 3 {
 		t.Errorf("round trip mangled record: %+v", rec)
 	}
 }
@@ -89,6 +113,13 @@ func TestBenchRecordValidate(t *testing.T) {
 		func(r *BenchRecord) { r.Benches[0].Unit = "" },
 		func(r *BenchRecord) { r.Benches[0].Value = -1 },
 		func(r *BenchRecord) { r.Benches[1].Name = r.Benches[0].Name },
+		func(r *BenchRecord) { r.Benches[2].WallNs = -1 },
+		func(r *BenchRecord) { r.Benches[2].Allocs = math.NaN() },
+		func(r *BenchRecord) { r.Benches[2].AllocBytes = math.Inf(1) },
+		func(r *BenchRecord) { r.Env.GoVersion = "" },
+		func(r *BenchRecord) { r.Env.GOOS = "" },
+		func(r *BenchRecord) { r.Env.NumCPU = 0 },
+		func(r *BenchRecord) { r.Env.GOMAXPROCS = -1 },
 	}
 	for i, mutate := range bad {
 		rec := goldenRecord()

@@ -92,3 +92,63 @@ func (e *Encoder) PutBytes(b []byte) {
 // PutRaw appends b verbatim with no length prefix. The decoder must know the
 // length from context.
 func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// --- Zero-copy length-prefixed framing ----------------------------------
+//
+// The communication layer frames every message as
+//
+//	uvarint(handler) uvarint(len(payload)) payload
+//
+// inside a large batch buffer. Historically payloads were built in a
+// standalone encoder and copied behind their length; SetBuf/BeginFrame/
+// EndFrame let a caller adopt the batch buffer itself and encode the
+// payload in place. The length is not known until the payload is written,
+// so BeginFrame reserves a single byte and EndFrame patches the real
+// uvarint in: payloads under 128 bytes (the common case for per-wedge
+// messages) are framed with zero copies, longer ones pay one in-buffer
+// memmove — strictly less work than the unconditional copy they replace.
+
+// SetBuf adopts buf as the encoder's storage; subsequent Puts append after
+// its current contents. Pair with TakeBuf to hand the grown buffer back.
+func (e *Encoder) SetBuf(buf []byte) { e.buf = buf }
+
+// TakeBuf returns the encoder's buffer and detaches it, so the encoder can
+// be reused without aliasing storage it no longer owns.
+func (e *Encoder) TakeBuf() []byte {
+	b := e.buf
+	e.buf = nil
+	return b
+}
+
+// BeginFrame reserves a one-byte uvarint length slot at the current
+// position and returns its mark for EndFrame. Everything appended between
+// the two calls becomes the frame's payload.
+func (e *Encoder) BeginFrame() int {
+	e.buf = append(e.buf, 0)
+	return len(e.buf) - 1
+}
+
+// EndFrame patches the payload length of the frame opened at mark. If the
+// length needs a multi-byte uvarint, the payload is shifted right by the
+// difference first.
+func (e *Encoder) EndFrame(mark int) {
+	n := len(e.buf) - mark - 1
+	if n < 0x80 {
+		e.buf[mark] = byte(n)
+		return
+	}
+	w := uvarintLen(uint64(n))
+	e.buf = append(e.buf, make([]byte, w-1)...)
+	copy(e.buf[mark+w:], e.buf[mark+1:mark+1+n])
+	binary.PutUvarint(e.buf[mark:], uint64(n))
+}
+
+// uvarintLen returns the encoded size of x in bytes.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// The zero-copy framing contract: for any payload length — in particular
+// across every uvarint width boundary, where EndFrame must shift the
+// payload right to widen the length prefix — the buffer after EndFrame is
+// byte-identical to writing uvarint(len) first and the payload after it,
+// and bytes before the frame are untouched.
+func TestEndFramePatchesEveryWidth(t *testing.T) {
+	sizes := []int{0, 1, 5, 126, 127, 128, 129, 300, 16_382, 16_383, 16_384, 16_385, 70_000}
+	prefix := []byte("batch-head")
+	for _, n := range sizes {
+		payload := make([]byte, n)
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		rng.Read(payload)
+
+		var e Encoder
+		buf := make([]byte, len(prefix), len(prefix)+n+binary.MaxVarintLen64)
+		copy(buf, prefix)
+		e.SetBuf(buf)
+		mark := e.BeginFrame()
+		e.PutRaw(payload)
+		e.EndFrame(mark)
+		got := e.TakeBuf()
+
+		want := append([]byte{}, prefix...)
+		want = binary.AppendUvarint(want, uint64(n))
+		want = append(want, payload...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("size %d: frame bytes diverge from reference encoding (got %d bytes, want %d)",
+				n, len(got), len(want))
+		}
+	}
+}
+
+// A sealed frame must decode with the standard uvarint reader and hand
+// back exactly the payload — the property the ygm batch decode loop and
+// the TCP read loop both rely on.
+func TestEndFrameRoundTripsThroughDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var e Encoder
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		payload := make([]byte, rng.Intn(400))
+		rng.Read(payload)
+		want = append(want, payload)
+		mark := e.BeginFrame()
+		e.PutRaw(payload)
+		e.EndFrame(mark)
+	}
+	var d Decoder
+	d.Reset(e.Bytes())
+	for i, w := range want {
+		n := d.Uvarint()
+		got := d.Raw(int(n))
+		if d.Err() != nil {
+			t.Fatalf("frame %d: decode: %v", i, d.Err())
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(w))
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes after the last frame", d.Remaining())
+	}
+}
+
+// Frames written through the zero-copy path must match frames written by
+// the copy path (encode standalone, prepend the length) for varint-rich
+// content — the micro version of the CopyEncode differential test.
+func TestFrameMatchesCopyDiscipline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		vals := make([]uint64, rng.Intn(64))
+		for i := range vals {
+			vals[i] = rng.Uint64() >> uint(rng.Intn(64))
+		}
+
+		var zc Encoder
+		mark := zc.BeginFrame()
+		for _, v := range vals {
+			zc.PutUvarint(v)
+		}
+		zc.EndFrame(mark)
+
+		var payload Encoder
+		for _, v := range vals {
+			payload.PutUvarint(v)
+		}
+		want := binary.AppendUvarint(nil, uint64(payload.Len()))
+		want = append(want, payload.Bytes()...)
+
+		if !bytes.Equal(zc.Bytes(), want) {
+			t.Fatalf("trial %d: zero-copy frame diverges from copy discipline", trial)
+		}
+	}
+}

@@ -7,9 +7,14 @@ import "sync"
 // the consumer is the owning rank. Unboundedness removes the classic
 // buffered-channel deadlock where a rank blocks sending while its own
 // mailbox is full.
+// The queue keeps its backing array across drain cycles (head indexes into
+// q instead of re-slicing it away): a rank's mailbox empties and refills
+// thousands of times per traversal, and handing the array back to the GC on
+// every drain put one slice allocation on every subsequent push.
 type inbox struct {
-	mu sync.Mutex
-	q  [][]byte
+	mu   sync.Mutex
+	q    [][]byte
+	head int
 }
 
 func (b *inbox) init() {}
@@ -23,14 +28,15 @@ func (b *inbox) push(batch []byte) {
 func (b *inbox) tryPop() ([]byte, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.q) == 0 {
+	if b.head == len(b.q) {
 		return nil, false
 	}
-	batch := b.q[0]
-	b.q[0] = nil
-	b.q = b.q[1:]
-	if len(b.q) == 0 {
-		b.q = nil // allow the backing array to be reclaimed
+	batch := b.q[b.head]
+	b.q[b.head] = nil // drop the reference; the batch returns via putBatch
+	b.head++
+	if b.head == len(b.q) {
+		b.q = b.q[:0]
+		b.head = 0
 	}
 	return batch, true
 }
@@ -38,11 +44,11 @@ func (b *inbox) tryPop() ([]byte, bool) {
 func (b *inbox) empty() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.q) == 0
+	return b.head == len(b.q)
 }
 
 func (b *inbox) len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.q)
+	return len(b.q) - b.head
 }

@@ -25,6 +25,15 @@ type Rank struct {
 
 	processing   bool // reentrancy guard: a handler is running
 	asyncCounter int  // Async calls since the last poll
+
+	// Zero-copy message construction state (Begin/Commit).
+	wire     serialize.Encoder // wraps the open destination batch buffer
+	wireDest int               // routed destination of the open frame
+	wireMark int               // frame mark of the open frame
+	wireOpen bool              // a Begin without its Commit is in flight
+	copyDest int               // CopyEncode reference path: final destination
+	copyH    HandlerID         // CopyEncode reference path: handler
+	copyEnc  *serialize.Encoder
 }
 
 func newRank(w *World, id int) *Rank {
@@ -77,6 +86,9 @@ func (r *Rank) AsyncBytes(dest int, h HandlerID, payload []byte) {
 	if dest < 0 || dest >= r.world.n {
 		panic("ygm: Async destination out of range")
 	}
+	if r.wireOpen {
+		panic("ygm: Async while a Begin frame is open")
+	}
 	if gw, relay := r.world.routeVia(r.id, dest); relay {
 		// Node-level aggregation: wrap for the destination group's gateway.
 		e := r.Enc()
@@ -104,6 +116,13 @@ func (r *Rank) enqueue(dest int, h HandlerID, payload []byte) {
 	buf = append(buf, n...)
 	buf = append(buf, payload...)
 	r.out[dest] = buf
+	r.sent(dest, buf)
+}
+
+// sent applies the post-append bookkeeping shared by enqueue and Commit:
+// termination-detection and stats counters, the flush threshold, and the
+// poll cadence. buf is dest's batch buffer after the append.
+func (r *Rank) sent(dest int, buf []byte) {
 	r.world.slots[r.id].sent.Add(1)
 	r.stats.MessagesSent++
 	if len(buf) >= r.world.opts.BufferBytes {
@@ -114,6 +133,79 @@ func (r *Rank) enqueue(dest int, h HandlerID, payload []byte) {
 		r.asyncCounter = 0
 		r.Poll()
 	}
+}
+
+// Begin opens a zero-copy message for handler h at rank dest: the returned
+// encoder appends the payload directly into the destination's batch buffer
+// (relayed messages write their forwarding wrapper the same way), so
+// steady-state encoding allocates nothing and copies nothing. Every Begin
+// must be paired with a Commit before any other send from this rank —
+// Async, AsyncBytes or another Begin between the two panics, because the
+// open frame owns the batch buffer's tail.
+//
+// Under Options.CopyEncode the message is built in a pooled standalone
+// encoder and copied behind its length prefix on Commit instead — the
+// pre-zero-copy discipline, kept as a byte-identical reference path for
+// differential tests and ablations.
+func (r *Rank) Begin(dest int, h HandlerID) *serialize.Encoder {
+	if dest < 0 || dest >= r.world.n {
+		panic("ygm: Begin destination out of range")
+	}
+	if r.wireOpen {
+		panic("ygm: Begin while another frame is open")
+	}
+	if r.world.opts.CopyEncode {
+		r.copyDest, r.copyH = dest, h
+		r.copyEnc = r.Enc()
+		r.wireOpen = true
+		return r.copyEnc
+	}
+	route, hdr := dest, h
+	relay := false
+	if gw, rel := r.world.routeVia(r.id, dest); rel {
+		route, hdr, relay = gw, r.world.hForward, true
+	}
+	buf := r.out[route]
+	if buf == nil {
+		buf = r.world.getBatch()
+	}
+	e := &r.wire
+	e.SetBuf(buf)
+	e.PutUvarint(uint64(hdr))
+	r.wireDest = route
+	r.wireOpen = true
+	r.wireMark = e.BeginFrame()
+	if relay {
+		e.PutUvarint(uint64(dest))
+		e.PutUvarint(uint64(h))
+	}
+	return e
+}
+
+// Commit seals a Begin frame: the length prefix is patched, the batch
+// buffer is returned to the send queue, and the usual flush and poll
+// policies run. e must be the encoder Begin returned.
+func (r *Rank) Commit(e *serialize.Encoder) {
+	if !r.wireOpen {
+		panic("ygm: Commit without a matching Begin")
+	}
+	r.wireOpen = false
+	if r.world.opts.CopyEncode {
+		if e != r.copyEnc {
+			panic("ygm: Commit of a foreign encoder")
+		}
+		r.copyEnc = nil
+		r.AsyncBytes(r.copyDest, r.copyH, e.Bytes())
+		r.ReleaseEnc(e)
+		return
+	}
+	if e != &r.wire {
+		panic("ygm: Commit of a foreign encoder")
+	}
+	e.EndFrame(r.wireMark)
+	buf := e.TakeBuf()
+	r.out[r.wireDest] = buf
+	r.sent(r.wireDest, buf)
 }
 
 func putUvarint(dst []byte, x uint64) []byte {

@@ -28,6 +28,7 @@ type tcpTransport struct {
 	w         *World
 	listeners []net.Listener
 	writers   [][]*bufio.Writer
+	hdrs      [][]byte // per-sender varint scratch; a stack hdr would escape into bufio.Write and cost one heap alloc per frame
 	readersWG sync.WaitGroup
 
 	mu     sync.Mutex
@@ -68,9 +69,11 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 		w:         w,
 		listeners: make([]net.Listener, n),
 		writers:   make([][]*bufio.Writer, n),
+		hdrs:      make([][]byte, n),
 	}
 	for i := range t.writers {
 		t.writers[i] = make([]*bufio.Writer, n)
+		t.hdrs[i] = make([]byte, binary.MaxVarintLen64)
 	}
 	for j := 0; j < n; j++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -175,9 +178,19 @@ func (t *tcpTransport) readLoop(conn net.Conn, to int) {
 		if err != nil {
 			return // connection closed during teardown
 		}
+		if size == 0 {
+			// An empty batch carries no messages: nothing to read, and no
+			// reason to cycle a pooled buffer through the mailbox for it.
+			continue
+		}
 		batch := t.w.getBatch()
 		if cap(batch) < int(size) {
-			batch = make([]byte, size)
+			// Swap the undersized pooled buffer for a right-sized one; it
+			// flows back into the pool after processing, so the pool grows
+			// to the frame-size high-water mark and steady-state receives
+			// stop allocating.
+			t.w.putBatch(batch)
+			batch = make([]byte, size, int(size)+4<<10)
 		} else {
 			batch = batch[:size]
 		}
@@ -194,8 +207,11 @@ func (t *tcpTransport) deliver(from, to int, batch []byte) {
 		return
 	}
 	bw := t.writers[from][to]
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(batch)))
+	// hdrs[from] is owned by the sending rank's goroutine for the duration
+	// of the write (self-delivery never reaches here, and each rank flushes
+	// its own destinations serially).
+	hdr := t.hdrs[from]
+	n := binary.PutUvarint(hdr, uint64(len(batch)))
 	if _, err := bw.Write(hdr[:n]); err != nil {
 		panic(fmt.Sprintf("ygm: tcp write %d->%d: %v", from, to, err))
 	}

@@ -57,6 +57,13 @@ type Options struct {
 	// buffer per remote group instead of one per remote rank. 0 or 1
 	// disables grouping.
 	GroupSize int
+	// CopyEncode switches Rank.Begin/Commit to the pre-zero-copy reference
+	// discipline: payloads are built in pooled standalone encoders and
+	// copied behind their length prefix. The wire bytes, message counts and
+	// results are identical to the zero-copy path by construction — the
+	// property the encode-identity tests verify — so this knob exists only
+	// for those differential tests and for alloc/time ablations.
+	CopyEncode bool
 }
 
 const (
@@ -85,6 +92,7 @@ type World struct {
 	shared  []any // collective exchange slots, one per rank
 
 	batchPool sync.Pool
+	boxPool   sync.Pool // spare *[]byte headers so putBatch never re-boxes
 	transport transport
 	hForward  HandlerID
 
@@ -294,15 +302,28 @@ func (w *World) ResetStats() {
 // per-rank statistics after a region.
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 
+// getBatch and putBatch recycle both the byte buffers and the *[]byte
+// headers that sync.Pool forces them through. Boxing with a fresh &b on
+// every Put would heap-allocate a slice header per recycled batch — one
+// allocation per frame on the TCP receive path — so emptied boxes park in
+// boxPool (pointer-to-interface conversions are allocation-free) and are
+// refilled on the next put.
 func (w *World) getBatch() []byte {
 	bp := w.batchPool.Get().(*[]byte)
-	return (*bp)[:0]
+	b := (*bp)[:0]
+	*bp = nil
+	w.boxPool.Put(bp)
+	return b
 }
 
 func (w *World) putBatch(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
-	b = b[:0]
-	w.batchPool.Put(&b)
+	bp, _ := w.boxPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	*bp = b[:0]
+	w.batchPool.Put(bp)
 }
