@@ -26,11 +26,18 @@ import (
 	"strings"
 	"time"
 
+	"tripoll/internal/dist"
 	"tripoll/internal/exp"
 	"tripoll/internal/ygm"
 )
 
 func main() {
+	// The multiproc ablation self-launches copies of this binary as worker
+	// processes; a copy asked to join a world serves it instead of
+	// benchmarking.
+	if addr := dist.JoinAddrFromEnv(); addr != "" {
+		os.Exit(exp.MultiprocServeWorker(addr))
+	}
 	var (
 		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")

@@ -1,0 +1,91 @@
+// Command tripoll-worker is one worker process of a multi-process tripoll
+// world. It joins a coordinator (tripolld -workers, or any dist.Listen
+// caller), hosts its assigned rank span, participates in collective graph
+// builds and fused traversals, and drains out gracefully on SIGTERM:
+// a traversal in flight completes, the worker deregisters from the
+// coordinator, and the process exits 0.
+//
+// Usage:
+//
+//	tripoll-worker -join 127.0.0.1:9123 [-listen 127.0.0.1:0]
+//
+// The join address may also come from the TRIPOLL_DIST_JOIN environment
+// variable (the self-launch convention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tripoll"
+	"tripoll/internal/dist"
+	"tripoll/internal/graph"
+	"tripoll/internal/ygm"
+)
+
+func main() {
+	var (
+		join    = flag.String("join", "", "coordinator control address (or TRIPOLL_DIST_JOIN)")
+		listen  = flag.String("listen", "", "data-plane bind address for this process's ranks (default 127.0.0.1:0)")
+		timeout = flag.Duration("timeout", 60*time.Second, "rendezvous timeout")
+	)
+	flag.Parse()
+	log.SetPrefix("tripoll-worker: ")
+
+	addr := *join
+	if addr == "" {
+		addr = dist.JoinAddrFromEnv()
+	}
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, "tripoll-worker: need -join <addr> or TRIPOLL_DIST_JOIN")
+		os.Exit(2)
+	}
+
+	wk, err := dist.Join(addr, *listen, *timeout)
+	if err != nil {
+		log.Fatalf("join %s: %v", addr, err)
+	}
+	first, count := wk.World().LocalSpan()
+	log.Printf("joined %s as process %d: ranks [%d, %d) of %d",
+		addr, wk.Proc(), first, first+count, wk.World().Size())
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sig
+		log.Printf("%v: draining (in-flight traversal completes, then deregister)", s)
+		close(stop)
+	}()
+
+	if err := dist.Serve(wk, temporalHooks(), stop); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("departed cleanly")
+}
+
+// temporalHooks is the worker side of tripolld's configuration: unit
+// vertex metadata, uint64 timestamp edge metadata, the stock temporal
+// analysis registry, and the §5.2 min-timestamp multigraph reduction.
+// Driver and worker must agree on this mapping — both ship in this repo.
+func temporalHooks() dist.Hooks[tripoll.Unit, uint64] {
+	return dist.Hooks[tripoll.Unit, uint64]{
+		Registry:   tripoll.TemporalQueryRegistry(),
+		Timestamps: func(ts uint64) uint64 { return ts },
+		Build: func(w *ygm.World, name string, spec dist.BuildSpec) (*graph.DODGr[tripoll.Unit, uint64], error) {
+			if spec.Policy != "" && spec.Policy != "temporal" {
+				return nil, fmt.Errorf("unknown build policy %q", spec.Policy)
+			}
+			if graph.Ordering(spec.Ordering) != graph.OrderDegree {
+				return nil, fmt.Errorf("build ordering %d not supported by this worker", spec.Ordering)
+			}
+			log.Printf("building graph %q (collective)", name)
+			return tripoll.BuildTemporal(w, nil), nil
+		},
+	}
+}

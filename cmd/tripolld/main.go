@@ -9,6 +9,13 @@
 //
 //	tripolld -gen reddit -size 200000 -addr :8372
 //	tripolld -input graph.txt -graph web
+//	tripolld -workers 2 -worker-cmd ./tripoll-worker -ranks 6 -gen reddit
+//
+// With -workers N the world spans N worker processes plus this one
+// (DESIGN.md §13): tripolld runs the rendezvous, hosts the first rank
+// span, and fans every fused traversal out to the workers. -worker-cmd
+// auto-launches them; without it, start tripoll-worker processes against
+// the logged rendezvous address.
 //
 // Endpoints:
 //
@@ -44,13 +51,18 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/exec"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"tripoll"
 	"tripoll/datagen"
+	"tripoll/internal/dist"
 )
 
 func main() {
@@ -63,6 +75,10 @@ func main() {
 		transport = flag.String("transport", "channel", "transport: channel|tcp")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		size      = flag.Int("size", 100_000, "generated edge budget / events")
+
+		workers    = flag.Int("workers", 0, "span the world across this many worker processes (multi-process mode; forces tcp)")
+		rendezvous = flag.String("rendezvous", "127.0.0.1:0", "control-plane listen address for -workers rendezvous")
+		workerCmd  = flag.String("worker-cmd", "", "auto-launch -workers copies of this binary with -join (default: wait for external tripoll-worker processes)")
 
 		walDir     = flag.String("wal", "", "durability directory: serve the graph as a WAL-backed stream (enables /v1/ingest, /v1/advance)")
 		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always|never")
@@ -90,21 +106,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
 	}
-	w, err := tripoll.NewWorldWith(*ranks, wopts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "world: %v\n", err)
-		os.Exit(2)
+	var (
+		w       *tripoll.World
+		cluster *dist.Cluster
+	)
+	if *workers > 0 {
+		if *walDir != "" {
+			fmt.Fprintln(os.Stderr, "-wal with -workers: stream mutations are not supported in multi-process worlds yet")
+			os.Exit(2)
+		}
+		procs := *workers + 1
+		if *ranks%procs != 0 {
+			fmt.Fprintf(os.Stderr, "-ranks %d is not divisible by %d processes (%d workers + driver)\n", *ranks, procs, *workers)
+			os.Exit(2)
+		}
+		// Process-spanning worlds only exist over the TCP transport; the
+		// rendezvous forces it regardless of -transport.
+		wopts.Transport = tripoll.TransportTCP
+		*transport = "tcp"
+		co, err := dist.Listen(dist.Config{
+			Procs:        procs,
+			RanksPerProc: *ranks / procs,
+			ControlAddr:  *rendezvous,
+			Opts:         wopts,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rendezvous: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("rendezvous on %s: waiting for %d workers (%d ranks each)", co.Addr(), *workers, *ranks/procs)
+		var launched []*exec.Cmd
+		if *workerCmd != "" {
+			if launched, err = dist.Launch(*workerCmd, []string{"-join", co.Addr()}, *workers); err != nil {
+				co.Close()
+				fmt.Fprintf(os.Stderr, "launch workers: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if cluster, err = co.Accept(); err != nil {
+			dist.KillAll(launched)
+			fmt.Fprintf(os.Stderr, "rendezvous: %v\n", err)
+			os.Exit(2)
+		}
+		w = cluster.World()
+		defer cluster.Close()
+		// SIGTERM/SIGINT: deregister the workers (they drain and exit 0)
+		// before this process goes away, so auto-launched fleets don't leak.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		go func() {
+			s := <-sig
+			log.Printf("%v: closing %d-process world", s, procs)
+			cluster.Close()
+			dist.StopAll(launched, 5*time.Second)
+			os.Exit(0)
+		}()
+		log.Printf("world spans %d processes: %d workers x %d ranks + driver", procs, *workers, *ranks/procs)
+	} else {
+		w, err = tripoll.NewWorldWith(*ranks, wopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "world: %v\n", err)
+			os.Exit(2)
+		}
+		defer w.Close()
 	}
-	defer w.Close()
 
+	if cluster != nil {
+		// Tell the workers to enter the collective build before this
+		// process's ranks do: both sides must be inside Builder.Build for
+		// the shuffle to complete.
+		if err := cluster.Build(*graphName, dist.BuildSpec{Policy: "temporal"}); err != nil {
+			fmt.Fprintf(os.Stderr, "broadcast build: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	g := tripoll.BuildTemporal(w, edges)
 	info := tripoll.Info(g)
 	log.Printf("graph %q: |V|=%d |E|=%d (directed) |W+|=%d", *graphName, info.Vertices, info.DirectedEdges, info.Wedges)
 
-	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), tripoll.QueryEngineOptions[uint64]{
+	eopts := tripoll.QueryEngineOptions[uint64]{
 		Timestamps: func(t uint64) uint64 { return t },
 		MaxPending: *maxPending,
-	})
+	}
+	if cluster != nil {
+		// A typed-nil *Cluster in the interface would read as "fanout set";
+		// only a real cluster gets wired in.
+		eopts.Fanout = cluster
+	}
+	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), eopts)
 	defer eng.Close()
 	if *walDir != "" {
 		sync := tripoll.WALSyncAlways

@@ -79,6 +79,7 @@ type bound[VM, EM, T any] struct {
 	a    Analysis[VM, EM, T]
 	out  *T
 	accs []T
+	root int // slot holding the combined accumulator after reduce
 }
 
 func (b *bound[VM, EM, T]) AnalysisName() string { return b.a.Name }
@@ -113,22 +114,58 @@ func (b *bound[VM, EM, T]) observe(r *ygm.Rank, t *Triangle[VM, EM]) {
 // rank merging with its stride-partner, ygm.Rendezvous between levels (the
 // same shared-address-space discipline as the ygm collectives — the pairing
 // is fixed, so the result is deterministic regardless of scheduling). After
-// the region, accs[0] holds the combined accumulator.
+// the region, accs[root] holds the combined accumulator, where root is the
+// process leader's rank (0 in a single-process world).
+//
+// In a multi-process world only the local span's accumulators exist in
+// this address space, so the tree runs over the local span and the process
+// partials are then merged across processes: each leader contributes its
+// partial to an AllGather (riding gob through the world's process link)
+// and merges all of them in ascending process order. Merge is commutative
+// and associative, so the combined accumulator is semantically identical
+// to the single-process tree — and because result serialization
+// canonicalizes map-backed accumulators, byte-identical downstream.
 func (b *bound[VM, EM, T]) reduce(r *ygm.Rank) {
-	n := len(b.accs)
-	for stride := 1; stride < n; stride *= 2 {
+	w := r.World()
+	first, count := w.LocalSpan()
+	if r.ID() == first {
+		// Single writer: finish() reads root after the region's wg.Wait.
+		b.root = first
+	}
+	for stride := 1; stride < count; stride *= 2 {
 		if stride > 1 {
 			ygm.Rendezvous(r)
 		}
-		i := r.ID()
-		if i%(2*stride) == 0 && i+stride < n {
-			b.accs[i] = b.a.Merge(b.accs[i], b.accs[i+stride])
+		i := r.ID() - first
+		if i%(2*stride) == 0 && i+stride < count {
+			b.accs[first+i] = b.a.Merge(b.accs[first+i], b.accs[first+i+stride])
 		}
+	}
+	if !w.Distributed() {
+		return
+	}
+	ygm.Rendezvous(r) // every process's local tree is settled
+	// Cross-process merge: leaders contribute their process partial; every
+	// other rank's slot gathers as untyped nil and is skipped.
+	var part any
+	if r.ID() == first {
+		part = b.accs[first]
+	}
+	parts := ygm.AllGather[any](r, part)
+	if r.ID() == first {
+		merged := b.accs[first]
+		for i, p := range parts {
+			if i == first || p == nil {
+				continue
+			}
+			merged = b.a.Merge(merged, p.(T))
+		}
+		b.accs[first] = merged
 	}
 }
 
 func (b *bound[VM, EM, T]) finish() {
-	acc := b.accs[0]
+	acc := b.accs[b.root]
 	if b.a.Finalize != nil {
 		acc = b.a.Finalize(acc)
 	}

@@ -106,32 +106,34 @@ func ClusteringAnalysis[VM, EM any](g *graph.DODGr[VM, EM]) Analysis[VM, EM, Clu
 		},
 		Finalize: func(acc ClusteringAccum) ClusteringAccum {
 			w := g.World()
-			type partial struct {
-				sum    float64
-				verts  uint64
-				wedges uint64
-			}
-			per := make([]partial, w.Size())
+			var sum float64
+			var verts uint64
+			// The degree pass runs rank-local and reduces with collectives,
+			// so it is correct on a multi-process world (where only the
+			// local span's vertices are in this address space). The
+			// reduction order matches the historical slot-order loop, so
+			// single-process results are bit-identical.
 			w.Parallel(func(r *ygm.Rank) {
-				p := &per[r.ID()]
+				var pSum float64
+				var pVerts, pWedges uint64
 				for _, v := range g.LocalVertices(r) {
 					d := uint64(v.Deg)
 					if d < 2 {
 						continue
 					}
 					pairs := d * (d - 1) / 2
-					p.wedges += pairs
-					p.verts++
-					p.sum += float64(acc.Counts[v.ID]) / float64(pairs)
+					pWedges += pairs
+					pVerts++
+					pSum += float64(acc.Counts[v.ID]) / float64(pairs)
+				}
+				gSum := ygm.AllReduce(r, pSum, func(a, b float64) float64 { return a + b })
+				gVerts := ygm.AllReduceSum(r, pVerts)
+				gWedges := ygm.AllReduceSum(r, pWedges)
+				if r.ID() == w.LeaderID() {
+					sum, verts = gSum, gVerts
+					acc.Stats.Wedges = gWedges
 				}
 			})
-			var sum float64
-			var verts uint64
-			for _, p := range per {
-				sum += p.sum
-				verts += p.verts
-				acc.Stats.Wedges += p.wedges
-			}
 			for _, c := range acc.Counts {
 				acc.Stats.Triangles += c
 			}

@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+func tcpOpts() ygm.Options {
+	return ygm.Options{Transport: ygm.TransportTCP}
+}
+
+// startCluster assembles a procs×perProc world inside this test process:
+// the test goroutine is the coordinator, each worker runs as a goroutine
+// with its own World — real TCP between all of them, so the wire path is
+// the production one even though the address spaces are shared.
+func startCluster(t *testing.T, procs, perProc int, opts ygm.Options) (*Cluster, []*Worker) {
+	t.Helper()
+	co, err := Listen(Config{Procs: procs, RanksPerProc: perProc, Opts: opts, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	type joined struct {
+		wk  *Worker
+		err error
+	}
+	ch := make(chan joined, procs-1)
+	for i := 1; i < procs; i++ {
+		go func() {
+			wk, err := Join(co.Addr(), "", 30*time.Second)
+			ch <- joined{wk, err}
+		}()
+	}
+	cl, err := co.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	wks := make([]*Worker, 0, procs-1)
+	for i := 1; i < procs; i++ {
+		j := <-ch
+		if j.err != nil {
+			cl.Close()
+			t.Fatalf("Join: %v", j.err)
+		}
+		wks = append(wks, j.wk)
+	}
+	return cl, wks
+}
+
+// TestRendezvousCollectives assembles a 2-process × 2-rank world and runs
+// the full ygm repertoire across the process boundary: async messaging
+// with termination detection, AllReduce, AllGather, Broadcast from a
+// remote root, and Rendezvous — then a clean stop/leave shutdown.
+func TestRendezvousCollectives(t *testing.T) {
+	cl, wks := startCluster(t, 2, 2, tcpOpts())
+	wk := wks[0]
+	n := cl.World().Size()
+	if n != 4 {
+		t.Fatalf("world size = %d, want 4", n)
+	}
+	if f, c := wk.World().LocalSpan(); f != 2 || c != 2 {
+		t.Fatalf("worker span = [%d, %d), want [2, 4)", f, f+c)
+	}
+
+	region := func(w *ygm.World) func() {
+		first, count := w.LocalSpan()
+		got := make([]uint64, count) // messages received per local rank
+		h := w.RegisterHandler(func(r *ygm.Rank, d *serialize.Decoder) {
+			got[r.ID()-first] += d.Uvarint()
+		})
+		return func() {
+			w.Parallel(func(r *ygm.Rank) {
+				// Every rank sends its id+1 to every other rank.
+				for dst := 0; dst < n; dst++ {
+					if dst == r.ID() {
+						continue
+					}
+					e := r.Begin(dst, h)
+					e.PutUvarint(uint64(r.ID() + 1))
+					r.Commit(e)
+				}
+				r.Barrier()
+				want := uint64(n*(n+1)/2) - uint64(r.ID()+1)
+				if g := got[r.ID()-first]; g != want {
+					t.Errorf("rank %d received sum %d, want %d", r.ID(), g, want)
+				}
+				if s := ygm.AllReduceSum(r, uint64(r.ID()+1)); s != uint64(n*(n+1)/2) {
+					t.Errorf("rank %d AllReduceSum = %d, want %d", r.ID(), s, n*(n+1)/2)
+				}
+				gathered := ygm.AllGather(r, uint64(r.ID()*10))
+				for i, v := range gathered {
+					if v != uint64(i*10) {
+						t.Errorf("rank %d AllGather[%d] = %d, want %d", r.ID(), i, v, i*10)
+					}
+				}
+				if b := ygm.Broadcast(r, uint64(r.ID()+100), 3); b != 103 {
+					t.Errorf("rank %d Broadcast from 3 = %d, want 103", r.ID(), b)
+				}
+				ygm.Rendezvous(r)
+			})
+		}
+	}
+
+	// Both processes must register handlers and enter the region; run the
+	// worker's side on its own goroutine, lockstep with the driver's.
+	driverRegion := region(cl.World())
+	workerRegion := region(wk.World())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		workerRegion()
+	}()
+	driverRegion()
+	<-done
+
+	// Orderly shutdown: worker serves, driver dismisses it.
+	served := make(chan error, 1)
+	go func() {
+		served <- Serve(wk, Hooks[serialize.Unit, uint64]{}, nil)
+	}()
+	if err := cl.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+// TestWorkerDeathMidRendezvous speaks the control protocol as a worker
+// that dies after advertising unusable addresses: the coordinator must
+// fail its Accept cleanly (no hang, no panic) and release its resources.
+func TestWorkerDeathMidRendezvous(t *testing.T) {
+	before := runtime.NumGoroutine()
+	co, err := Listen(Config{Procs: 2, RanksPerProc: 2, Opts: tcpOpts(), Timeout: 15 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		conn, err := net.Dial("tcp", co.Addr())
+		if err != nil {
+			return
+		}
+		cc := newCtrlConn(conn)
+		cc.send(&ctrlMsg{Kind: kJoin, Magic: joinMagic, Version: protoVersion})
+		if _, err := cc.expect(kAssign); err != nil {
+			return
+		}
+		// Bind listeners just long enough to learn addresses, then close
+		// them before advertising — the addresses the coordinator will try
+		// to dial are already dead, simulating a crash between advertising
+		// and world construction.
+		lns, addrs, err := listenLocal("", 2)
+		if err != nil {
+			return
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+		cc.send(&ctrlMsg{Kind: kAddrs, Addrs: addrs})
+		cc.expect(kTable)
+		conn.Close() // dead: never builds, never reports ready
+	}()
+	if _, err := co.Accept(); err == nil {
+		t.Fatal("Accept succeeded despite the worker dying mid-rendezvous")
+	}
+	// Everything the coordinator started must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines leaked across failed rendezvous: %d before, %d after", before, g)
+	}
+}
+
+// TestJoinVersionSkew: a worker from a different protocol generation is
+// rejected with the typed error, before any world state exists.
+func TestJoinVersionSkew(t *testing.T) {
+	co, err := Listen(Config{Procs: 2, RanksPerProc: 1, Opts: tcpOpts(), Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		conn, err := net.Dial("tcp", co.Addr())
+		if err != nil {
+			return
+		}
+		cc := newCtrlConn(conn)
+		cc.send(&ctrlMsg{Kind: kJoin, Magic: joinMagic, Version: protoVersion + 7})
+		cc.recv() // wait for the rejection / close
+		conn.Close()
+	}()
+	_, err = co.Accept()
+	var verr *JoinVersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Accept error = %v, want JoinVersionError", err)
+	}
+	if verr.Got != protoVersion+7 || verr.Want != protoVersion {
+		t.Errorf("JoinVersionError = %+v", verr)
+	}
+}
+
+func TestJoinBadMagic(t *testing.T) {
+	co, err := Listen(Config{Procs: 2, RanksPerProc: 1, Opts: tcpOpts(), Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		conn, err := net.Dial("tcp", co.Addr())
+		if err != nil {
+			return
+		}
+		cc := newCtrlConn(conn)
+		cc.send(&ctrlMsg{Kind: kJoin, Magic: "HTTP", Version: protoVersion})
+		cc.recv()
+		conn.Close()
+	}()
+	_, err = co.Accept()
+	var merr *JoinMagicError
+	if !errors.As(err, &merr) {
+		t.Fatalf("Accept error = %v, want JoinMagicError", err)
+	}
+}

@@ -1,0 +1,50 @@
+// Package dist turns the ygm runtime's single-process world into a
+// process-spanning one: a rendezvous protocol that assembles N OS
+// processes into one World, a star-topology control plane implementing
+// ygm.ProcLink, and a small job protocol that lets a driver process fan
+// graph builds and fused traversals out to worker processes.
+//
+// # Roles
+//
+// One process is the coordinator (in tripolld terms, the driver): it
+// binds a control socket with Listen, hands its address to the workers
+// (via the launcher or an operator), and Accept assembles the world. Every
+// other process calls Join with that address. Rank spans are uniform and
+// contiguous: with P processes and R ranks per process, process p owns
+// ranks [p·R, (p+1)·R), the coordinator being process 0. Data-plane
+// traffic (ygm batches) flows directly between every pair of processes
+// over the TCP transport; only control traffic (barrier syncs, quiescence
+// votes, collective exchanges, jobs) passes through the coordinator.
+//
+// # Rendezvous
+//
+// Each worker dials the coordinator and the two run a five-step versioned
+// sequence over length-prefixed gob frames:
+//
+//	worker → join    magic + protocol version
+//	coord  → assign  process index, rank span, world size, ygm options
+//	worker → addrs   the worker's bound data-plane listener addresses
+//	coord  → table   the full rank→address table
+//	worker → ready   world construction outcome
+//	coord  → go      world construction outcome, all processes
+//
+// Both sides bind their data listeners before advertising (the transport
+// adopts pre-bound listeners), so by the time the table is broadcast every
+// advertised address accepts connections; the processes then construct
+// their worlds concurrently, which wires the full data mesh. The ready/go
+// exchange ensures either every process holds a working world or every
+// process learns of the failure — a process that cannot build tears down,
+// and the ygm transport's setup deadline unblocks the peers that were
+// waiting on its dials.
+//
+// # Failure model
+//
+// Fail-stop, detected at interaction points: a worker that dies drops its
+// TCP connections, which surfaces as an error on the next control-plane
+// round (or data-plane read) and poisons the world in every surviving
+// process — there is no membership change or recovery, matching the MPI
+// original where a lost rank ends the job. A hung (not dead) process is
+// not detected after setup, also like MPI. The engine layer contains the
+// damage on the driver: a poisoned parallel region fails the in-flight
+// jobs, not the serving process.
+package dist

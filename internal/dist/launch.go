@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// Process launching. Two styles: Launch starts an explicit worker binary
+// (tripolld -workers does this with cmd/tripoll-worker), SelfLaunch
+// re-executes the current binary with WorkerEnv set (tests and
+// tripoll-bench use this so one binary plays every role).
+
+// WorkerEnv, when present in a process's environment, carries a
+// coordinator control address the process should join as a worker instead
+// of doing its normal work. Binaries that support self-launched workers
+// check it first thing in main (see cmd/tripoll-bench).
+const WorkerEnv = "TRIPOLL_DIST_JOIN"
+
+// JoinAddrFromEnv returns the control address a parent process asked this
+// one to join, or "" when the process was started normally.
+func JoinAddrFromEnv() string { return os.Getenv(WorkerEnv) }
+
+// Launch starts count worker processes running name with args. Worker
+// output goes to this process's stderr. On partial failure the already
+// started processes are killed.
+func Launch(name string, args []string, count int) ([]*exec.Cmd, error) {
+	procs := make([]*exec.Cmd, 0, count)
+	for i := 0; i < count; i++ {
+		cmd := exec.Command(name, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			KillAll(procs)
+			return nil, fmt.Errorf("dist: start worker %d (%s): %w", i, name, err)
+		}
+		procs = append(procs, cmd)
+	}
+	return procs, nil
+}
+
+// SelfLaunch starts count copies of the current executable with WorkerEnv
+// pointing at ctrlAddr, inheriting this process's arguments and
+// environment.
+func SelfLaunch(ctrlAddr string, count int) ([]*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locate executable: %w", err)
+	}
+	procs := make([]*exec.Cmd, 0, count)
+	for i := 0; i < count; i++ {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(), WorkerEnv+"="+ctrlAddr)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			KillAll(procs)
+			return nil, fmt.Errorf("dist: start self-worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	return procs, nil
+}
+
+// WaitAll waits for every process and returns the first failure.
+func WaitAll(procs []*exec.Cmd) error {
+	var first error
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("dist: worker %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// StopAll asks every process to shut down gracefully (SIGTERM), waits up
+// to grace for each, then kills stragglers. It returns the first unclean
+// exit.
+func StopAll(procs []*exec.Cmd, grace time.Duration) error {
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	var first error
+	for i, cmd := range procs {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil && first == nil {
+				first = fmt.Errorf("dist: worker %d: %w", i, err)
+			}
+		case <-time.After(grace):
+			cmd.Process.Kill()
+			<-done
+			if first == nil {
+				first = fmt.Errorf("dist: worker %d did not exit within %v of SIGTERM", i, grace)
+			}
+		}
+	}
+	return first
+}
+
+// KillAll force-kills every started process (cleanup on setup failure).
+func KillAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+}

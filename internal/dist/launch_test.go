@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"tripoll/internal/engine"
+	"tripoll/internal/graph"
+	"tripoll/internal/ygm"
+)
+
+// TestMain doubles this test binary as a worker process: when SelfLaunch
+// re-executes it with the join env var set, it runs the production
+// join/serve/SIGTERM path instead of the test suite — the same shape as
+// cmd/tripoll-worker, so the launcher tests exercise real processes, real
+// signals, and real exit codes.
+func TestMain(m *testing.M) {
+	if addr := JoinAddrFromEnv(); addr != "" {
+		os.Exit(runTestWorker(addr))
+	}
+	os.Exit(m.Run())
+}
+
+func runTestWorker(addr string) int {
+	wk, err := Join(addr, "127.0.0.1:0", 30*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "test worker: join: %v\n", err)
+		return 1
+	}
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	go func() { <-sig; close(stop) }()
+	hooks := Hooks[U, uint64]{
+		Registry:   engine.TemporalRegistry(),
+		Timestamps: func(ts uint64) uint64 { return ts },
+		Build: func(w *ygm.World, name string, spec BuildSpec) (*graph.DODGr[U, uint64], error) {
+			return buildTemporalOrdered(w, nil, graph.Ordering(spec.Ordering)), nil
+		},
+	}
+	if err := Serve(wk, hooks, stop); err != nil {
+		fmt.Fprintf(os.Stderr, "test worker: serve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// TestSigtermGracefulDrain is the end-to-end shutdown regression: a worker
+// OS process launched through the real launcher joins the world, serves a
+// build and a traversal, then receives SIGTERM — it must drain, send its
+// leave frame, and exit 0 within the grace window.
+func TestSigtermGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	co, err := Listen(Config{Procs: 2, RanksPerProc: 2, Opts: tcpOpts()})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	procs, err := SelfLaunch(co.Addr(), 1)
+	if err != nil {
+		co.Close()
+		t.Fatalf("SelfLaunch: %v", err)
+	}
+	defer KillAll(procs)
+	cl, err := co.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+
+	if err := cl.Build("g", BuildSpec{Ordering: int(graph.OrderDegree), Policy: "temporal"}); err != nil {
+		t.Fatalf("Build broadcast: %v", err)
+	}
+	g := buildTemporalOrdered(cl.World(), randomTemporalEdges(11, 32, 90), graph.OrderDegree)
+	e := engine.New(engine.TemporalRegistry(), engine.EngineOptions[uint64]{
+		Timestamps: func(ts uint64) uint64 { return ts },
+		Fanout:     cl,
+	})
+	defer e.Close()
+	if err := e.Register("g", g); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	job, err := e.Submit(ctx, engine.Spec{Graph: "g", Analysis: "count"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	res, err := job.Wait(ctx)
+	if err != nil {
+		t.Fatalf("traversal across a launched worker process: %v", err)
+	}
+	t.Logf("cross-process count: %d triangles", res.Survey.Triangles)
+
+	// The regression under test: SIGTERM → drain → deregister → exit 0.
+	if err := StopAll(procs, 10*time.Second); err != nil {
+		t.Fatalf("worker did not drain out cleanly on SIGTERM: %v", err)
+	}
+	cl.Close()
+}

@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"fmt"
+)
+
+// The star-topology ProcLink. Every process's leader rank calls its link
+// in the same order at the same logical points (ygm splices link rounds
+// into barriers and collectives in strict SPMD lockstep), so the protocol
+// needs no demultiplexing: the coordinator reads exactly one frame of the
+// expected kind per worker per round, then answers every worker.
+
+// coordLink is the coordinator's side: collect one contribution from each
+// worker, fold in the local one, broadcast the outcome.
+type coordLink struct {
+	workers []*ctrlConn // index p-1 holds process p
+	perProc int
+	n       int
+}
+
+// collect reads one round's frame from every worker, in process order. A
+// leave frame (SIGTERM drain) or a dead connection surfaces as an error,
+// which ygm turns into a region-poisoning panic on the driver.
+func (l *coordLink) collect(k kind) ([]*ctrlMsg, error) {
+	ms := make([]*ctrlMsg, len(l.workers))
+	for i, cc := range l.workers {
+		m, err := cc.recv()
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker %d: %w", i+1, err)
+		}
+		if m.Kind == kLeave {
+			return nil, fmt.Errorf("dist: worker %d: %w", i+1, ErrWorkerLeft)
+		}
+		if m.Kind != k {
+			return nil, fmt.Errorf("dist: worker %d: %w", i+1, &ProtocolError{Got: m.Kind, Want: k})
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+func (l *coordLink) bcast(m *ctrlMsg) error {
+	for i, cc := range l.workers {
+		if err := cc.send(m); err != nil {
+			return fmt.Errorf("dist: worker %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+func (l *coordLink) Sync() error {
+	if _, err := l.collect(kSync); err != nil {
+		return err
+	}
+	return l.bcast(&ctrlMsg{Kind: kSync})
+}
+
+func (l *coordLink) Quiesce(sent, processed int64) (bool, error) {
+	ms, err := l.collect(kQuiesce)
+	if err != nil {
+		return false, err
+	}
+	ts, tp := sent, processed
+	for _, m := range ms {
+		ts += m.Sent
+		tp += m.Processed
+	}
+	// One global verdict, computed once: an in-flight cross-process batch
+	// is counted by its sender but not yet by its receiver, so the totals
+	// only match when the whole world is quiet.
+	quiet := ts == tp
+	if err := l.bcast(&ctrlMsg{Kind: kQuiesce, Quiet: quiet}); err != nil {
+		return false, err
+	}
+	return quiet, nil
+}
+
+func (l *coordLink) Exchange(local []any) ([]any, error) {
+	ms, err := l.collect(kExchange)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]wireVal, l.n)
+	copy(full[:l.perProc], wrapVals(local))
+	for i, m := range ms {
+		if len(m.Vals) != l.perProc {
+			return nil, fmt.Errorf("dist: worker %d sent %d collective slots, want %d", i+1, len(m.Vals), l.perProc)
+		}
+		copy(full[(i+1)*l.perProc:], m.Vals)
+	}
+	if err := l.bcast(&ctrlMsg{Kind: kExchange, Vals: full}); err != nil {
+		return nil, err
+	}
+	return unwrapVals(full), nil
+}
+
+// workerLink is a worker's side: contribute, then wait for the
+// coordinator's answer through the read pump.
+type workerLink struct {
+	wk *Worker
+}
+
+func (l *workerLink) round(m *ctrlMsg) (*ctrlMsg, error) {
+	if err := l.wk.cc.send(m); err != nil {
+		return nil, err
+	}
+	return l.wk.awaitLink(m.Kind)
+}
+
+func (l *workerLink) Sync() error {
+	_, err := l.round(&ctrlMsg{Kind: kSync})
+	return err
+}
+
+func (l *workerLink) Quiesce(sent, processed int64) (bool, error) {
+	m, err := l.round(&ctrlMsg{Kind: kQuiesce, Sent: sent, Processed: processed})
+	if err != nil {
+		return false, err
+	}
+	return m.Quiet, nil
+}
+
+func (l *workerLink) Exchange(local []any) ([]any, error) {
+	m, err := l.round(&ctrlMsg{Kind: kExchange, Vals: wrapVals(local)})
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Vals) != l.wk.world {
+		return nil, fmt.Errorf("dist: coordinator sent %d collective slots, want %d", len(m.Vals), l.wk.world)
+	}
+	return unwrapVals(m.Vals), nil
+}

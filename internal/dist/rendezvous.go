@@ -1,0 +1,312 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"tripoll/internal/ygm"
+)
+
+// Config describes the world a rendezvous assembles.
+type Config struct {
+	// Procs is the total process count, coordinator included; >= 2.
+	Procs int
+	// RanksPerProc is each process's contiguous rank span; the world has
+	// Procs * RanksPerProc ranks.
+	RanksPerProc int
+	// ControlAddr is the coordinator's control listen address; empty
+	// defaults to 127.0.0.1:0 (ephemeral; read it back from
+	// Coordinator.Addr before launching workers).
+	ControlAddr string
+	// ListenAddr is this process's data-plane bind address, passed to the
+	// ygm TCP transport; empty defaults to 127.0.0.1:0.
+	ListenAddr string
+	// Opts seeds the world's ygm options. The coordinator's values for
+	// BufferBytes, PollEvery and GroupSize are dictated to every worker
+	// (message batching must agree across processes for the equivalence
+	// guarantees); Transport is forced to TCP.
+	Opts ygm.Options
+	// Timeout bounds the whole rendezvous (accepting workers, address
+	// exchange, the ready/go round); zero means 60s. World construction
+	// itself is additionally bounded by the ygm transport setup deadline.
+	Timeout time.Duration
+}
+
+func (cfg *Config) timeout() time.Duration {
+	if cfg.Timeout <= 0 {
+		return defaultTimeout
+	}
+	return cfg.Timeout
+}
+
+// Coordinator is a bound control socket waiting for workers; split from
+// Accept so the caller can learn the control address first and hand it to
+// the worker processes it launches.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+}
+
+// Listen validates cfg and binds the control socket.
+func Listen(cfg Config) (*Coordinator, error) {
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("dist: a multi-process world needs >= 2 processes, got %d", cfg.Procs)
+	}
+	if cfg.RanksPerProc < 1 {
+		return nil, fmt.Errorf("dist: ranks per process must be >= 1, got %d", cfg.RanksPerProc)
+	}
+	addr := cfg.ControlAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: bind control socket on %q: %w", addr, err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound control address workers should Join.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Close abandons the rendezvous before Accept completes.
+func (co *Coordinator) Close() error { return co.ln.Close() }
+
+// Accept admits Procs-1 workers, runs the rendezvous, constructs the
+// coordinator's world (ranks [0, RanksPerProc)) and returns the assembled
+// cluster. The control listener is closed either way: membership is fixed
+// at construction.
+func (co *Coordinator) Accept() (c *Cluster, err error) {
+	cfg := co.cfg
+	perProc := cfg.RanksPerProc
+	n := cfg.Procs * perProc
+	deadline := time.Now().Add(cfg.timeout())
+	defer co.ln.Close()
+
+	if d, ok := co.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(deadline)
+	}
+
+	var workers []*ctrlConn
+	var listeners []net.Listener
+	var w *ygm.World
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, cc := range workers {
+			cc.close()
+		}
+		for _, ln := range listeners {
+			ln.Close()
+		}
+		if w != nil {
+			w.Close()
+		}
+	}()
+
+	// Admit workers in connection order; the p-th to join owns ranks
+	// [p*perProc, (p+1)*perProc).
+	for p := 1; p < cfg.Procs; p++ {
+		conn, aerr := co.ln.Accept()
+		if aerr != nil {
+			return nil, fmt.Errorf("dist: waiting for worker %d of %d: %w", p, cfg.Procs-1, aerr)
+		}
+		cc := newCtrlConn(conn)
+		cc.setDeadline(deadline)
+		workers = append(workers, cc)
+		m, jerr := cc.expect(kJoin)
+		if jerr != nil {
+			return nil, fmt.Errorf("dist: worker %d join: %w", p, jerr)
+		}
+		if m.Magic != joinMagic {
+			return nil, &JoinMagicError{Got: m.Magic}
+		}
+		if m.Version != protoVersion {
+			return nil, &JoinVersionError{Got: m.Version, Want: protoVersion}
+		}
+		if err := cc.send(&ctrlMsg{
+			Kind: kAssign, Proc: p, First: p * perProc, Count: perProc, World: n,
+			Opts: WireOptions{BufferBytes: cfg.Opts.BufferBytes, PollEvery: cfg.Opts.PollEvery, GroupSize: cfg.Opts.GroupSize},
+		}); err != nil {
+			return nil, fmt.Errorf("dist: worker %d assign: %w", p, err)
+		}
+	}
+
+	// Bind the local data listeners, collect every worker's, and publish
+	// the full table. Binding before broadcasting guarantees every address
+	// in the table accepts connections before anyone dials.
+	var addrs []string
+	listeners, addrs, err = listenLocal(cfg.ListenAddr, perProc)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]string, n)
+	copy(peers[:perProc], addrs)
+	for i, cc := range workers {
+		m, aerr := cc.expect(kAddrs)
+		if aerr != nil {
+			return nil, fmt.Errorf("dist: worker %d addrs: %w", i+1, aerr)
+		}
+		if len(m.Addrs) != perProc {
+			return nil, fmt.Errorf("dist: worker %d advertised %d listeners, want %d", i+1, len(m.Addrs), perProc)
+		}
+		copy(peers[(i+1)*perProc:], m.Addrs)
+	}
+	for i, cc := range workers {
+		if serr := cc.send(&ctrlMsg{Kind: kTable, Addrs: peers}); serr != nil {
+			return nil, fmt.Errorf("dist: worker %d table: %w", i+1, serr)
+		}
+	}
+
+	// All processes now construct their worlds concurrently; the dials
+	// and accepts of the full data mesh interleave across processes.
+	opts := cfg.Opts
+	opts.Transport = ygm.TransportTCP
+	opts.ListenAddr = cfg.ListenAddr
+	link := &coordLink{workers: workers, perProc: perProc, n: n}
+	var werr error
+	w, werr = ygm.NewDistWorld(n, opts, ygm.Topology{
+		First: 0, Count: perProc, Peers: peers, Listeners: listeners, Link: link,
+	})
+	if werr == nil {
+		listeners = nil // the world owns them now
+	}
+
+	// Ready/go: every process reports its construction outcome and learns
+	// everyone else's, so either all hold a working world or all tear down.
+	var failures []string
+	if werr != nil {
+		failures = append(failures, fmt.Sprintf("coordinator: %v", werr))
+	}
+	for i, cc := range workers {
+		m, rerr := cc.expect(kReady)
+		if rerr != nil {
+			failures = append(failures, fmt.Sprintf("worker %d: %v", i+1, rerr))
+			continue
+		}
+		if m.Err != "" {
+			failures = append(failures, fmt.Sprintf("worker %d: %s", i+1, m.Err))
+		}
+	}
+	verdict := ""
+	if len(failures) > 0 {
+		verdict = fmt.Sprintf("world construction failed: %v", failures)
+	}
+	for _, cc := range workers {
+		cc.send(&ctrlMsg{Kind: kGo, Err: verdict})
+	}
+	if verdict != "" {
+		return nil, fmt.Errorf("dist: %s", verdict)
+	}
+	for _, cc := range workers {
+		cc.setDeadline(time.Time{})
+	}
+	return &Cluster{cfg: cfg, w: w, workers: workers, link: link}, nil
+}
+
+// Join connects to a coordinator at ctrlAddr, completes the rendezvous and
+// returns the worker's view of the world. listenAddr is this process's
+// data-plane bind address ("" = 127.0.0.1:0); timeout bounds the
+// rendezvous (0 = 60s).
+func Join(ctrlAddr, listenAddr string, timeout time.Duration) (wk *Worker, err error) {
+	if timeout <= 0 {
+		timeout = defaultTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	conn, err := net.DialTimeout("tcp", ctrlAddr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial coordinator %q: %w", ctrlAddr, err)
+	}
+	cc := newCtrlConn(conn)
+	cc.setDeadline(deadline)
+	var listeners []net.Listener
+	var w *ygm.World
+	defer func() {
+		if err == nil {
+			return
+		}
+		cc.close()
+		for _, ln := range listeners {
+			ln.Close()
+		}
+		if w != nil {
+			w.Close()
+		}
+	}()
+
+	if err := cc.send(&ctrlMsg{Kind: kJoin, Magic: joinMagic, Version: protoVersion}); err != nil {
+		return nil, fmt.Errorf("dist: join: %w", err)
+	}
+	assign, err := cc.expect(kAssign)
+	if err != nil {
+		return nil, fmt.Errorf("dist: awaiting assignment: %w", err)
+	}
+	if assign.Count < 1 || assign.First < 0 || assign.First+assign.Count > assign.World {
+		return nil, fmt.Errorf("dist: coordinator assigned invalid span [%d, %d) of %d",
+			assign.First, assign.First+assign.Count, assign.World)
+	}
+
+	var addrs []string
+	listeners, addrs, err = listenLocal(listenAddr, assign.Count)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.send(&ctrlMsg{Kind: kAddrs, Addrs: addrs}); err != nil {
+		return nil, fmt.Errorf("dist: advertising listeners: %w", err)
+	}
+	table, err := cc.expect(kTable)
+	if err != nil {
+		return nil, fmt.Errorf("dist: awaiting peer table: %w", err)
+	}
+	if len(table.Addrs) != assign.World {
+		return nil, fmt.Errorf("dist: peer table has %d entries, want %d", len(table.Addrs), assign.World)
+	}
+
+	wk = &Worker{
+		cc:     cc,
+		proc:   assign.Proc,
+		first:  assign.First,
+		count:  assign.Count,
+		world:  assign.World,
+		frames: make(chan frameOrErr, 1),
+	}
+	opts := ygm.Options{
+		BufferBytes: assign.Opts.BufferBytes,
+		PollEvery:   assign.Opts.PollEvery,
+		GroupSize:   assign.Opts.GroupSize,
+		Transport:   ygm.TransportTCP,
+		ListenAddr:  listenAddr,
+	}
+	var werr error
+	w, werr = ygm.NewDistWorld(assign.World, opts, ygm.Topology{
+		First: assign.First, Count: assign.Count, Peers: table.Addrs,
+		Listeners: listeners, Link: &workerLink{wk: wk},
+	})
+	if werr == nil {
+		listeners = nil
+	}
+	ready := &ctrlMsg{Kind: kReady}
+	if werr != nil {
+		ready.Err = werr.Error()
+	}
+	if err := cc.send(ready); err != nil {
+		return nil, fmt.Errorf("dist: reporting readiness: %w", err)
+	}
+	g, err := cc.expect(kGo)
+	if err != nil {
+		return nil, fmt.Errorf("dist: awaiting go: %w", err)
+	}
+	if g.Err != "" {
+		return nil, fmt.Errorf("dist: %s", g.Err)
+	}
+	if werr != nil {
+		// Can't happen without g.Err also set, but don't trust the wire.
+		return nil, werr
+	}
+	cc.setDeadline(time.Time{})
+	wk.w = w
+	go wk.pump()
+	return wk, nil
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"fmt"
+
+	"tripoll/internal/core"
+	"tripoll/internal/engine"
+	"tripoll/internal/graph"
+	"tripoll/internal/ygm"
+)
+
+// Worker is one joined worker process: its view of the world plus the
+// control connection to the coordinator. A read pump owns the connection's
+// read side and feeds a channel; the serve loop and the link rounds take
+// turns consuming it (the protocol's lockstep guarantees exactly one
+// consumer per frame), which is what lets Serve select on a stop signal
+// without a read blocking it.
+type Worker struct {
+	cc     *ctrlConn
+	w      *ygm.World
+	proc   int
+	first  int
+	count  int
+	world  int
+	frames chan frameOrErr
+}
+
+type frameOrErr struct {
+	m   *ctrlMsg
+	err error
+}
+
+// World returns the worker's view of the process-spanning world.
+func (wk *Worker) World() *ygm.World { return wk.w }
+
+// Proc returns this process's index (1-based among workers; the
+// coordinator is process 0).
+func (wk *Worker) Proc() int { return wk.proc }
+
+// Close releases the world and the control connection without the
+// departure protocol; Serve's normal return paths have already left.
+func (wk *Worker) Close() {
+	wk.cc.close()
+	wk.w.Close()
+}
+
+// pump owns the connection's read side: every inbound frame (job or link
+// round) lands on the channel in order. On a read error it delivers the
+// error once and closes the channel, so every later consumer sees the
+// link as down rather than blocking forever.
+func (wk *Worker) pump() {
+	for {
+		m, err := wk.cc.recv()
+		if err != nil {
+			wk.frames <- frameOrErr{err: err}
+			close(wk.frames)
+			return
+		}
+		wk.frames <- frameOrErr{m: m}
+	}
+}
+
+// awaitLink consumes the next frame for a link round.
+func (wk *Worker) awaitLink(k kind) (*ctrlMsg, error) {
+	fe, ok := <-wk.frames
+	if !ok {
+		return nil, errLinkDown
+	}
+	if fe.err != nil {
+		return nil, fe.err
+	}
+	if fe.m.Kind != k {
+		return nil, &ProtocolError{Got: fe.m.Kind, Want: k}
+	}
+	return fe.m, nil
+}
+
+// Hooks binds a worker's serve loop to a concrete graph/analysis
+// configuration (the metadata type parameters and the non-serializable
+// pieces: codecs, merge functions, analysis factories). Driver and worker
+// binaries must agree on these — they are the replicated program.
+type Hooks[VM, EM any] struct {
+	// Registry resolves analysis names, exactly as the driver's engine
+	// does.
+	Registry *engine.Registry[VM, EM]
+	// Timestamps extracts a timestamp from edge metadata for temporal
+	// plans; nil if the configuration has none.
+	Timestamps func(EM) uint64
+	// Build runs this process's side of a collective graph build for the
+	// given spec, feeding no edges (the driver's ranks feed all of them).
+	Build func(w *ygm.World, name string, spec BuildSpec) (*graph.DODGr[VM, EM], error)
+}
+
+// Serve runs the worker's job loop until the coordinator dismisses it
+// (stop job), the process is asked to quit (stop channel, e.g. SIGTERM),
+// or the world breaks. Shutdown via the stop channel is graceful: a job in
+// flight — including every parallel region of a traversal — completes
+// first, then the worker announces departure with a leave frame and
+// returns nil.
+//
+// Jobs execute synchronously in arrival order, mirroring the driver's
+// scheduler, so the processes enter every parallel region in the same
+// sequence with identically numbered handlers.
+func Serve[VM, EM any](wk *Worker, h Hooks[VM, EM], stop <-chan struct{}) error {
+	graphs := make(map[string]*graph.DODGr[VM, EM])
+	for {
+		// A pending stop outranks a pending job: the drain point is
+		// between jobs.
+		select {
+		case <-stop:
+			return wk.leave()
+		default:
+		}
+		select {
+		case <-stop:
+			return wk.leave()
+		case fe, ok := <-wk.frames:
+			if !ok {
+				return errLinkDown
+			}
+			if fe.err != nil {
+				return fmt.Errorf("dist: coordinator link: %w", fe.err)
+			}
+			m := fe.m
+			switch m.Kind {
+			case kBuild:
+				if h.Build == nil {
+					return fmt.Errorf("dist: build job %q but the worker has no Build hook", m.Graph)
+				}
+				g, err := h.Build(wk.w, m.Graph, m.Build)
+				if err != nil {
+					return fmt.Errorf("dist: build job %q: %w", m.Graph, err)
+				}
+				graphs[m.Graph] = g
+			case kRun:
+				g, built := graphs[m.Graph]
+				if !built {
+					return fmt.Errorf("dist: run job names unbuilt graph %q", m.Graph)
+				}
+				opts := core.Options{Mode: core.Mode(m.Run.Mode), PullFactor: m.Run.PullFactor}
+				if _, _, err := engine.ExecuteFused(h.Registry, h.Timestamps, g, opts, m.Run.Specs); err != nil {
+					return fmt.Errorf("dist: traversal job: %w", err)
+				}
+			case kStop:
+				return wk.leave()
+			default:
+				return &ProtocolError{Got: m.Kind, Want: kRun}
+			}
+		}
+	}
+}
+
+// leave announces orderly departure. The coordinator sees the frame at its
+// next interaction with this worker: during Close it is the expected
+// goodbye; during a link round it surfaces as ErrWorkerLeft and poisons
+// the in-flight job.
+func (wk *Worker) leave() error {
+	wk.cc.send(&ctrlMsg{Kind: kLeave})
+	wk.Close()
+	return nil
+}

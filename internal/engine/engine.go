@@ -59,8 +59,14 @@ type EngineOptions[EM any] struct {
 	// would push the pending count past it fails with ErrOverloaded
 	// instead of queuing unboundedly. 0 means unbounded (the pre-PR 6
 	// behavior). Shedding happens before enqueue, so a shed mutation was
-	// never logged or applied.
+	// never logged or left applied.
 	MaxPending int
+	// Fanout, when non-nil, mirrors each fused traversal onto the worker
+	// processes of a multi-process world before the driver executes it
+	// (see remote.go). Traversal panics are then converted to job errors
+	// rather than crashing the server: a dead worker poisons the world
+	// mid-region, which surfaces as a panic in the driver's ranks.
+	Fanout Fanout
 }
 
 // Stats counts what the engine has done since New. Traversal* fields
@@ -495,6 +501,12 @@ func (e *Engine[VM, EM]) Advance(ctx context.Context, name string, cutoff uint64
 }
 
 func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, m *mutation[VM, EM]) (core.Result, error) {
+	if e.opts.Fanout != nil {
+		// Stream mutations are collectives too, but replicating them (and
+		// the WAL, and the rebuild decisions) across worker processes is a
+		// follow-up; a multi-process engine serves static graphs only.
+		return core.Result{}, errors.New("engine: stream mutations are not supported in a multi-process world yet")
+	}
 	e.mu.Lock()
 	entry, ok := e.graphs[name]
 	if !ok {
@@ -724,6 +736,25 @@ func (e *Engine[VM, EM]) runGroup(name string, opts core.Options, jobs []*Job) {
 		attached[i] = att
 	}
 
+	// A multi-process world runs this traversal everywhere: ship the
+	// surviving work item (leader specs in share order — the workers
+	// recompile them with ExecuteFused) before entering the regions.
+	if e.opts.Fanout != nil {
+		specs := make([]Spec, len(live))
+		for i, s := range live {
+			specs[i] = s.leader.spec
+		}
+		if err := e.opts.Fanout.Traverse(name, opts, specs); err != nil {
+			for _, s := range live {
+				e.fail(s.leader, err)
+				for _, f := range s.followers {
+					e.fail(f, err)
+				}
+			}
+			return
+		}
+	}
+
 	res, err := e.execute(g, opts, union, attached)
 	if err != nil {
 		for _, s := range live {
@@ -769,8 +800,18 @@ func (e *Engine[VM, EM]) runGroup(name string, opts core.Options, jobs []*Job) {
 // execute runs one fused traversal and accounts its traffic. This is the
 // only place the engine touches core.Run; the public Run free function is
 // a single-shot engine calling it directly (Once).
-func (e *Engine[VM, EM]) execute(g *graph.DODGr[VM, EM], opts core.Options, plan *core.Plan[EM], attached []core.Attached[VM, EM]) (core.Result, error) {
-	res, err := core.Run(g, opts, plan, attached...)
+func (e *Engine[VM, EM]) execute(g *graph.DODGr[VM, EM], opts core.Options, plan *core.Plan[EM], attached []core.Attached[VM, EM]) (res core.Result, err error) {
+	if e.opts.Fanout != nil {
+		// With workers in the loop a traversal can die mid-region (a peer
+		// process exits, the world poisons, the driver's ranks panic). The
+		// server must survive that as a failed batch, not a crash.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("engine: distributed traversal failed: %v", p)
+			}
+		}()
+	}
+	res, err = core.Run(g, opts, plan, attached...)
 	if err != nil {
 		return res, err
 	}

@@ -95,6 +95,33 @@ func TestCompareRecordsAllocTolerance(t *testing.T) {
 	}
 }
 
+// Whole-experiment roll-up metrics ("<id>/wall_ns") carry process-wide
+// alloc brackets that swing with GC timing between identical sessions:
+// their brackets gate at the wall tolerance and vanish under -skip-wall,
+// while per-op driver brackets keep the tight ratio.
+func TestCompareRecordsRollupBracketsAreWallGrade(t *testing.T) {
+	oldRec, newRec := compareFixture(), compareFixture()
+	rollup := Metric{Name: "hotpath/wall_ns", Value: 5e9, Unit: "ns/op",
+		WallNs: 5e9, Allocs: 7_000_000, AllocBytes: 1.4e8}
+	oldRec.Benches = append(oldRec.Benches, rollup)
+	grown := rollup
+	grown.Allocs *= 1.3 // session drift: over 1.10, under 1.5
+	grown.AllocBytes *= 1.3
+	newRec.Benches = append(newRec.Benches, grown)
+
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{}); len(regs) != 0 {
+		t.Errorf("1.3x roll-up bracket drift flagged at the tight ratio: %v", regs)
+	}
+	grown.Allocs = rollup.Allocs * 2 // beyond even the wall ratio
+	newRec.Benches[len(newRec.Benches)-1] = grown
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{}); findReg(regs, "hotpath/wall_ns", "allocs") == nil {
+		t.Errorf("2x roll-up bracket regression not flagged: %v", regs)
+	}
+	if regs := CompareRecords(oldRec, newRec, CompareOptions{SkipWall: true}); len(regs) != 0 {
+		t.Errorf("-skip-wall still gated a roll-up bracket: %v", regs)
+	}
+}
+
 func TestCompareRecordsCounterRegression(t *testing.T) {
 	oldRec, newRec := compareFixture(), compareFixture()
 	// Non-time counters are deterministic: +10% wire bytes fails at 1.05.

@@ -1,0 +1,19 @@
+package exp
+
+import (
+	"os"
+	"testing"
+
+	"tripoll/internal/dist"
+)
+
+// TestMain makes the exp test binary worker-capable: the multiproc
+// ablation self-launches copies of the running executable, and when that
+// executable is this test binary the copy must serve as a dist worker
+// instead of running the test suite.
+func TestMain(m *testing.M) {
+	if addr := dist.JoinAddrFromEnv(); addr != "" {
+		os.Exit(MultiprocServeWorker(addr))
+	}
+	os.Exit(m.Run())
+}

@@ -148,6 +148,7 @@ func All() []Runner {
 		{"stream", AblationStream, "ablation: incremental stream maintenance vs per-batch full recompute"},
 		{"coalesce", AblationCoalesce, "ablation: coalesced concurrent queries vs sequential per-query runs"},
 		{"wal", AblationWAL, "ablation: WAL-backed durable streams — overhead and crash recovery"},
+		{"multiproc", AblationMultiproc, "ablation: one process vs a process-spanning world (internal/dist)"},
 		{"hotpath", HotPath, "hot-path microbenchmarks: encode, survey, intersection, stream ingest"},
 	}
 }

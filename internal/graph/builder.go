@@ -190,7 +190,12 @@ func (b *Builder[VM, EM]) SetVertexMeta(r *ygm.Rank, v uint64, vm VM) {
 func (b *Builder[VM, EM]) Build(r *ygm.Rank) *DODGr[VM, EM] {
 	r.Barrier() // ingestion settled everywhere
 
-	if r.ID() == 0 {
+	// The process leader creates the shared graph object: in a
+	// single-process world that is rank 0 (the historical behavior), in a
+	// multi-process world every process builds its own DODGr holding its
+	// local shards, with the global figures below identical everywhere by
+	// virtue of coming from collectives.
+	if r.ID() == b.w.LeaderID() {
 		g := &DODGr[VM, EM]{w: b.w, part: b.part, vm: b.vm, em: b.em}
 		g.local = make([]rankLocal[VM, EM], b.w.Size())
 		b.built = g
@@ -299,7 +304,7 @@ func (b *Builder[VM, EM]) Build(r *ygm.Rank) *DODGr[VM, EM] {
 	mo := ygm.AllReduceMax(r, uint64(localMaxOut))
 	sl := ygm.AllReduceSum(r, localSelf)
 	mg := ygm.AllReduceSum(r, localMerged)
-	if r.ID() == 0 {
+	if r.ID() == b.w.LeaderID() {
 		g.ordering = b.opts.Ordering
 		g.numVertices = nv
 		g.numDirectedEdges = nd

@@ -1,0 +1,62 @@
+package serialize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Length-prefixed frame IO for the distributed control plane. The data
+// plane (ygm batches) frames with uvarints for density; the control plane
+// (rendezvous, process links, job shipping) uses fixed 4-byte big-endian
+// prefixes instead: frames are rare, and a fixed header lets a reader
+// reject an insane length before allocating.
+
+// MaxFrameSize is the largest control frame ReadFrame will accept. A
+// length beyond it means a corrupt or hostile stream, not a big message.
+const MaxFrameSize = 1 << 30
+
+// FrameSizeError reports a frame whose declared length exceeds the limit.
+type FrameSizeError struct {
+	Size  uint32
+	Limit int
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("serialize: frame of %d bytes exceeds limit %d", e.Size, e.Limit)
+}
+
+// WriteFrame writes payload as one length-prefixed frame. The header and
+// payload are written in a single Write so a framing-aware conn (or a
+// bufio writer) emits one packet.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return &FrameSizeError{Size: uint32(len(payload)), Limit: MaxFrameSize}
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting declared lengths
+// beyond max (or MaxFrameSize if max <= 0) before allocating.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFrameSize {
+		max = MaxFrameSize
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if int(size) > max {
+		return nil, &FrameSizeError{Size: size, Limit: max}
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

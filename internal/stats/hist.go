@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,6 +123,31 @@ func (j *Joint2D) Cells() []JointCell {
 		return out[a].Y < out[b].Y
 	})
 	return out
+}
+
+// GobEncode serializes the grid as its sorted cell list, so Joint2D
+// accumulators can ride encoding/gob across process boundaries (the
+// multi-process collective path) despite the unexported map. Sorting keeps
+// the wire form canonical.
+func (j *Joint2D) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(j.Cells()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds the grid from its cell list.
+func (j *Joint2D) GobDecode(b []byte) error {
+	var cells []JointCell
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cells); err != nil {
+		return err
+	}
+	j.counts = make(map[[2]int]uint64, len(cells))
+	for _, c := range cells {
+		j.counts[[2]int{c.X, c.Y}] = c.Count
+	}
+	return nil
 }
 
 // Prune removes zero-count cells (left behind when merged ranks cancel),

@@ -7,10 +7,13 @@ package ygm
 // All ranks must call a collective in the same order (standard SPMD
 // discipline). Collectives must not be called from handlers.
 //
-// Because the ranks share an address space, the implementation exchanges
-// values through a slot array guarded by two rendezvous. Each rank computes
-// the reduction independently over the same slot order, so results are
-// bit-identical across ranks regardless of scheduling.
+// Within a process the ranks share an address space, so the implementation
+// exchanges values through a slot array guarded by rendezvous. In a
+// multi-process world the process leaders additionally run one link
+// Exchange round so every process sees every slot (remote values ride gob
+// — see NewDistWorld). Each rank then computes the reduction independently
+// over the same slot order, so results are bit-identical across ranks and
+// processes regardless of scheduling.
 
 // AllReduce combines every rank's contribution with op and returns the
 // result on all ranks. op must be associative; evaluation order is fixed
@@ -18,7 +21,7 @@ package ygm
 func AllReduce[T any](r *Rank, x T, op func(a, b T) T) T {
 	w := r.world
 	w.shared[r.id] = x
-	w.barrier.await()
+	w.gatherSlots(r)
 	acc := w.shared[0].(T)
 	for i := 1; i < w.n; i++ {
 		acc = op(acc, w.shared[i].(T))
@@ -47,22 +50,34 @@ func AllReduceMax(r *Rank, x uint64) uint64 {
 func AllGather[T any](r *Rank, x T) []T {
 	w := r.world
 	w.shared[r.id] = x
-	w.barrier.await()
+	w.gatherSlots(r)
 	out := make([]T, w.n)
 	for i := 0; i < w.n; i++ {
-		out[i] = w.shared[i].(T)
+		// An any-typed gather may legitimately carry nil contributions
+		// (e.g. non-leader ranks in a cross-process reduction); a bare
+		// assertion would panic converting untyped nil even to `any`.
+		if v := w.shared[i]; v != nil {
+			out[i] = v.(T)
+		}
 	}
 	w.barrier.await()
 	return out
 }
 
-// Broadcast returns root's value on every rank.
+// Broadcast returns root's value on every rank. In a multi-process world
+// only root's slot carries a value across the link; other ranks contribute
+// nothing.
 func Broadcast[T any](r *Rank, x T, root int) T {
 	w := r.world
 	if r.id == root {
 		w.shared[root] = x
+	} else if w.link != nil {
+		// A distributed exchange ships every local slot; a stale value from
+		// a previous collective must not ride along (it may not even be
+		// gob-encodable).
+		w.shared[r.id] = nil
 	}
-	w.barrier.await()
+	w.gatherSlots(r)
 	out := w.shared[root].(T)
 	w.barrier.await()
 	return out
@@ -70,7 +85,8 @@ func Broadcast[T any](r *Rank, x T, root int) T {
 
 // Rendezvous is a plain synchronization barrier with no quiescence
 // semantics: it does not flush buffers or process messages. Use Barrier for
-// the termination-detecting variant.
+// the termination-detecting variant. In a multi-process world it
+// synchronizes every rank of every process.
 func Rendezvous(r *Rank) {
-	r.world.barrier.await()
+	r.world.syncRanks(r)
 }

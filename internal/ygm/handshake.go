@@ -1,0 +1,142 @@
+package ygm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The TCP transport's connection hello. Before PR 8 a dialer identified
+// itself with a bare 4-byte rank id; a world spanning OS processes needs
+// more: a magic so a stray client can't wedge a listener, a protocol
+// version so mixed builds fail loudly instead of mis-framing, the world
+// size so two rendezvous that disagree about N cannot half-connect, and
+// both endpoint ranks so each accepted connection binds a (from, to) pair
+// without trusting dial order.
+//
+// Layout (18 bytes, little-endian):
+//
+//	[0:4)   magic "TPYG"
+//	[4:6)   protocol version (uint16)
+//	[6:10)  world size (uint32)
+//	[10:14) sender rank (uint32)
+//	[14:18) destination rank (uint32)
+const (
+	helloMagic   = "TPYG"
+	helloVersion = 1
+	helloSize    = 4 + 2 + 4 + 4 + 4
+)
+
+// hello is the decoded connection preamble.
+type hello struct {
+	Version uint16
+	World   uint32
+	From    uint32
+	To      uint32
+}
+
+// HelloMagicError reports a connection preamble that is not a ygm hello at
+// all (wrong magic bytes).
+type HelloMagicError struct {
+	Got [4]byte
+}
+
+func (e *HelloMagicError) Error() string {
+	return fmt.Sprintf("ygm: tcp hello: bad magic %q (want %q)", e.Got[:], helloMagic)
+}
+
+// HelloVersionError reports a protocol version skew between the dialer and
+// the acceptor.
+type HelloVersionError struct {
+	Got, Want uint16
+}
+
+func (e *HelloVersionError) Error() string {
+	return fmt.Sprintf("ygm: tcp hello: protocol version %d (want %d)", e.Got, e.Want)
+}
+
+// HelloTruncatedError reports a hello shorter than the fixed frame.
+type HelloTruncatedError struct {
+	Got int
+}
+
+func (e *HelloTruncatedError) Error() string {
+	return fmt.Sprintf("ygm: tcp hello: truncated at %d bytes (want %d)", e.Got, helloSize)
+}
+
+// HelloWorldSizeError reports a dialer that believes in a different world
+// size than the acceptor.
+type HelloWorldSizeError struct {
+	Got, Want uint32
+}
+
+func (e *HelloWorldSizeError) Error() string {
+	return fmt.Sprintf("ygm: tcp hello: world size %d (want %d)", e.Got, e.Want)
+}
+
+// HelloRankError reports an out-of-range or mismatched rank pair.
+type HelloRankError struct {
+	From, To uint32
+	World    uint32
+	Reason   string
+}
+
+func (e *HelloRankError) Error() string {
+	return fmt.Sprintf("ygm: tcp hello: rank pair (%d -> %d) in world of %d: %s", e.From, e.To, e.World, e.Reason)
+}
+
+// encodeHello writes the fixed-size preamble for a connection from rank
+// `from` to rank `to` in a world of size `world`.
+func encodeHello(world, from, to uint32) [helloSize]byte {
+	var b [helloSize]byte
+	copy(b[0:4], helloMagic)
+	binary.LittleEndian.PutUint16(b[4:6], helloVersion)
+	binary.LittleEndian.PutUint32(b[6:10], world)
+	binary.LittleEndian.PutUint32(b[10:14], from)
+	binary.LittleEndian.PutUint32(b[14:18], to)
+	return b
+}
+
+// decodeHello parses and validates a connection preamble. Every failure is
+// a typed error (never a panic), so the accept path can attribute setup
+// failures precisely and fuzzing can assert robustness against byte soup.
+// Validation order is magic, version, length, world, ranks: a stray client
+// is reported as "not ygm" before anything else is believed.
+func decodeHello(b []byte) (hello, error) {
+	if len(b) >= 4 && string(b[0:4]) != helloMagic {
+		var e HelloMagicError
+		copy(e.Got[:], b[0:4])
+		return hello{}, &e
+	}
+	if len(b) < helloSize {
+		return hello{}, &HelloTruncatedError{Got: len(b)}
+	}
+	h := hello{
+		Version: binary.LittleEndian.Uint16(b[4:6]),
+		World:   binary.LittleEndian.Uint32(b[6:10]),
+		From:    binary.LittleEndian.Uint32(b[10:14]),
+		To:      binary.LittleEndian.Uint32(b[14:18]),
+	}
+	if h.Version != helloVersion {
+		return hello{}, &HelloVersionError{Got: h.Version, Want: helloVersion}
+	}
+	return h, nil
+}
+
+// validateHello checks a decoded hello against the acceptor's view of the
+// world: the expected size, the rank the listener serves, and range/self
+// constraints on the sender.
+func validateHello(h hello, world uint32, to int) error {
+	if h.World != world {
+		return &HelloWorldSizeError{Got: h.World, Want: world}
+	}
+	if h.To != uint32(to) {
+		return &HelloRankError{From: h.From, To: h.To, World: world, Reason: fmt.Sprintf("dialed listener for rank %d", to)}
+	}
+	if h.From >= world {
+		return &HelloRankError{From: h.From, To: h.To, World: world, Reason: "sender rank out of range"}
+	}
+	if h.From == h.To {
+		return &HelloRankError{From: h.From, To: h.To, World: world, Reason: "self-dial (self-sends never cross the transport)"}
+	}
+	return nil
+}

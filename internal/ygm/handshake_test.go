@@ -1,0 +1,117 @@
+package ygm
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	b := encodeHello(7, 3, 5)
+	h, err := decodeHello(b[:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Version != helloVersion || h.World != 7 || h.From != 3 || h.To != 5 {
+		t.Fatalf("decoded %+v", h)
+	}
+	if err := validateHello(h, 7, 5); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestHelloTypedErrors(t *testing.T) {
+	good := encodeHello(4, 1, 2)
+
+	t.Run("magic", func(t *testing.T) {
+		b := good
+		copy(b[:4], "HTTP")
+		var want *HelloMagicError
+		if _, err := decodeHello(b[:]); !errors.As(err, &want) {
+			t.Fatalf("err = %v, want HelloMagicError", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		var want *HelloTruncatedError
+		if _, err := decodeHello(good[:10]); !errors.As(err, &want) {
+			t.Fatalf("err = %v, want HelloTruncatedError", err)
+		}
+		if want.Got != 10 {
+			t.Errorf("truncated length = %d, want 10", want.Got)
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		b := good
+		binary.LittleEndian.PutUint16(b[4:6], helloVersion+3)
+		var want *HelloVersionError
+		if _, err := decodeHello(b[:]); !errors.As(err, &want) {
+			t.Fatalf("err = %v, want HelloVersionError", err)
+		}
+		if want.Got != helloVersion+3 || want.Want != helloVersion {
+			t.Errorf("version error = %+v", want)
+		}
+	})
+	t.Run("world-size", func(t *testing.T) {
+		h, err := decodeHello(good[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *HelloWorldSizeError
+		if err := validateHello(h, 8, 2); !errors.As(err, &want) {
+			t.Fatalf("err = %v, want HelloWorldSizeError", err)
+		}
+	})
+	t.Run("rank", func(t *testing.T) {
+		h, err := decodeHello(good[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *HelloRankError
+		if err := validateHello(h, 4, 3); !errors.As(err, &want) {
+			t.Fatalf("wrong-listener err = %v, want HelloRankError", err)
+		}
+		self := hello{Version: helloVersion, World: 4, From: 2, To: 2}
+		if err := validateHello(self, 4, 2); !errors.As(err, &want) {
+			t.Fatalf("self-dial err = %v, want HelloRankError", err)
+		}
+		oob := hello{Version: helloVersion, World: 4, From: 9, To: 2}
+		if err := validateHello(oob, 4, 2); !errors.As(err, &want) {
+			t.Fatalf("out-of-range err = %v, want HelloRankError", err)
+		}
+	})
+}
+
+// FuzzHandshake drives the hello decoder with arbitrary byte soup: it must
+// never panic, must accept exactly the frames the encoder produces, and
+// must classify every rejection as one of the typed hello errors.
+func FuzzHandshake(f *testing.F) {
+	good := encodeHello(16, 2, 11)
+	f.Add(good[:])
+	f.Add(good[:4])
+	f.Add([]byte{})
+	f.Add([]byte("GET / HTTP/1.1\r\n"))
+	skew := good
+	binary.LittleEndian.PutUint16(skew[4:6], 0xFFFF)
+	f.Add(skew[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHello(data)
+		if err == nil {
+			// Whatever decodes must re-encode to the identical frame:
+			// decode is the inverse of encode on its accepted set.
+			back := encodeHello(h.World, h.From, h.To)
+			if string(back[:]) != string(data[:helloSize]) {
+				t.Fatalf("decode/encode mismatch: %x -> %+v -> %x", data[:helloSize], h, back)
+			}
+			// And validation must never panic, whatever the field values.
+			validateHello(h, h.World, int(h.To))
+			validateHello(h, 3, 0)
+			return
+		}
+		var magicErr *HelloMagicError
+		var versionErr *HelloVersionError
+		var truncErr *HelloTruncatedError
+		if !errors.As(err, &magicErr) && !errors.As(err, &versionErr) && !errors.As(err, &truncErr) {
+			t.Fatalf("decodeHello(%x) returned untyped error %v", data, err)
+		}
+	})
+}

@@ -310,13 +310,10 @@ func (r *Rank) Barrier() {
 				break
 			}
 		}
-		// Global quiescence check. Between the two rendezvous no rank sends
-		// or processes, so the sharded counters are stable and every rank
-		// reads the same verdict.
-		w.barrier.await()
-		quiet := w.totalSent() == w.totalProcessed()
-		w.barrier.await()
-		if quiet {
+		// Global quiescence check: see quiesceVerdict. In a multi-process
+		// world the verdict spans every process's counters, so a Barrier
+		// returns only when the whole world — wires included — is quiet.
+		if w.quiesceVerdict(r) {
 			return
 		}
 	}

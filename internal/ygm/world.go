@@ -2,6 +2,7 @@ package ygm
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +65,47 @@ type Options struct {
 	// property the encode-identity tests verify — so this knob exists only
 	// for those differential tests and for alloc/time ablations.
 	CopyEncode bool
+	// ListenAddr is the host:port the TCP transport listens on, one
+	// listener per local rank (":0" forms pick ephemeral ports; the bound
+	// addresses are surfaced by World.ListenAddrs). Empty defaults to
+	// "127.0.0.1:0", the historical single-process loopback.
+	ListenAddr string
+}
+
+// ProcLink bridges the local process's share of a world to the other
+// processes of a multi-process world. The three operations mirror the three
+// global synchronization needs of the runtime: Sync backs Rendezvous,
+// Quiesce backs the Barrier's termination verdict (callers pass their
+// process-local sent/processed totals and get the global verdict), and
+// Exchange backs the collectives (callers pass their local ranks'
+// contribution slots, in rank order, and get the full world's slot array).
+//
+// Only the process leader rank calls into the link, and every process's
+// leader calls the same operation in the same order (the SPMD discipline
+// collectives already demand), so implementations may be strict
+// request/response protocols with no demultiplexing.
+type ProcLink interface {
+	Sync() error
+	Quiesce(sent, processed int64) (quiet bool, err error)
+	Exchange(local []any) ([]any, error)
+}
+
+// Topology describes one process's slice of a multi-process world: which
+// contiguous rank span is local, where every rank in the world listens,
+// pre-bound listeners for the local span (in rank order; the transport
+// takes ownership), and the control-plane link to the peer processes.
+type Topology struct {
+	First int
+	Count int
+	// Peers maps every rank to its dial address. Entries for local ranks
+	// must match the corresponding Listeners' bound addresses.
+	Peers []string
+	// Listeners are the local span's pre-bound listeners (one per local
+	// rank, rank order). Binding before world construction is what lets a
+	// rendezvous advertise addresses first and build the world second.
+	Listeners []net.Listener
+	// Link is the cross-process control plane.
+	Link ProcLink
 }
 
 const (
@@ -73,10 +115,24 @@ const (
 
 // World is the communicator: a fixed set of ranks plus the handler registry
 // and the shared machinery for barriers and collectives.
+//
+// A world is either single-process (every rank is a local goroutine — the
+// historical simulated-MPI mode) or one process's view of a multi-process
+// world built by NewDistWorld: ranks [first, first+local) run here, the
+// rest run in peer processes reached through the TCP transport, and the
+// barrier/collective machinery splices in a ProcLink round wherever global
+// agreement is needed.
 type World struct {
 	n     int
 	opts  Options
 	ranks []*Rank
+
+	// Multi-process span: local ranks are [first, first+local). In a
+	// single-process world first is 0, local is n and link is nil.
+	first     int
+	local     int
+	link      ProcLink
+	distQuiet bool // leader-written verdict of the last link Quiesce round
 
 	mu           sync.Mutex
 	handlers     []Handler
@@ -101,8 +157,40 @@ type World struct {
 	failure  any
 }
 
-// NewWorld creates a communicator with n ranks. n must be at least 1.
+// NewWorld creates a single-process communicator with n ranks. n must be
+// at least 1.
 func NewWorld(n int, opts Options) (*World, error) {
+	return newWorld(n, opts, nil)
+}
+
+// NewDistWorld creates this process's view of a multi-process world of n
+// ranks. The topology's local span, peer table, pre-bound listeners and
+// process link come from a rendezvous (see internal/dist). The transport
+// must be TCP: remote ranks are only reachable through sockets.
+//
+// Collectives on a distributed world move their contributions between
+// processes with encoding/gob, so any value type handed to AllReduce,
+// AllGather or Broadcast must be gob-encodable (and registered with
+// gob.Register when passed through an interface).
+func NewDistWorld(n int, opts Options, topo Topology) (*World, error) {
+	if topo.First < 0 || topo.Count < 1 || topo.First+topo.Count > n {
+		return nil, fmt.Errorf("ygm: local span [%d, %d) outside world of %d", topo.First, topo.First+topo.Count, n)
+	}
+	if topo.Count < n {
+		if opts.Transport != TransportTCP {
+			return nil, fmt.Errorf("ygm: a multi-process world requires the TCP transport, got %v", opts.Transport)
+		}
+		if len(topo.Peers) != n {
+			return nil, fmt.Errorf("ygm: peer table has %d entries, want %d", len(topo.Peers), n)
+		}
+		if topo.Link == nil {
+			return nil, fmt.Errorf("ygm: a multi-process world requires a process link")
+		}
+	}
+	return newWorld(n, opts, &topo)
+}
+
+func newWorld(n int, opts Options, topo *Topology) (*World, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("ygm: world size must be >= 1, got %d", n)
 	}
@@ -112,10 +200,21 @@ func NewWorld(n int, opts Options) (*World, error) {
 	if opts.PollEvery <= 0 {
 		opts.PollEvery = defaultPollEvery
 	}
+	first, local := 0, n
+	var link ProcLink
+	if topo != nil {
+		first, local, link = topo.First, topo.Count, topo.Link
+		if local == n {
+			link = nil // a one-process "distributed" world degenerates cleanly
+		}
+	}
 	w := &World{
 		n:       n,
 		opts:    opts,
-		barrier: newCyclicBarrier(n),
+		first:   first,
+		local:   local,
+		link:    link,
+		barrier: newCyclicBarrier(local),
 		shared:  make([]any, n),
 		slots:   make([]counterSlot, n),
 	}
@@ -139,9 +238,12 @@ func NewWorld(n int, opts Options) (*World, error) {
 	w.hForward = w.RegisterHandler(w.forwardHandler)
 	switch opts.Transport {
 	case TransportChannel:
+		if w.Distributed() {
+			return nil, fmt.Errorf("ygm: channel transport cannot span processes")
+		}
 		w.transport = newChannelTransport(w)
 	case TransportTCP:
-		tr, err := newTCPTransport(w)
+		tr, err := newTCPTransport(w, topo)
 		if err != nil {
 			return nil, fmt.Errorf("ygm: tcp transport: %w", err)
 		}
@@ -165,6 +267,33 @@ func MustWorld(n int, opts Options) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
 
+// LocalSpan returns the contiguous rank span hosted by this process. In a
+// single-process world it is (0, Size).
+func (w *World) LocalSpan() (first, count int) { return w.first, w.local }
+
+// LeaderID returns the lowest local rank — the rank that creates and
+// publishes process-shared objects. Code that historically gated shared
+// construction on rank 0 must gate on the leader instead so every process
+// of a multi-process world builds its own copy. In a single-process world
+// the leader is rank 0, preserving the historical behavior exactly.
+func (w *World) LeaderID() int { return w.first }
+
+// Local reports whether rank id runs in this process.
+func (w *World) Local(id int) bool { return id >= w.first && id < w.first+w.local }
+
+// Distributed reports whether this world spans more than one OS process.
+func (w *World) Distributed() bool { return w.link != nil }
+
+// ListenAddrs returns the bound listener address of each local rank, in
+// rank order. Only TCP-transport worlds have listeners; other transports
+// return nil.
+func (w *World) ListenAddrs() []string {
+	if t, ok := w.transport.(*tcpTransport); ok {
+		return append([]string(nil), t.addrs...)
+	}
+	return nil
+}
+
 // Options returns the options the world was created with.
 func (w *World) Options() Options { return w.opts }
 
@@ -185,9 +314,12 @@ func (w *World) RegisterHandler(h Handler) HandlerID {
 	return HandlerID(len(w.handlers) - 1)
 }
 
-// Parallel runs fn concurrently on every rank (the SPMD region) and returns
-// when all ranks have finished. An implicit Barrier runs at the end of the
-// region, so no message is left unprocessed when Parallel returns.
+// Parallel runs fn concurrently on every local rank (the SPMD region) and
+// returns when all of them have finished. An implicit Barrier runs at the
+// end of the region, so no message is left unprocessed when Parallel
+// returns. In a multi-process world every process must enter the same
+// regions in the same order; together they form one world-wide SPMD
+// region, with the remote ranks executing in their own processes.
 //
 // If any rank panics, the barrier is poisoned so the remaining ranks unwind
 // instead of deadlocking, and Parallel re-panics with the first failure.
@@ -198,8 +330,8 @@ func (w *World) Parallel(fn func(r *Rank)) {
 	defer w.inRegion.Store(false)
 
 	var wg sync.WaitGroup
-	wg.Add(w.n)
-	for i := 0; i < w.n; i++ {
+	wg.Add(w.local)
+	for i := w.first; i < w.first+w.local; i++ {
 		r := w.ranks[i]
 		go func() {
 			defer wg.Done()
@@ -225,6 +357,83 @@ func (w *World) Parallel(fn func(r *Rank)) {
 		w.barrier.reset()
 		panic(f)
 	}
+}
+
+// linkFail surfaces a process-link error on the leader rank's goroutine.
+// The panic is recovered by Parallel, which poisons the barrier so the
+// other local ranks unwind instead of deadlocking — the same failure
+// discipline as any rank panic.
+func (w *World) linkFail(err error) {
+	panic(fmt.Errorf("ygm: process link: %w", err))
+}
+
+// syncRanks is the rendezvous primitive behind Rendezvous and the
+// collectives' release phase. Single-process: one local barrier round.
+// Multi-process: the local ranks rendezvous, the leader runs a link Sync
+// round with the peer processes, and a second local round releases
+// everyone — no rank on any process passes until all ranks everywhere
+// have arrived.
+func (w *World) syncRanks(r *Rank) {
+	if w.link == nil {
+		w.barrier.await()
+		return
+	}
+	w.barrier.await()
+	if r.id == w.first {
+		if err := w.link.Sync(); err != nil {
+			w.linkFail(err)
+		}
+	}
+	w.barrier.await()
+}
+
+// gatherSlots completes a collective's exchange phase: callers have written
+// their contribution into w.shared[r.id]; on return every slot in
+// [0, Size) is populated on every process. Values crossing processes ride
+// gob through the link.
+func (w *World) gatherSlots(r *Rank) {
+	w.barrier.await()
+	if w.link == nil {
+		return
+	}
+	if r.id == w.first {
+		local := make([]any, w.local)
+		copy(local, w.shared[w.first:w.first+w.local])
+		full, err := w.link.Exchange(local)
+		if err != nil {
+			w.linkFail(err)
+		}
+		if len(full) != w.n {
+			w.linkFail(fmt.Errorf("exchange returned %d slots, want %d", len(full), w.n))
+		}
+		copy(w.shared, full)
+	}
+	w.barrier.await()
+}
+
+// quiesceVerdict is the Barrier's global termination check: between its
+// two rendezvous no rank sends or processes, so the sharded counters are
+// stable and every rank — on every process — reads the same verdict. In a
+// multi-process world each process leader contributes its local totals and
+// the link's coordinator sums them; a message in flight between processes
+// is counted by its sender but not yet by its receiver, so the verdict
+// stays false until the wire drains.
+func (w *World) quiesceVerdict(r *Rank) bool {
+	w.barrier.await()
+	if w.link == nil {
+		quiet := w.totalSent() == w.totalProcessed()
+		w.barrier.await()
+		return quiet
+	}
+	if r.id == w.first {
+		quiet, err := w.link.Quiesce(w.totalSent(), w.totalProcessed())
+		if err != nil {
+			w.linkFail(err)
+		}
+		w.distQuiet = quiet
+	}
+	w.barrier.await()
+	return w.distQuiet
 }
 
 func (w *World) recordFailure(f any) {

@@ -175,12 +175,16 @@ func Info[VM, EM any](g *Graph[VM, EM]) GraphInfo {
 func BuildSimple(w *World, edges [][2]uint64) *Graph[Unit, Unit] {
 	b := NewGraphBuilder(w, UnitCodec(), UnitCodec(), BuilderOptions[Unit]{})
 	var g *Graph[Unit, Unit]
+	first, count := w.LocalSpan()
 	w.Parallel(func(r *Rank) {
-		for i := r.ID(); i < len(edges); i += r.Size() {
+		// Stride over the local span only: in a multi-process world the
+		// edge list lives in the driver process and remote ranks see an
+		// empty slice, so the local ranks must cover it between them.
+		for i := r.ID() - first; i < len(edges); i += count {
 			b.AddEdge(r, edges[i][0], edges[i][1], Unit{})
 		}
 		gg := b.Build(r)
-		if r.ID() == 0 {
+		if r.ID() == w.LeaderID() {
 			g = gg
 		}
 	})
@@ -200,12 +204,13 @@ func BuildTemporal(w *World, edges []TemporalEdge) *Graph[Unit, uint64] {
 		},
 	})
 	var g *Graph[Unit, uint64]
+	first, count := w.LocalSpan()
 	w.Parallel(func(r *Rank) {
-		for i := r.ID(); i < len(edges); i += r.Size() {
+		for i := r.ID() - first; i < len(edges); i += count {
 			b.AddEdge(r, edges[i].U, edges[i].V, edges[i].Time)
 		}
 		gg := b.Build(r)
-		if r.ID() == 0 {
+		if r.ID() == w.LeaderID() {
 			g = gg
 		}
 	})
