@@ -1,9 +1,10 @@
 // Command tripoll-worker is one worker process of a multi-process tripoll
 // world. It joins a coordinator (tripolld -workers, or any dist.Listen
 // caller), hosts its assigned rank span, participates in collective graph
-// builds and fused traversals, and drains out gracefully on SIGTERM:
-// a traversal in flight completes, the worker deregisters from the
-// coordinator, and the process exits 0.
+// builds, fused traversals and broadcast stream mutations (tripolld -wal
+// -workers), and drains out gracefully on SIGTERM: a job in flight —
+// traversal or mutation, acknowledgement and all — completes, the worker
+// deregisters from the coordinator, and the process exits 0.
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"tripoll"
+	"tripoll/internal/core"
 	"tripoll/internal/dist"
 	"tripoll/internal/graph"
 	"tripoll/internal/ygm"
@@ -84,8 +86,53 @@ func temporalHooks() dist.Hooks[tripoll.Unit, uint64] {
 			if graph.Ordering(spec.Ordering) != graph.OrderDegree {
 				return nil, fmt.Errorf("build ordering %d not supported by this worker", spec.Ordering)
 			}
+			if spec.Replicas > 1 {
+				// One copy per rank span, the exact construction tripolld's
+				// buildTemporalReplica runs driver-side (with the edges).
+				span := w.Size() / spec.Replicas
+				log.Printf("building graph %q replica %d/%d (collective, ranks [%d, %d))",
+					name, spec.Replica, spec.Replicas, spec.Replica*span, (spec.Replica+1)*span)
+				return buildTemporalReplica(w, spec.Replica*span, span), nil
+			}
 			log.Printf("building graph %q (collective)", name)
 			return tripoll.BuildTemporal(w, nil), nil
 		},
+		// The worker's side of tripolld's OpenDurableStream: same stream
+		// options and plan, no WAL (durability is driver-side; DESIGN.md
+		// §14). Broadcast mutations keep every process's stream identical.
+		OpenStream: func(g *graph.DODGr[tripoll.Unit, uint64], policy string) (*core.Stream[tripoll.Unit, uint64], error) {
+			if policy != "" && policy != "temporal" {
+				return nil, fmt.Errorf("unknown stream policy %q", policy)
+			}
+			log.Printf("opening stream (collective)")
+			return tripoll.OpenStream(g, tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp}, tripoll.NewTemporalPlan())
+		},
 	}
+}
+
+// minTimestamp mirrors tripolld's multigraph reduction: keep the earliest
+// timestamp of a repeated edge (the §5.2 Reddit reduction).
+func minTimestamp(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// buildTemporalReplica is the worker's side of one replica's collective
+// build: SpanPartition confines the copy to its rank span; the driver's
+// ranks feed all the edges.
+func buildTemporalReplica(w *ygm.World, first, count int) *graph.DODGr[tripoll.Unit, uint64] {
+	b := tripoll.NewGraphBuilder(w, tripoll.UnitCodec(), tripoll.Uint64Codec(), tripoll.BuilderOptions[uint64]{
+		Partitioner:   tripoll.SpanPartition{First: first, Count: count},
+		MergeEdgeMeta: minTimestamp,
+	})
+	var g *graph.DODGr[tripoll.Unit, uint64]
+	w.Parallel(func(r *ygm.Rank) {
+		gg := b.Build(r)
+		if r.ID() == w.LeaderID() {
+			g = gg
+		}
+	})
+	return g
 }

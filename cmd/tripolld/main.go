@@ -15,7 +15,11 @@
 // (DESIGN.md §13): tripolld runs the rendezvous, hosts the first rank
 // span, and fans every fused traversal out to the workers. -worker-cmd
 // auto-launches them; without it, start tripoll-worker processes against
-// the logged rendezvous address.
+// the logged rendezvous address. -wal composes with -workers: mutations
+// are WAL-logged here, then broadcast for a collective apply on every
+// process, two-phase committed (DESIGN.md §14). -replicas N builds N
+// read-only copies of the graph on disjoint rank spans and round-robins
+// queries across them.
 //
 // Endpoints:
 //
@@ -79,6 +83,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "span the world across this many worker processes (multi-process mode; forces tcp)")
 		rendezvous = flag.String("rendezvous", "127.0.0.1:0", "control-plane listen address for -workers rendezvous")
 		workerCmd  = flag.String("worker-cmd", "", "auto-launch -workers copies of this binary with -join (default: wait for external tripoll-worker processes)")
+		replicas   = flag.Int("replicas", 1, "build this many read-only copies of the graph, each confined to its own rank span; queries round-robin across them (incompatible with -wal)")
 
 		walDir     = flag.String("wal", "", "durability directory: serve the graph as a WAL-backed stream (enables /v1/ingest, /v1/advance)")
 		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always|never")
@@ -110,11 +115,20 @@ func main() {
 		w       *tripoll.World
 		cluster *dist.Cluster
 	)
-	if *workers > 0 {
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	if *replicas > 1 {
 		if *walDir != "" {
-			fmt.Fprintln(os.Stderr, "-wal with -workers: stream mutations are not supported in multi-process worlds yet")
+			fmt.Fprintln(os.Stderr, "-replicas with -wal: replicated graphs are read-only (mutations would have to reach every copy)")
 			os.Exit(2)
 		}
+		if *ranks%*replicas != 0 {
+			fmt.Fprintf(os.Stderr, "-ranks %d is not divisible by -replicas %d (each copy owns an equal rank span)\n", *ranks, *replicas)
+			os.Exit(2)
+		}
+	}
+	if *workers > 0 {
 		procs := *workers + 1
 		if *ranks%procs != 0 {
 			fmt.Fprintf(os.Stderr, "-ranks %d is not divisible by %d processes (%d workers + driver)\n", *ranks, procs, *workers)
@@ -171,16 +185,26 @@ func main() {
 		defer w.Close()
 	}
 
-	if cluster != nil {
-		// Tell the workers to enter the collective build before this
-		// process's ranks do: both sides must be inside Builder.Build for
-		// the shuffle to complete.
-		if err := cluster.Build(*graphName, dist.BuildSpec{Policy: "temporal"}); err != nil {
-			fmt.Fprintf(os.Stderr, "broadcast build: %v\n", err)
-			os.Exit(2)
+	// Build the graph — one collective build per replica (plain graphs are
+	// one replica). With a cluster, each build job is broadcast before this
+	// process's ranks enter their side: both sides must be inside
+	// Builder.Build for the shuffle to complete.
+	var copies []*tripoll.Graph[tripoll.Unit, uint64]
+	span := *ranks / *replicas
+	for i := 0; i < *replicas; i++ {
+		if cluster != nil {
+			if err := cluster.Build(*graphName, dist.BuildSpec{Policy: "temporal", Replica: i, Replicas: *replicas}); err != nil {
+				fmt.Fprintf(os.Stderr, "broadcast build: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if *replicas == 1 {
+			copies = append(copies, tripoll.BuildTemporal(w, edges))
+		} else {
+			copies = append(copies, buildTemporalReplica(w, edges, i*span, span))
 		}
 	}
-	g := tripoll.BuildTemporal(w, edges)
+	g := copies[0]
 	info := tripoll.Info(g)
 	log.Printf("graph %q: |V|=%d |E|=%d (directed) |W+|=%d", *graphName, info.Vertices, info.DirectedEdges, info.Wedges)
 
@@ -190,8 +214,11 @@ func main() {
 	}
 	if cluster != nil {
 		// A typed-nil *Cluster in the interface would read as "fanout set";
-		// only a real cluster gets wired in.
+		// only a real cluster gets wired in. The same cluster is the
+		// mutation seam: with -wal, every logged mutation broadcasts to the
+		// workers for a collective apply (DESIGN.md §14).
 		eopts.Fanout = cluster
+		eopts.Mutator = cluster
 	}
 	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), eopts)
 	defer eng.Close()
@@ -208,18 +235,25 @@ func main() {
 		_, epoch, err := eng.OpenDurableStream(*graphName, g,
 			tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp},
 			tripoll.NewTemporalPlan(),
-			tripoll.DurableStreamOptions{Dir: *walDir, Sync: sync, SegmentBytes: *walSegment, CheckpointEvery: *checkpoint})
+			tripoll.DurableStreamOptions{Dir: *walDir, Sync: sync, SegmentBytes: *walSegment, CheckpointEvery: *checkpoint, Policy: "temporal"})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "open durable stream: %v\n", err)
 			os.Exit(2)
 		}
 		log.Printf("durable stream %q: wal=%s sync=%s epoch=%d", *graphName, *walDir, *walSync, epoch)
+	} else if *replicas > 1 {
+		if err := eng.RegisterReplicated(*graphName, copies); err != nil {
+			fmt.Fprintf(os.Stderr, "register: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("graph %q: %d replicas x %d-rank spans, queries round-robin", *graphName, *replicas, span)
 	} else if err := eng.Register(*graphName, g); err != nil {
 		fmt.Fprintf(os.Stderr, "register: %v\n", err)
 		os.Exit(2)
 	}
 	srv := newServer(eng, map[string]tripoll.GraphInfo{*graphName: info}, serverConfig{
 		world:   w,
+		cluster: cluster,
 		limiter: newLimiter(*rate, *burst),
 		retain:  *retain,
 	})
@@ -236,6 +270,29 @@ func minTimestamp(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// buildTemporalReplica is BuildTemporal confined to one replica's rank
+// span: SpanPartition places every vertex on ranks [first, first+count),
+// so each copy's traversals exchange messages only among its own ranks.
+// tripoll-worker's Build hook runs the same construction with no edges.
+func buildTemporalReplica(w *tripoll.World, edges []tripoll.TemporalEdge, first, count int) *tripoll.Graph[tripoll.Unit, uint64] {
+	b := tripoll.NewGraphBuilder(w, tripoll.UnitCodec(), tripoll.Uint64Codec(), tripoll.BuilderOptions[uint64]{
+		Partitioner:   tripoll.SpanPartition{First: first, Count: count},
+		MergeEdgeMeta: minTimestamp,
+	})
+	var g *tripoll.Graph[tripoll.Unit, uint64]
+	lf, lc := w.LocalSpan()
+	w.Parallel(func(r *tripoll.Rank) {
+		for i := r.ID() - lf; i < len(edges); i += lc {
+			b.AddEdge(r, edges[i].U, edges[i].V, edges[i].Time)
+		}
+		gg := b.Build(r)
+		if r.ID() == w.LeaderID() {
+			g = gg
+		}
+	})
+	return g
 }
 
 func loadEdges(input, model string, seed int64, size int) ([]tripoll.TemporalEdge, error) {
@@ -282,6 +339,7 @@ const defaultRetainedJobs = 1024
 // no rate limiting, no world metrics and the default retention.
 type serverConfig struct {
 	world   *tripoll.World // for /metrics transport counters; may be nil
+	cluster *dist.Cluster  // for /metrics mutation-path counters; nil single-process
 	limiter *limiter       // per-client rate limiter; nil = unlimited
 	retain  int            // finished-job retention cap; 0 = defaultRetainedJobs
 }
@@ -293,6 +351,7 @@ type server struct {
 	info   map[string]tripoll.GraphInfo
 	mux    *http.ServeMux
 	world     *tripoll.World
+	cluster   *dist.Cluster
 	lim       *limiter
 	retainMax int
 
@@ -333,7 +392,7 @@ func newServer(eng *tripoll.Engine[tripoll.Unit, uint64], info map[string]tripol
 	}
 	s := &server{
 		eng: eng, info: info,
-		world: cfg.world, lim: cfg.limiter, retainMax: cfg.retain,
+		world: cfg.world, cluster: cfg.cluster, lim: cfg.limiter, retainMax: cfg.retain,
 		jobs: make(map[uint64]*tripoll.QueryJob), mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)

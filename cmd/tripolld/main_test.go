@@ -311,6 +311,35 @@ func TestMetricsSchema(t *testing.T) {
 	if world["messages_sent"] <= 0 {
 		t.Errorf("world.messages_sent = %v, want > 0 after traversals", world["messages_sent"])
 	}
+	// The dist section exists only under -workers; a single-process server
+	// must omit it rather than serve zeros.
+	if _, ok := raw["dist"]; ok {
+		t.Errorf("single-process metrics report a dist section: %v", raw)
+	}
+	// Its wire shape is pinned here anyway: the mutation counters the
+	// multiproc smoke test reads by these names.
+	distJSON, err := json.Marshal(distMetrics{})
+	if err != nil {
+		t.Fatalf("marshal dist section: %v", err)
+	}
+	var distSec map[string]json.RawMessage
+	if err := json.Unmarshal(distJSON, &distSec); err != nil {
+		t.Fatalf("dist section: %v", err)
+	}
+	for _, key := range []string{"procs", "mutation"} {
+		if _, ok := distSec[key]; !ok {
+			t.Errorf("dist section missing %q: %s", key, distJSON)
+		}
+	}
+	var mut map[string]json.RawMessage
+	if err := json.Unmarshal(distSec["mutation"], &mut); err != nil {
+		t.Fatalf("dist.mutation section: %v", err)
+	}
+	for _, key := range []string{"mutations", "broadcast_ns_total", "commit_ns_total", "worker_applied"} {
+		if _, ok := mut[key]; !ok {
+			t.Errorf("dist.mutation missing %q: %s", key, distSec["mutation"])
+		}
+	}
 }
 
 func TestMalformedAndOversizedBodies(t *testing.T) {
@@ -440,6 +469,9 @@ func TestDurableIngestAdvanceOverHTTP(t *testing.T) {
 	}
 	if got := m.Graphs[0].Durable.WAL.LastSeq; got != 2 {
 		t.Errorf("WAL last_seq = %d, want 2", got)
+	}
+	if got := m.Graphs[0].Durable.ReplayRebroadcasts; got != 0 {
+		t.Errorf("replay_rebroadcasts = %d single-process, want 0 (re-broadcasts need a Mutator)", got)
 	}
 	// The triangle the ingested edges closed is queryable.
 	var st jobStatus

@@ -9,7 +9,8 @@
 //	  "coalesce_ratio": coalesced / completed,
 //	  "graphs":         [{"name", "epoch", "durable": {"wal": wal.Stats, ...}}],
 //	  "http":           {"requests", "rate_limited", "overloaded", "jobs_retained"},
-//	  "world":          {"messages_sent", "messages_processed"}
+//	  "world":          {"messages_sent", "messages_processed"},
+//	  "dist":           (-workers only) {"procs", "mutation": dist.MutationStats}
 //	}
 package main
 
@@ -17,6 +18,7 @@ import (
 	"net/http"
 
 	"tripoll"
+	"tripoll/internal/dist"
 )
 
 type graphMetrics struct {
@@ -38,6 +40,14 @@ type worldMetrics struct {
 	MessagesProcessed int64 `json:"messages_processed"`
 }
 
+// distMetrics is the multi-process section: the mutation broadcast
+// seam's counters (fan-out and commit latency, per-worker applied
+// counts). Present only under -workers.
+type distMetrics struct {
+	Procs    int                `json:"procs"`
+	Mutation dist.MutationStats `json:"mutation"`
+}
+
 type metricsPayload struct {
 	Engine     tripoll.EngineStats `json:"engine"`
 	QueueDepth int                 `json:"queue_depth"`
@@ -48,6 +58,7 @@ type metricsPayload struct {
 	Graphs        []graphMetrics `json:"graphs"`
 	HTTP          httpMetrics    `json:"http"`
 	World         *worldMetrics  `json:"world,omitempty"`
+	Dist          *distMetrics   `json:"dist,omitempty"`
 }
 
 func ratio(part, whole uint64) float64 {
@@ -84,6 +95,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.world != nil {
 		sent, proc := s.world.TransportCounters()
 		m.World = &worldMetrics{MessagesSent: sent, MessagesProcessed: proc}
+	}
+	if s.cluster != nil {
+		m.Dist = &distMetrics{Procs: s.cluster.Procs(), Mutation: s.cluster.MutationStats()}
 	}
 	writeJSON(w, http.StatusOK, m)
 }

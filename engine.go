@@ -61,8 +61,17 @@ type EngineStats = engine.Stats
 
 // DurableStreamOptions configures Engine.OpenDurableStream: the WAL
 // directory, fsync policy, segment rotation size and checkpoint cadence
-// (DESIGN.md §11).
+// (DESIGN.md §11) — and, in a multi-process world, the Policy name the
+// worker processes map back to their side of the stream configuration
+// (DESIGN.md §14).
 type DurableStreamOptions = engine.DurableOptions
+
+// StreamMutator is the mutation-path counterpart of
+// QueryEngineOptions.Fanout (DESIGN.md §14): when set, every durable
+// stream mutation is WAL-logged driver-side and then broadcast to the
+// worker processes for a collective apply, two-phase committed.
+// dist.Cluster implements it.
+type StreamMutator = engine.Mutator
 
 // DurableStreamStatus reports a durable stream's WAL and checkpoint state
 // (Engine.DurableStatus; surfaced by tripolld's /metrics).

@@ -668,6 +668,26 @@ func (s *Stream[VM, EM]) Ingest(batch []graph.Edge[EM]) (Result, error) {
 	s.stats.Batches++
 	s.stats.Inserted += res.DeltaEdges
 
+	// The rebuild-vs-delta decision must be collective: local shards see
+	// only local merges, and in a multi-process world a metadata revision
+	// on one process must force every process into the same epoch rebuild
+	// (diverging here would mean diverging parallel regions — a protocol
+	// breakdown, not just a wrong answer).
+	if s.w.Distributed() {
+		var local uint64
+		if changed {
+			local = 1
+		}
+		var votes uint64
+		s.phase(&prev, &res.Mutate, func(r *ygm.Rank) {
+			v := ygm.AllReduceSum(r, local)
+			if r.ID() == s.w.LeaderID() {
+				votes = v
+			}
+		})
+		changed = votes > 0
+	}
+
 	if changed {
 		if err := s.rebuild(&res, &prev); err != nil {
 			return res, err
@@ -1202,7 +1222,10 @@ func (s *Stream[VM, EM]) Materialize() *graph.DODGr[VM, EM] {
 			}
 		}
 		gg := b.Build(r)
-		if r.ID() == 0 {
+		// Gate on the local leader, not rank 0: in a multi-process world
+		// every process must come away with its own snapshot (rank 0 only
+		// exists in the driver).
+		if r.ID() == s.w.LeaderID() {
 			g2 = gg
 		}
 	})

@@ -25,8 +25,9 @@ type Cluster struct {
 	workers []*ctrlConn
 	link    *coordLink
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	mutStats MutationStats
 }
 
 // World returns the coordinator's view of the process-spanning world.
@@ -63,11 +64,12 @@ func (c *Cluster) Build(name string, spec BuildSpec) error {
 
 // Traverse broadcasts one fused traversal (engine.Fanout). The caller runs
 // its side immediately after; the traversal's own collectives synchronize
-// the processes, so no acknowledgement round exists.
-func (c *Cluster) Traverse(graph string, opts core.Options, specs []engine.Spec) error {
+// the processes, so no acknowledgement round exists. replica selects the
+// copy of a replicated graph to traverse (0 for plain graphs).
+func (c *Cluster) Traverse(graph string, replica int, opts core.Options, specs []engine.Spec) error {
 	return c.bcast(&ctrlMsg{
 		Kind: kRun, Graph: graph,
-		Run: RunSpec{Mode: int(opts.Mode), PullFactor: opts.PullFactor, Specs: specs},
+		Run: RunSpec{Mode: int(opts.Mode), PullFactor: opts.PullFactor, Replica: replica, Specs: specs},
 	})
 }
 

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+)
+
+// The cluster's side of the mutation seam (engine.Mutator): stream opens,
+// mutation broadcasts and the commit round all travel the coordinator
+// star as v2 control frames. The driver's engine calls these from its
+// scheduler goroutine, interleaved with Traverse, so no extra locking
+// beyond bcast's is needed — except the stats, which /metrics reads
+// concurrently.
+
+// MutationStats counts the cluster's mutation-path activity; the tripolld
+// /metrics dist section is this JSON shape.
+type MutationStats struct {
+	// Mutations counts mutation broadcasts sent (ingests + advances,
+	// including recovery re-broadcasts).
+	Mutations uint64 `json:"mutations"`
+	// BroadcastNS is the cumulative wall time spent fanning mutation
+	// frames out to the workers (the send side only; the collective apply
+	// is accounted by the mutation's own Result).
+	BroadcastNS int64 `json:"broadcast_ns_total"`
+	// CommitNS is the cumulative wall time spent collecting kMutDone
+	// acknowledgements.
+	CommitNS int64 `json:"commit_ns_total"`
+	// WorkerApplied is each worker's own count of applied mutations, as
+	// echoed in its most recent acknowledgement (index 0 = worker 1).
+	WorkerApplied []uint64 `json:"worker_applied"`
+}
+
+// MutationStats returns a snapshot of the mutation-path counters.
+func (c *Cluster) MutationStats() MutationStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.mutStats
+	st.WorkerApplied = append([]uint64(nil), c.mutStats.WorkerApplied...)
+	return st
+}
+
+// OpenStream implements engine.Mutator: every worker opens its side of a
+// durable stream over the named built graph, under the policy's stream
+// configuration. The engine runs the driver's core.OpenStream right after.
+func (c *Cluster) OpenStream(graph, policy string) error {
+	return c.bcast(&ctrlMsg{Kind: kStream, Graph: graph, Policy: policy})
+}
+
+// Ingest implements engine.Mutator: broadcast one logged edge batch
+// (wal.EncodeBatch bytes) to apply at epoch.
+func (c *Cluster) Ingest(graph string, epoch uint64, batch []byte) error {
+	return c.mutBcast(&ctrlMsg{Kind: kIngest, Graph: graph, Epoch: epoch, Batch: batch})
+}
+
+// Advance implements engine.Mutator: broadcast one logged watermark
+// advance to apply at epoch.
+func (c *Cluster) Advance(graph string, epoch, cutoff uint64) error {
+	return c.mutBcast(&ctrlMsg{Kind: kAdvance, Graph: graph, Epoch: epoch, Cutoff: cutoff})
+}
+
+// Materialize implements engine.Mutator: every worker re-materializes the
+// stream's queryable snapshot; the engine runs the driver's collective
+// Materialize right after.
+func (c *Cluster) Materialize(graph string) error {
+	return c.bcast(&ctrlMsg{Kind: kMat, Graph: graph})
+}
+
+// mutBcast is bcast plus the mutation-path accounting.
+func (c *Cluster) mutBcast(m *ctrlMsg) error {
+	t0 := time.Now()
+	if err := c.bcast(m); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.mutStats.Mutations++
+	c.mutStats.BroadcastNS += time.Since(t0).Nanoseconds()
+	c.mu.Unlock()
+	return nil
+}
+
+// Commit implements engine.Mutator: the second phase of a mutation. It
+// collects one kMutDone per worker echoing epoch; a worker that left,
+// died, or reported an apply failure yields a typed error (wrapping
+// ErrWorkerLeft for departures) and poisons the cluster — a worker that
+// missed a mutation can never rejoin the lockstep. The collective apply
+// has already synchronized every process when Commit runs, so the
+// acknowledgement is at most one frame away; the rendezvous timeout
+// bounds the wait so a wedged worker fails the batch instead of hanging
+// the scheduler.
+func (c *Cluster) Commit(graph string, epoch uint64) error {
+	t0 := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("dist: cluster is closed")
+	}
+	workers := c.workers
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(c.cfg.timeout())
+	var ferr error
+	applied := make([]uint64, len(workers))
+	for i, cc := range workers {
+		if ferr != nil {
+			break
+		}
+		cc.setDeadline(deadline)
+		m, err := cc.recv()
+		cc.setDeadline(time.Time{})
+		switch {
+		case err != nil:
+			ferr = fmt.Errorf("dist: worker %d mutation ack for %q epoch %d: %w", i+1, graph, epoch, err)
+		case m.Kind == kLeave:
+			ferr = fmt.Errorf("dist: worker %d left before committing %q epoch %d: %w", i+1, graph, epoch, ErrWorkerLeft)
+		case m.Kind != kMutDone:
+			ferr = fmt.Errorf("dist: worker %d mutation ack: %w", i+1, &ProtocolError{Got: m.Kind, Want: kMutDone})
+		case m.Err != "":
+			ferr = fmt.Errorf("dist: worker %d failed to apply %q epoch %d: %s", i+1, graph, epoch, m.Err)
+		case m.Epoch != epoch:
+			ferr = fmt.Errorf("dist: worker %d acknowledged epoch %d, want %d (replicas diverged)", i+1, m.Epoch, epoch)
+		default:
+			applied[i] = m.Applied
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ferr != nil {
+		c.closed = true
+		return ferr
+	}
+	c.mutStats.CommitNS += time.Since(t0).Nanoseconds()
+	c.mutStats.WorkerApplied = applied
+	return nil
+}

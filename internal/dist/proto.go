@@ -28,7 +28,7 @@ const (
 	// rejected at join time with a typed error before any world state
 	// exists.
 	joinMagic    = "TPDZ"
-	protoVersion = 1
+	protoVersion = 2 // v2: mutation jobs (stream/ingest/advance/mutdone/mat) and graph replicas
 
 	// maxCtrlFrame bounds a control frame. Graph shards never cross the
 	// control plane (the data mesh carries them); what does is specs,
@@ -55,11 +55,22 @@ const (
 	kRun
 	kStop
 	kLeave
+	// v2: the mutation path. kStream opens a worker's side of a durable
+	// stream over a built graph; kIngest/kAdvance broadcast one logged
+	// mutation (the collective apply follows immediately); kMutDone is the
+	// worker's per-mutation acknowledgement — the commit phase; kMat asks
+	// workers to re-materialize a stream's queryable snapshot.
+	kStream
+	kIngest
+	kAdvance
+	kMutDone
+	kMat
 )
 
 func (k kind) String() string {
 	names := [...]string{"invalid", "join", "assign", "addrs", "table", "ready",
-		"go", "sync", "quiesce", "exchange", "build", "run", "stop", "leave"}
+		"go", "sync", "quiesce", "exchange", "build", "run", "stop", "leave",
+		"stream", "ingest", "advance", "mutdone", "mat"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -116,6 +127,11 @@ type BuildSpec struct {
 	// MergeEdgeMeta reduction (e.g. "temporal" = uint64 timestamps merged
 	// by min, the §5.2 reduction).
 	Policy string
+	// Replica/Replicas, when Replicas > 1, build one copy of a replicated
+	// graph partitioned over the rank span [Replica*(n/Replicas), ...)
+	// (graph.SpanPartition); the driver sends one build job per replica.
+	Replica  int
+	Replicas int
 }
 
 // RunSpec is the wire form of one fused traversal: the driver's post-cache
@@ -123,7 +139,10 @@ type BuildSpec struct {
 type RunSpec struct {
 	Mode       int
 	PullFactor float64
-	Specs      []engine.Spec
+	// Replica selects which copy of a replicated graph to traverse; 0 for
+	// plain graphs.
+	Replica int
+	Specs   []engine.Spec
 }
 
 // wireVal wraps one collective slot for gob: encoding/gob refuses nil
@@ -189,6 +208,18 @@ type ctrlMsg struct {
 	Graph string
 	Build BuildSpec
 	Run   RunSpec
+
+	// mutation jobs (v2). stream: Policy names the worker's stream
+	// configuration. ingest: Batch is the wal.EncodeBatch payload, Epoch
+	// the record's WAL sequence number. advance: Cutoff + Epoch. mutdone
+	// (worker → coord): Epoch echoes the mutation, Applied counts the
+	// mutations this worker has applied in total, Err reports a failed
+	// apply (shared field above).
+	Policy  string
+	Batch   []byte
+	Epoch   uint64
+	Cutoff  uint64
+	Applied uint64
 }
 
 // The concrete types that cross the control plane inside collective slots
@@ -266,12 +297,20 @@ func (cc *ctrlConn) setDeadline(t time.Time) {
 
 func (cc *ctrlConn) close() error { return cc.c.Close() }
 
-// listenLocal binds count data-plane listeners on addr (":0" forms pick
-// ephemeral ports) and returns them with their bound addresses, cleaning
-// up on partial failure.
+// listenLocal binds count data-plane listeners on addr ("host:0" forms
+// pick ephemeral ports) and returns them with their bound addresses,
+// cleaning up on partial failure. The bound addresses go verbatim into the
+// peer table every other process dials, so addr must carry a host its
+// peers can reach: the empty default is loopback (single-machine), and a
+// multi-machine deployment passes this machine's routable address.
+// Unspecified hosts (":0", "0.0.0.0", "[::]") are rejected — they would
+// bind fine here and then advertise an address nobody can dial.
 func listenLocal(addr string, count int) ([]net.Listener, []string, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
+	}
+	if err := checkAdvertisable(addr); err != nil {
+		return nil, nil, err
 	}
 	lns := make([]net.Listener, 0, count)
 	addrs := make([]string, 0, count)
@@ -287,4 +326,20 @@ func listenLocal(addr string, count int) ([]net.Listener, []string, error) {
 		addrs = append(addrs, ln.Addr().String())
 	}
 	return lns, addrs, nil
+}
+
+// checkAdvertisable rejects listen addresses whose host no peer could
+// dial back.
+func checkAdvertisable(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen address %q: %w", addr, err)
+	}
+	if host == "" {
+		return fmt.Errorf("dist: listen address %q has no host: peers dial the advertised address, so it must name this machine (e.g. 127.0.0.1:0 single-machine, or this host's routable address)", addr)
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		return fmt.Errorf("dist: listen address %q binds the unspecified host %s: peers dial the advertised address, so it must name this machine (e.g. 127.0.0.1:0 single-machine, or this host's routable address)", addr, host)
+	}
+	return nil
 }

@@ -45,17 +45,33 @@ type DurableOptions struct {
 	// CheckpointEvery snapshots the stream and truncates the log every
 	// this many mutations; 0 means 64. Checkpoint failures are recorded in
 	// DurableStatus and retried after the next mutation — the log keeps
-	// everything until one succeeds, so durability never regresses.
+	// everything until one succeeds, so durability never regresses. In a
+	// multi-process world (EngineOptions.Mutator) checkpointing is
+	// disabled: TPDG2 snapshots capture only the driver's shards.
 	CheckpointEvery uint64
+	// Policy names the stream configuration for the worker processes of a
+	// multi-process world (Mutator.OpenStream); the worker binary maps it
+	// back to the same StreamOptions/plan/analyses this open uses.
+	// Ignored without a Mutator.
+	Policy string
 }
 
 const defaultCheckpointEvery = 64
+
+// ErrSnapshotNotPortable reports a durability directory whose checkpoint
+// snapshot was written by a single-process run and cannot seed a
+// multi-process world.
+var ErrSnapshotNotPortable = errors.New("engine: checkpoint snapshot is not portable to a multi-process world")
 
 // DurableStatus reports a durable stream's WAL and checkpoint state.
 type DurableStatus struct {
 	WAL             wal.Stats `json:"wal"`
 	CheckpointEvery uint64    `json:"checkpoint_every"`
 	SinceCheckpoint uint64    `json:"since_checkpoint"`
+	// ReplayRebroadcasts counts WAL records that recovery re-broadcast to
+	// the worker processes of a multi-process world (always 0 in a
+	// single-process engine).
+	ReplayRebroadcasts uint64 `json:"replay_rebroadcasts"`
 	// CheckpointError is the most recent checkpoint failure, empty once a
 	// checkpoint has succeeded again.
 	CheckpointError string `json:"checkpoint_error,omitempty"`
@@ -67,10 +83,11 @@ type durable[VM, EM any] struct {
 	dir  string
 	opts DurableOptions
 
-	mu      sync.Mutex
-	log     *wal.Log[EM]
-	since   uint64 // mutations since the last successful checkpoint
-	lastErr error  // last checkpoint failure, nil after a success
+	mu           sync.Mutex
+	log          *wal.Log[EM]
+	since        uint64 // mutations since the last successful checkpoint
+	rebroadcasts uint64 // WAL records re-broadcast to workers at recovery
+	lastErr      error  // last checkpoint failure, nil after a success
 }
 
 func (d *durable[VM, EM]) append(f func(l *wal.Log[EM]) (uint64, error)) (uint64, error) {
@@ -83,9 +100,10 @@ func (d *durable[VM, EM]) status() DurableStatus {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := DurableStatus{
-		WAL:             d.log.Stats(),
-		CheckpointEvery: d.opts.CheckpointEvery,
-		SinceCheckpoint: d.since,
+		WAL:                d.log.Stats(),
+		CheckpointEvery:    d.opts.CheckpointEvery,
+		SinceCheckpoint:    d.since,
+		ReplayRebroadcasts: d.rebroadcasts,
 	}
 	if d.lastErr != nil {
 		st.CheckpointError = d.lastErr.Error()
@@ -125,6 +143,14 @@ func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM
 	if err != nil {
 		return nil, 0, err
 	}
+	if e.opts.Mutator != nil && man.Snapshot != "" {
+		// A TPDG2 checkpoint snapshot captures only the shards of the
+		// process that wrote it, so a multi-process world cannot reload it
+		// (and never writes one — checkpointing is disabled under a
+		// Mutator). Refusing beats replaying a partial graph.
+		return nil, 0, fmt.Errorf("engine: OpenDurableStream(%q): %s holds checkpoint snapshot %s from a single-process run; recover it single-process first, then serve the fresh directory multi-process: %w",
+			name, dopts.Dir, man.Snapshot, ErrSnapshotNotPortable)
+	}
 	base := seed
 	if man.Snapshot != "" {
 		g, err := graph.Load(seed.World(), filepath.Join(dopts.Dir, man.Snapshot), seed.VertexCodec(), seed.EdgeCodec())
@@ -155,6 +181,14 @@ func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM
 		}
 	}
 
+	if e.opts.Mutator != nil {
+		// The workers open their side of the stream before the driver's
+		// core.OpenStream below enters the construction collective.
+		if err := e.opts.Mutator.OpenStream(name, dopts.Policy); err != nil {
+			log.Close()
+			return nil, 0, fmt.Errorf("engine: stream-open broadcast for %q: %w", name, err)
+		}
+	}
 	s, err := core.OpenStream(base, sopts, plan, analyses...)
 	if err != nil {
 		log.Close()
@@ -163,12 +197,31 @@ func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM
 	if man.HasCutoff {
 		// Reinstate the expiry watermark without an expiry pass: live
 		// edges below it are late arrivals the snapshot legitimately
-		// holds (see Stream.RestoreCutoff).
+		// holds (see Stream.RestoreCutoff). Never taken in a multi-process
+		// world: a cutoff is only manifested by a checkpoint, and those
+		// directories are rejected above.
 		s.RestoreCutoff(man.Cutoff)
 	}
+	dur := &durable[VM, EM]{dir: dopts.Dir, opts: dopts, log: log}
 	for _, rec := range recs {
 		if rec.Seq <= man.Seq {
 			continue // captured by the checkpoint snapshot
+		}
+		if e.opts.Mutator != nil {
+			// Replay is a re-broadcast: the fresh workers never saw the
+			// lost run's mutations, so every surviving record ships and
+			// two-phase-commits exactly as its original apply did.
+			switch rec.Kind {
+			case wal.KindIngest:
+				err = e.opts.Mutator.Ingest(name, rec.Seq, wal.EncodeBatch(seed.EdgeCodec(), rec.Batch))
+			case wal.KindAdvance:
+				err = e.opts.Mutator.Advance(name, rec.Seq, rec.Cutoff)
+			}
+			if err != nil {
+				log.Close()
+				return nil, 0, fmt.Errorf("engine: re-broadcast WAL record %d: %w", rec.Seq, err)
+			}
+			dur.rebroadcasts++
 		}
 		switch rec.Kind {
 		case wal.KindIngest:
@@ -182,6 +235,12 @@ func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM
 			log.Close()
 			return nil, 0, fmt.Errorf("engine: replay WAL record %d: %w", rec.Seq, err)
 		}
+		if e.opts.Mutator != nil {
+			if err := e.opts.Mutator.Commit(name, rec.Seq); err != nil {
+				log.Close()
+				return nil, 0, fmt.Errorf("engine: re-broadcast commit for record %d: %w", rec.Seq, err)
+			}
+		}
 	}
 
 	epoch := log.LastSeq()
@@ -190,7 +249,8 @@ func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM
 		stream: s,
 		stale:  true,
 		epoch:  epoch,
-		dur:    &durable[VM, EM]{dir: dopts.Dir, opts: dopts, log: log},
+		codec:  seed.EdgeCodec(),
+		dur:    dur,
 	}
 	if err := e.register(entry); err != nil {
 		log.Close()
@@ -218,6 +278,11 @@ func (e *Engine[VM, EM]) DurableStatus(name string) (DurableStatus, bool) {
 // everything since the last successful checkpoint, so a failed one costs
 // recovery time, not durability.
 func (e *Engine[VM, EM]) maybeCheckpoint(entry *graphEntry[VM, EM]) {
+	if e.opts.Mutator != nil {
+		// TPDG2 snapshots hold only the driver's shards; a multi-process
+		// world keeps the whole log instead (recovery re-broadcasts it).
+		return
+	}
 	d := entry.dur
 	d.mu.Lock()
 	d.since++

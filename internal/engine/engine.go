@@ -31,6 +31,7 @@ import (
 
 	"tripoll/internal/core"
 	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
 	"tripoll/internal/wal"
 )
 
@@ -67,6 +68,13 @@ type EngineOptions[EM any] struct {
 	// rather than crashing the server: a dead worker poisons the world
 	// mid-region, which surfaces as a panic in the driver's ranks.
 	Fanout Fanout
+	// Mutator, when non-nil, mirrors stream mutations onto the worker
+	// processes the same way (see mutator.go), lifting the multi-process
+	// restriction on durable streams: Ingest/Advance broadcast their WAL
+	// record to every worker and two-phase-commit the collective apply.
+	// Requires Fanout from the same world; streams must be opened with
+	// OpenDurableStream (the WAL stays driver-side).
+	Mutator Mutator
 }
 
 // Stats counts what the engine has done since New. Traversal* fields
@@ -207,25 +215,26 @@ type queryPayload[VM, EM any] struct {
 // shareKey identifies jobs that may share one answer.
 func (p *queryPayload[VM, EM]) shareKey() string { return p.planKey + "\x00" + p.analysisID }
 
-// mutation is the typed half of a stream mutation job. On durable streams
-// the scheduler runs preflight (validation that replay would also pass),
-// then logAppend (the write-ahead point), then apply; on plain streams
-// apply alone.
-type mutation[VM, EM any] struct {
-	entry     *graphEntry[VM, EM]
-	preflight func(s *core.Stream[VM, EM]) error               // durable only; nil = nothing to validate
-	logAppend func(l *wal.Log[EM]) (uint64, error)             // durable only
-	apply     func(s *core.Stream[VM, EM]) (core.Result, error)
-}
-
 // graphEntry is one registered graph or stream.
 type graphEntry[VM, EM any] struct {
 	name   string
 	g      *graph.DODGr[VM, EM] // current queryable snapshot (nil until a stream materializes)
 	stream *core.Stream[VM, EM] // nil for static graphs
 	epoch  uint64
-	stale  bool              // stream mutated since g was materialized
-	dur    *durable[VM, EM]  // non-nil for WAL-backed streams (OpenDurableStream)
+	stale  bool             // stream mutated since g was materialized
+	dur    *durable[VM, EM] // non-nil for WAL-backed streams (OpenDurableStream)
+
+	// codec is the stream's edge-metadata codec, kept so the scheduler can
+	// encode mutation broadcasts exactly as the WAL encodes records; set by
+	// OpenDurableStream (the only entry point for multi-process streams).
+	codec serialize.Codec[EM]
+
+	// replicas holds the copies of a read-only replicated graph
+	// (RegisterReplicated), each partitioned over its own rank span; rr is
+	// the round-robin cursor snapshot() ticks to spread query groups across
+	// them. g is replicas[0] so the entry also behaves as a plain graph.
+	replicas []*graph.DODGr[VM, EM]
+	rr       uint64
 }
 
 // cacheKey is the result cache's identity: epoch-keyed, so a mutation
@@ -303,6 +312,27 @@ func (e *Engine[VM, EM]) RegisterStream(name string, s *core.Stream[VM, EM]) err
 		return fmt.Errorf("engine: RegisterStream(%q): nil stream", name)
 	}
 	return e.register(&graphEntry[VM, EM]{name: name, stream: s, stale: true})
+}
+
+// RegisterReplicated adds a read-only graph under name with multiple
+// replicas: copies of the same logical graph, each partitioned over its
+// own rank span (graph.SpanPartition), all byte-identical in content. The
+// scheduler serves each admitted query group from the next replica round-
+// robin, so coalesced read traffic spreads across the rank spans instead
+// of always traversing the same shard group. Replicated graphs stay at
+// epoch 0 and cannot be mutated; their cached answers are shared across
+// replicas (analysis values are partition-independent, property-tested by
+// the cross-process equivalence suite).
+func (e *Engine[VM, EM]) RegisterReplicated(name string, replicas []*graph.DODGr[VM, EM]) error {
+	if len(replicas) == 0 {
+		return fmt.Errorf("engine: RegisterReplicated(%q): no replicas", name)
+	}
+	for i, g := range replicas {
+		if g == nil {
+			return fmt.Errorf("engine: RegisterReplicated(%q): nil replica %d", name, i)
+		}
+	}
+	return e.register(&graphEntry[VM, EM]{name: name, g: replicas[0], replicas: replicas})
 }
 
 func (e *Engine[VM, EM]) register(entry *graphEntry[VM, EM]) error {
@@ -480,31 +510,20 @@ func (e *Engine[VM, EM]) QueueDepth() int {
 // never that the batch may or may not have landed — retrying it would
 // double-apply. Observe completion through Epoch if needed.
 func (e *Engine[VM, EM]) Ingest(ctx context.Context, name string, batch []graph.Edge[EM]) (core.Result, error) {
-	return e.mutate(ctx, name, &mutation[VM, EM]{
-		logAppend: func(l *wal.Log[EM]) (uint64, error) { return l.AppendIngest(batch) },
-		apply: func(s *core.Stream[VM, EM]) (core.Result, error) {
-			return s.Ingest(batch)
-		},
-	})
+	return e.mutate(ctx, name, &mutation[VM, EM]{kind: wal.KindIngest, batch: batch})
 }
 
 // Advance slides the named stream's expiry watermark (see Stream.Advance)
 // through the scheduler, bumping the epoch like Ingest.
 func (e *Engine[VM, EM]) Advance(ctx context.Context, name string, cutoff uint64) (core.Result, error) {
-	return e.mutate(ctx, name, &mutation[VM, EM]{
-		preflight: func(s *core.Stream[VM, EM]) error { return s.CheckAdvance(cutoff) },
-		logAppend: func(l *wal.Log[EM]) (uint64, error) { return l.AppendAdvance(cutoff) },
-		apply: func(s *core.Stream[VM, EM]) (core.Result, error) {
-			return s.Advance(cutoff)
-		},
-	})
+	return e.mutate(ctx, name, &mutation[VM, EM]{kind: wal.KindAdvance, cutoff: cutoff})
 }
 
 func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, m *mutation[VM, EM]) (core.Result, error) {
-	if e.opts.Fanout != nil {
-		// Stream mutations are collectives too, but replicating them (and
-		// the WAL, and the rebuild decisions) across worker processes is a
-		// follow-up; a multi-process engine serves static graphs only.
+	if e.opts.Fanout != nil && e.opts.Mutator == nil {
+		// Without a mutation seam, a multi-process engine serves static
+		// graphs only: the workers would never see the batch and every
+		// subsequent traversal would diverge.
 		return core.Result{}, errors.New("engine: stream mutations are not supported in a multi-process world yet")
 	}
 	e.mu.Lock()
@@ -516,6 +535,13 @@ func (e *Engine[VM, EM]) mutate(ctx context.Context, name string, m *mutation[VM
 	if entry.stream == nil {
 		e.mu.Unlock()
 		return core.Result{}, fmt.Errorf("engine: graph %q is not stream-backed", name)
+	}
+	if e.opts.Mutator != nil && entry.dur == nil {
+		// The broadcast re-uses the WAL's record encoding and recovery
+		// re-broadcasts from the log, so multi-process streams exist only
+		// behind OpenDurableStream.
+		e.mu.Unlock()
+		return core.Result{}, fmt.Errorf("engine: graph %q: multi-process stream mutations require OpenDurableStream", name)
 	}
 	e.nextID++
 	id := e.nextID
@@ -652,7 +678,7 @@ type share[VM, EM any] struct {
 // questions dedupe onto one instance, and the remaining distinct questions
 // run fused under their plans' union with per-job residual filters.
 func (e *Engine[VM, EM]) runGroup(name string, opts core.Options, jobs []*Job) {
-	g, epoch, err := e.snapshot(name)
+	g, epoch, replica, err := e.snapshot(name)
 	if err != nil {
 		for _, j := range jobs {
 			e.fail(j, err)
@@ -744,7 +770,7 @@ func (e *Engine[VM, EM]) runGroup(name string, opts core.Options, jobs []*Job) {
 		for i, s := range live {
 			specs[i] = s.leader.spec
 		}
-		if err := e.opts.Fanout.Traverse(name, opts, specs); err != nil {
+		if err := e.opts.Fanout.Traverse(name, replica, opts, specs); err != nil {
 			for _, s := range live {
 				e.fail(s.leader, err)
 				for _, f := range s.followers {
@@ -831,31 +857,61 @@ func Once[VM, EM any](g *graph.DODGr[VM, EM], opts core.Options, plan *core.Plan
 	return e.execute(g, opts, plan, analyses)
 }
 
-// snapshot returns the queryable graph and epoch for name, materializing
-// a stale stream first (lazily, once per epoch).
-func (e *Engine[VM, EM]) snapshot(name string) (*graph.DODGr[VM, EM], uint64, error) {
+// snapshot returns the queryable graph, epoch and replica index for name,
+// materializing a stale stream first (lazily, once per epoch). For
+// replicated graphs it ticks the round-robin cursor, so consecutive query
+// groups traverse different replicas.
+func (e *Engine[VM, EM]) snapshot(name string) (*graph.DODGr[VM, EM], uint64, int, error) {
 	e.mu.Lock()
 	entry, ok := e.graphs[name]
 	if !ok {
 		e.mu.Unlock()
-		return nil, 0, fmt.Errorf("engine: unknown graph %q", name)
+		return nil, 0, 0, fmt.Errorf("engine: unknown graph %q", name)
+	}
+	replica := 0
+	if len(entry.replicas) > 1 {
+		replica = int(entry.rr % uint64(len(entry.replicas)))
+		entry.rr++
+		entry.g = entry.replicas[replica]
 	}
 	g, epoch, stale, stream := entry.g, entry.epoch, entry.stale, entry.stream
 	e.mu.Unlock()
 	if stale && stream != nil {
 		// Materialize outside the lock: it is a collective operation. Only
 		// the scheduler goroutine materializes, so there is no race on
-		// entry.g/stale.
-		g = stream.Materialize()
+		// entry.g/stale. In a multi-process world the workers must enter
+		// the same collective, so the materialize is broadcast first.
+		var err error
+		g, err = e.materialize(name, stream)
+		if err != nil {
+			return nil, 0, 0, err
+		}
 		e.mu.Lock()
 		entry.g = g
 		entry.stale = false
 		e.mu.Unlock()
 	}
 	if g == nil {
-		return nil, 0, fmt.Errorf("engine: graph %q has no queryable snapshot", name)
+		return nil, 0, 0, fmt.Errorf("engine: graph %q has no queryable snapshot", name)
 	}
-	return g, epoch, nil
+	return g, epoch, replica, nil
+}
+
+// materialize runs a stream's collective Materialize, broadcasting it to
+// the workers of a multi-process world first and converting a mid-region
+// world failure to an error (as execute does for traversals).
+func (e *Engine[VM, EM]) materialize(name string, stream *core.Stream[VM, EM]) (g *graph.DODGr[VM, EM], err error) {
+	if e.opts.Mutator != nil {
+		if err := e.opts.Mutator.Materialize(name); err != nil {
+			return nil, fmt.Errorf("engine: materialize broadcast for %q: %w", name, err)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				g, err = nil, fmt.Errorf("engine: distributed materialize failed: %v", p)
+			}
+		}()
+	}
+	return stream.Materialize(), nil
 }
 
 // runMutation applies one stream mutation, bumps the epoch and drops the
@@ -865,22 +921,14 @@ func (e *Engine[VM, EM]) snapshot(name string) (*graph.DODGr[VM, EM], uint64, er
 // survive restarts and stay aligned with the log.
 func (e *Engine[VM, EM]) runMutation(j *Job) {
 	m := j.payload.(*mutation[VM, EM])
-	seq := uint64(0)
-	if m.entry.dur != nil {
-		if m.preflight != nil {
-			if err := m.preflight(m.entry.stream); err != nil {
-				e.fail(j, err)
-				return
-			}
-		}
-		s, err := m.entry.dur.append(m.logAppend)
-		if err != nil {
-			e.fail(j, fmt.Errorf("engine: wal append for %q: %w", m.entry.name, err))
-			return
-		}
-		seq = s
+	var res core.Result
+	var seq uint64
+	var err error
+	if e.opts.Mutator != nil {
+		res, seq, err = e.applyDist(m)
+	} else {
+		res, seq, err = e.applyLocal(m)
 	}
-	res, err := m.apply(m.entry.stream)
 	if err != nil {
 		e.fail(j, err)
 		return

@@ -1,0 +1,172 @@
+// The mutation seam. Traversals cross process boundaries through Fanout
+// (remote.go); mutations cross through Mutator. The scheduler's mutation
+// pipeline — preflight, WAL append, collective apply, epoch bump — is the
+// same in both worlds; what differs is that a multi-process world must
+// deliver the batch to every process and prove it applied before the next
+// traversal fans out. The seam is deliberately narrow and byte-oriented:
+// the driver ships the exact bytes the WAL logs (wal.EncodeBatch), so the
+// write-ahead record and the broadcast are one encoding, and replaying the
+// log after a crash re-broadcasts the same frames the lost run sent.
+//
+// Two-phase shape: the driver appends + fsyncs the record (the durability
+// point), broadcasts the mutation with its WAL sequence number as the
+// epoch, enters the collective apply with every worker, then collects one
+// acknowledgement per worker (Commit). Only after every process has
+// acknowledged does the epoch bump and the next traversal dispatch — a
+// worker that dies mid-mutation fails the admission batch with a typed
+// error instead of letting driver and survivors diverge silently.
+package engine
+
+import (
+	"fmt"
+
+	"tripoll/internal/core"
+	"tripoll/internal/graph"
+	"tripoll/internal/wal"
+)
+
+// Mutator mirrors Fanout for the mutation path of a multi-process world:
+// it delivers stream mutations to every worker process so the collective
+// apply runs world-wide. All methods are called from the scheduler
+// goroutine only. Implemented by dist.Cluster.
+type Mutator interface {
+	// OpenStream directs every worker to open its side of a stream over
+	// the named built graph; policy names the stream configuration
+	// (options, plan, analyses) the worker binary maps back to code,
+	// exactly as BuildSpec.Policy does for builds. The caller runs the
+	// driver's core.OpenStream immediately after — stream construction is
+	// itself a collective.
+	OpenStream(graph, policy string) error
+	// Ingest broadcasts one edge batch, encoded with wal.EncodeBatch, to
+	// be applied at the given epoch (the batch's WAL sequence number).
+	// The caller enters Stream.Ingest immediately after; the apply's own
+	// collectives synchronize the processes.
+	Ingest(graph string, epoch uint64, batch []byte) error
+	// Advance broadcasts one expiry-watermark advance, same contract as
+	// Ingest.
+	Advance(graph string, epoch, cutoff uint64) error
+	// Materialize directs every worker to re-materialize the stream's
+	// queryable snapshot; the caller runs the driver's Materialize
+	// immediately after (also a collective).
+	Materialize(graph string) error
+	// Commit collects one acknowledgement per worker for the mutation at
+	// epoch — the second phase. An error (typically wrapping
+	// dist.ErrWorkerLeft) means some process cannot prove it applied the
+	// mutation; the engine fails the job and the cluster is poisoned for
+	// further work.
+	Commit(graph string, epoch uint64) error
+}
+
+// mutation is the typed half of a stream mutation job: pure data, so the
+// local and distributed appliers (and the WAL record) all derive from one
+// description instead of capturing closures.
+type mutation[VM, EM any] struct {
+	entry  *graphEntry[VM, EM]
+	kind   wal.Kind
+	batch  []graph.Edge[EM] // KindIngest
+	cutoff uint64           // KindAdvance
+}
+
+// preflight validates the mutation against the live stream without
+// applying it — the checks a replay would also pass, run before the WAL
+// append so a rejected mutation is never logged.
+func (m *mutation[VM, EM]) preflight() error {
+	if m.kind == wal.KindAdvance {
+		return m.entry.stream.CheckAdvance(m.cutoff)
+	}
+	return nil
+}
+
+// logAppend writes the mutation's write-ahead record.
+func (m *mutation[VM, EM]) logAppend(l *wal.Log[EM]) (uint64, error) {
+	if m.kind == wal.KindIngest {
+		return l.AppendIngest(m.batch)
+	}
+	return l.AppendAdvance(m.cutoff)
+}
+
+// applyStream enters the mutation's collective apply on the local ranks.
+func (m *mutation[VM, EM]) applyStream() (core.Result, error) {
+	if m.kind == wal.KindIngest {
+		return m.entry.stream.Ingest(m.batch)
+	}
+	return m.entry.stream.Advance(m.cutoff)
+}
+
+// applyLocal is the single-process mutation pipeline: preflight, WAL
+// append (durable streams), apply. Returns the WAL sequence number (0 for
+// plain streams).
+func (e *Engine[VM, EM]) applyLocal(m *mutation[VM, EM]) (core.Result, uint64, error) {
+	if err := m.preflight(); err != nil {
+		return core.Result{}, 0, err
+	}
+	seq := uint64(0)
+	if m.entry.dur != nil {
+		s, err := m.entry.dur.append(m.logAppend)
+		if err != nil {
+			return core.Result{}, 0, fmt.Errorf("engine: wal append for %q: %w", m.entry.name, err)
+		}
+		seq = s
+	}
+	res, err := m.applyStream()
+	return res, seq, err
+}
+
+// applyDist is the multi-process pipeline: preflight, WAL append + fsync
+// (the durability point — driver-side only), broadcast with the record's
+// sequence number as the epoch, collective apply, commit round. The WAL
+// append precedes the broadcast, so a crash between them re-broadcasts
+// the record at recovery instead of losing an acknowledged mutation.
+func (e *Engine[VM, EM]) applyDist(m *mutation[VM, EM]) (core.Result, uint64, error) {
+	if err := m.preflight(); err != nil {
+		return core.Result{}, 0, err
+	}
+	seq, err := m.entry.dur.append(m.logAppend)
+	if err != nil {
+		return core.Result{}, 0, fmt.Errorf("engine: wal append for %q: %w", m.entry.name, err)
+	}
+	if err := e.broadcastMutation(m, seq); err != nil {
+		return core.Result{}, seq, err
+	}
+	res, err := e.applyCollective(m)
+	if err != nil {
+		return core.Result{}, seq, err
+	}
+	if err := e.opts.Mutator.Commit(m.entry.name, seq); err != nil {
+		return core.Result{}, seq, fmt.Errorf("engine: mutation commit for %q at epoch %d: %w", m.entry.name, seq, err)
+	}
+	return res, seq, nil
+}
+
+// broadcastMutation ships one logged mutation to every worker, encoding
+// ingest batches exactly as the WAL does.
+func (e *Engine[VM, EM]) broadcastMutation(m *mutation[VM, EM], seq uint64) error {
+	var err error
+	switch m.kind {
+	case wal.KindIngest:
+		err = e.opts.Mutator.Ingest(m.entry.name, seq, wal.EncodeBatch(m.entry.codec, m.batch))
+	case wal.KindAdvance:
+		err = e.opts.Mutator.Advance(m.entry.name, seq, m.cutoff)
+	default:
+		err = fmt.Errorf("unknown mutation kind %d", m.kind)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: mutation broadcast for %q: %w", m.entry.name, err)
+	}
+	return nil
+}
+
+// applyCollective enters the mutation's collective apply with the workers
+// in the world. A worker dying mid-apply poisons the world and panics the
+// driver's ranks (exactly as in execute); the recover converts that to a
+// job error so the scheduler survives. The commit round is then skipped —
+// the mutation is logged but unacknowledged, and recovery re-broadcasts
+// it to a fresh world.
+func (e *Engine[VM, EM]) applyCollective(m *mutation[VM, EM]) (res core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: distributed mutation failed: %v", p)
+		}
+	}()
+	return m.applyStream()
+}

@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"tripoll/internal/core"
+	"tripoll/internal/dist"
+	"tripoll/internal/engine"
+	"tripoll/internal/gen"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/stats"
+	"tripoll/internal/ygm"
+)
+
+// AblationDistStream measures the broadcast mutation seam (DESIGN.md §14):
+// the same durable mutation script — seed build, interleaved edge-batch
+// ingests and watermark advances, all WAL-logged — run on one process and
+// on a process-spanning world where every mutation is broadcast to worker
+// processes, collectively applied, and two-phase committed. Both worlds
+// are then killed and recovered from their logs (the multi-process
+// recovery re-broadcasts every record). Analyses must agree at the final
+// epoch and across the kill, both per process count and between counts —
+// the PR 9 acceptance property, here with the cost attached: what one
+// logged mutation and one log replay cost when the group spans processes.
+func AblationDistStream(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	rep := &Report{ID: "diststream", Title: "Ablation: broadcast mutations on a durable stream (1 vs N processes)"}
+
+	ranks := cfg.MaxRanks
+	if ranks < 2 {
+		ranks = 2
+	}
+	procSweep := []int{1, 2}
+
+	edges := gen.RedditLike(redditParams(cfg))
+	var maxT uint64
+	for _, e := range edges {
+		if e.Time > maxT {
+			maxT = e.Time
+		}
+	}
+	// Two thirds of the trace seeds the graph; the rest arrives as four
+	// logged ingest batches with a watermark advance after each pair.
+	seedN := len(edges) * 2 / 3
+	seed, live := edges[:seedN], edges[seedN:]
+	var script []streamStep
+	for i := 0; i < 4; i++ {
+		lo, hi := i*len(live)/4, (i+1)*len(live)/4
+		batch := make([]graph.Edge[uint64], 0, hi-lo)
+		for _, e := range live[lo:hi] {
+			batch = append(batch, graph.Edge[uint64]{U: e.U, V: e.V, Meta: e.Time})
+		}
+		script = append(script, streamStep{batch: batch})
+		if i%2 == 1 {
+			script = append(script, streamStep{cutoff: maxT * uint64(i+1) / 8})
+		}
+	}
+	specs := []engine.Spec{
+		{Graph: "g", Analysis: "count"},
+		{Graph: "g", Analysis: "closure", Delta: engine.Uint64(maxT/2 + 1)},
+		{Graph: "g", Analysis: "cc"},
+	}
+
+	table := stats.NewTable(
+		fmt.Sprintf("(reddit-like trace, %d total ranks, %d logged mutations, kill-and-recover; procs=1 is the baseline)", ranks, len(script)),
+		"processes", "ranks/proc", "seed build", "mutations", "recover", "wal records", "rebroadcasts")
+	var baseVals []string
+	for _, procs := range procSweep {
+		vals, m, err := distStreamRun(cfg, procs, ranks, seed, script, specs)
+		if err != nil {
+			rep.notef("UNEXPECTED: %d-process run failed: %v", procs, err)
+			continue
+		}
+		if procs == procSweep[0] {
+			baseVals = vals
+		} else {
+			for i := range vals {
+				if vals[i] != baseVals[i] {
+					rep.notef("VALUE MISMATCH at %d processes: %q diverged from the 1-process run after recovery", procs, specs[i].Analysis)
+				}
+			}
+		}
+		table.AddRow(fmt.Sprintf("%d", procs), fmt.Sprintf("%d", ranks/procs),
+			stats.FormatDuration(m.buildWall), stats.FormatDuration(m.mutateWall), stats.FormatDuration(m.recoverWall),
+			fmt.Sprintf("%d", m.walRecords), fmt.Sprintf("%d", m.rebroadcasts))
+		rep.metric(fmt.Sprintf("diststream/%dproc/mutate_ns", procs), float64(m.mutateWall.Nanoseconds()), "ns/op",
+			fmt.Sprintf("ranks=%d procs=%d steps=%d", ranks, procs, len(script)))
+		rep.metric(fmt.Sprintf("diststream/%dproc/recover_ns", procs), float64(m.recoverWall.Nanoseconds()), "ns/op",
+			fmt.Sprintf("ranks=%d procs=%d", ranks, procs))
+		rep.metric(fmt.Sprintf("diststream/%dproc/wal_records", procs), float64(m.walRecords), "records",
+			"mutation log length — deterministic per commit")
+		rep.metric(fmt.Sprintf("diststream/%dproc/replay_rebroadcasts", procs), float64(m.rebroadcasts), "records",
+			"recovery re-broadcasts to worker processes (0 when procs=1)")
+	}
+	rep.Output = table.Render()
+	rep.notef("analyses are checked identical across process counts AND across the kill-and-recover (canonical JSON at the final epoch)")
+	rep.notef("expected shape: identical WAL records (the log cannot see the process boundary); multi-process mutation wall adds one broadcast + one ack round per record; recovery re-broadcasts the whole tail")
+	return rep
+}
+
+// streamStep is one scripted durable mutation: an ingest (batch non-nil)
+// or a watermark advance.
+type streamStep struct {
+	batch  []graph.Edge[uint64]
+	cutoff uint64
+}
+
+type distStreamMeasure struct {
+	buildWall    time.Duration
+	mutateWall   time.Duration
+	recoverWall  time.Duration
+	walRecords   uint64
+	rebroadcasts uint64
+}
+
+// distStreamIncarnation is one process group serving a durable stream: a
+// world (possibly process-spanning), its engine, and the teardown.
+type distStreamIncarnation struct {
+	e     *engine.Engine[serialize.Unit, uint64]
+	close func()
+}
+
+func distStreamRun(cfg Config, procs, ranks int, seed []graph.TemporalEdge, script []streamStep, specs []engine.Spec) ([]string, distStreamMeasure, error) {
+	var m distStreamMeasure
+	dir, err := os.MkdirTemp("", "tripoll-diststream-*")
+	if err != nil {
+		return nil, m, err
+	}
+	defer os.RemoveAll(dir)
+
+	inc, buildWall, err := startDistStream(cfg, procs, ranks, seed, dir)
+	if err != nil {
+		return nil, m, err
+	}
+	m.buildWall = buildWall
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	for _, st := range script {
+		if st.batch != nil {
+			_, err = inc.e.Ingest(ctx, "g", st.batch)
+		} else {
+			_, err = inc.e.Advance(ctx, "g", st.cutoff)
+		}
+		if err != nil {
+			inc.close()
+			return nil, m, fmt.Errorf("mutation: %w", err)
+		}
+	}
+	m.mutateWall = time.Since(start)
+	if st, ok := inc.e.DurableStatus("g"); ok {
+		m.walRecords = st.WAL.Records
+	}
+	before, err := distStreamValues(ctx, inc.e, specs)
+	if err != nil {
+		inc.close()
+		return nil, m, err
+	}
+
+	// Kill the whole incarnation — worker streams are memory-only, so from
+	// their side this is a crash at a record boundary — and recover a fresh
+	// group from the log alone.
+	inc.close()
+	start = time.Now()
+	inc, _, err = startDistStream(cfg, procs, ranks, seed, dir)
+	if err != nil {
+		return nil, m, fmt.Errorf("recover: %w", err)
+	}
+	m.recoverWall = time.Since(start)
+	defer inc.close()
+	if st, ok := inc.e.DurableStatus("g"); ok {
+		m.rebroadcasts = st.ReplayRebroadcasts
+	}
+	after, err := distStreamValues(ctx, inc.e, specs)
+	if err != nil {
+		return nil, m, err
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			return nil, m, fmt.Errorf("recovery changed %q: %s -> %s", specs[i].Analysis, before[i], after[i])
+		}
+	}
+	return after, m, nil
+}
+
+// startDistStream assembles one incarnation: a procs-process world of
+// ranks total ranks, the collective seed build, and a durable stream
+// rooted at dir (replaying, and for procs>1 re-broadcasting, whatever
+// history dir already holds).
+func startDistStream(cfg Config, procs, ranks int, seed []graph.TemporalEdge, dir string) (*distStreamIncarnation, time.Duration, error) {
+	timeOf := func(ts uint64) uint64 { return ts }
+	sopts := core.StreamOptions[uint64]{MergeEdgeMeta: minU64}
+	wopts := ygm.Options{Transport: ygm.TransportTCP, ListenAddr: "127.0.0.1:0"}
+	if procs == 1 {
+		w := ygm.MustWorld(ranks, wopts)
+		start := time.Now()
+		g := buildTemporalSpan(w, seed)
+		buildWall := time.Since(start)
+		e := engine.New(engine.TemporalRegistry(), engine.EngineOptions[uint64]{Timestamps: timeOf})
+		if _, _, err := e.OpenDurableStream("g", g, sopts, core.TemporalPlan(),
+			engine.DurableOptions{Dir: dir, Policy: "temporal"}); err != nil {
+			e.Close()
+			w.Close()
+			return nil, 0, err
+		}
+		return &distStreamIncarnation{e: e, close: func() { e.Close(); w.Close() }}, buildWall, nil
+	}
+
+	co, err := dist.Listen(dist.Config{Procs: procs, RanksPerProc: ranks / procs, Opts: wopts})
+	if err != nil {
+		return nil, 0, err
+	}
+	workers, err := dist.SelfLaunch(co.Addr(), procs-1)
+	if err != nil {
+		co.Close()
+		return nil, 0, err
+	}
+	cl, err := co.Accept()
+	if err != nil {
+		dist.KillAll(workers)
+		return nil, 0, err
+	}
+	teardown := func() {
+		cl.Close()
+		dist.StopAll(workers, 10*time.Second)
+	}
+	if err := cl.Build("g", dist.BuildSpec{Policy: "temporal"}); err != nil {
+		teardown()
+		return nil, 0, err
+	}
+	start := time.Now()
+	g := buildTemporalSpan(cl.World(), seed)
+	buildWall := time.Since(start)
+	e := engine.New(engine.TemporalRegistry(), engine.EngineOptions[uint64]{
+		Timestamps: timeOf,
+		Fanout:     cl,
+		Mutator:    cl,
+	})
+	if _, _, err := e.OpenDurableStream("g", g, sopts, core.TemporalPlan(),
+		engine.DurableOptions{Dir: dir, Policy: "temporal"}); err != nil {
+		e.Close()
+		teardown()
+		return nil, 0, err
+	}
+	return &distStreamIncarnation{e: e, close: func() { e.Close(); teardown() }}, buildWall, nil
+}
+
+// distStreamValues answers the spec list through the engine (so the
+// traversal takes the same fan-out path tripolld serves) and renders each
+// value canonically.
+func distStreamValues(ctx context.Context, e *engine.Engine[serialize.Unit, uint64], specs []engine.Spec) ([]string, error) {
+	jobs, err := e.SubmitAll(ctx, specs...)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]any, len(jobs))
+	for i, j := range jobs {
+		qr, err := j.Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specs[i].Analysis, err)
+		}
+		vals[i] = qr.Value
+	}
+	return canonicalValues(vals), nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -136,7 +136,7 @@ func multiprocRun(cfg Config, procs, ranks int, edges []graph.TemporalEdge, opts
 	start := time.Now()
 	g := buildTemporalSpan(cl.World(), edges)
 	buildWall := time.Since(start)
-	if err := cl.Traverse("g", opts, specs); err != nil {
+	if err := cl.Traverse("g", 0, opts, specs); err != nil {
 		return core.Result{}, nil, 0, err
 	}
 	res, vals, err := engine.ExecuteFused(engine.TemporalRegistry(), timeOf, g, opts, specs)
@@ -206,6 +206,15 @@ func MultiprocServeWorker(addr string) int {
 				return nil, fmt.Errorf("exp worker: unknown build policy %q", spec.Policy)
 			}
 			return buildTemporalSpan(w, nil), nil
+		},
+		// The diststream ablation broadcasts durable mutations: this is the
+		// worker's side of the driver's OpenDurableStream (same options, no
+		// WAL — durability stays driver-side).
+		OpenStream: func(g *graph.DODGr[serialize.Unit, uint64], policy string) (*core.Stream[serialize.Unit, uint64], error) {
+			if policy != "temporal" {
+				return nil, fmt.Errorf("exp worker: unknown stream policy %q", policy)
+			}
+			return core.OpenStream(g, core.StreamOptions[uint64]{MergeEdgeMeta: minU64}, core.TemporalPlan())
 		},
 	}
 	if err := dist.Serve(wk, hooks, nil); err != nil {

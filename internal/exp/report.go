@@ -149,6 +149,7 @@ func All() []Runner {
 		{"coalesce", AblationCoalesce, "ablation: coalesced concurrent queries vs sequential per-query runs"},
 		{"wal", AblationWAL, "ablation: WAL-backed durable streams — overhead and crash recovery"},
 		{"multiproc", AblationMultiproc, "ablation: one process vs a process-spanning world (internal/dist)"},
+		{"diststream", AblationDistStream, "ablation: broadcast mutations on a durable stream, with kill-and-recover (1 vs N processes)"},
 		{"hotpath", HotPath, "hot-path microbenchmarks: encode, survey, intersection, stream ingest"},
 	}
 }

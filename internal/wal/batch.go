@@ -1,0 +1,59 @@
+// Batch codec: the wire form of one edge batch, shared between the WAL's
+// ingest records and the dist layer's mutation broadcast (kIngest frames
+// carry exactly this encoding as an opaque byte slice). Factoring it out
+// of AppendIngest/decodeRecord keeps the two layers byte-compatible: what
+// the driver logs is what every worker decodes and applies.
+package wal
+
+import (
+	"fmt"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// EncodeBatch serializes an edge batch: uvarint count, then per edge
+// uvarint U, uvarint V, and the metadata under em. The result round-trips
+// through DecodeBatch on any process holding the same codec.
+func EncodeBatch[EM any](em serialize.Codec[EM], batch []graph.Edge[EM]) []byte {
+	var enc serialize.Encoder
+	enc.PutUvarint(uint64(len(batch)))
+	for i := range batch {
+		enc.PutUvarint(batch[i].U)
+		enc.PutUvarint(batch[i].V)
+		em.Encode(&enc, batch[i].Meta)
+	}
+	return enc.Bytes()
+}
+
+// DecodeBatch parses an EncodeBatch payload. Damage (truncation, trailing
+// bytes, adversarial counts) returns an error, never a panic — the dist
+// layer feeds this bytes that crossed a network.
+func DecodeBatch[EM any](em serialize.Codec[EM], data []byte) ([]graph.Edge[EM], error) {
+	d := serialize.NewDecoder(data)
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wal: batch header: %w", d.Err())
+	}
+	// Adversarial counts never pre-allocate past the payload; the uint64
+	// comparison also catches counts that would wrap a plain int.
+	capHint := d.Remaining()
+	if n < uint64(capHint) {
+		capHint = int(n)
+	}
+	batch := make([]graph.Edge[EM], 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		var e graph.Edge[EM]
+		e.U = d.Uvarint()
+		e.V = d.Uvarint()
+		e.Meta = em.Decode(d)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("wal: batch edge %d of %d: %w", i, n, d.Err())
+		}
+		batch = append(batch, e)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after batch", d.Remaining())
+	}
+	return batch, nil
+}

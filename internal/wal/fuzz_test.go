@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"slices"
+	"testing"
+
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+)
+
+// FuzzDecodeBatch feeds arbitrary bytes through the batch codec the dist
+// layer applies to kIngest payloads that crossed a network. Damage must
+// return an error — never panic, never allocate past the payload — and
+// any batch that does decode must survive a re-encode/re-decode cycle
+// unchanged. (Byte-for-byte canonicality would be too strong: varints
+// admit non-minimal encodings, which EncodeBatch never emits but the
+// decoder tolerates.)
+func FuzzDecodeBatch(f *testing.F) {
+	em := serialize.Uint64Codec()
+	f.Add(EncodeBatch(em, nil))
+	f.Add(EncodeBatch(em, []graph.Edge[uint64]{{U: 1, V: 2, Meta: 7}}))
+	f.Add(EncodeBatch(em, []graph.Edge[uint64]{
+		{U: 300, V: 4, Meta: 1 << 40}, {U: 4, V: 300, Meta: 0},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // huge count, no edges
+	f.Add([]byte{2, 1, 2, 3})                                                 // truncated second edge
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := DecodeBatch(em, data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeBatch(em, EncodeBatch(em, batch))
+		if err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+		if !slices.Equal(batch, again) {
+			t.Fatalf("round trip changed the batch:\n  first  %v\n  second %v", batch, again)
+		}
+	})
+}

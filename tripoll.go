@@ -138,10 +138,13 @@ type GraphBuilder[VM, EM any] = graph.Builder[VM, EM]
 // BuilderOptions configures partitioning and multi-edge merging.
 type BuilderOptions[EM any] = graph.BuilderOptions[EM]
 
-// Partitioners for vertex placement.
+// Partitioners for vertex placement. SpanPartition confines a graph to a
+// rank span — the placement replicated graphs (Engine.RegisterReplicated)
+// build each copy with.
 type (
 	HashPartition   = graph.HashPartition
 	CyclicPartition = graph.CyclicPartition
+	SpanPartition   = graph.SpanPartition
 )
 
 // OrderingStrategy selects the vertex order <+ that orients the input into
