@@ -100,12 +100,24 @@ func temporalHooks() dist.Hooks[tripoll.Unit, uint64] {
 		// The worker's side of tripolld's OpenDurableStream: same stream
 		// options and plan, no WAL (durability is driver-side; DESIGN.md
 		// §14). Broadcast mutations keep every process's stream identical.
+		// The "temporal+truss" policy additionally attaches a triangle-span
+		// index sink (tripolld -truss-index); the sink's commit collective
+		// runs on every process of the world, so driver and workers must
+		// agree on attachment or the world deadlocks — the policy name is
+		// that agreement.
 		OpenStream: func(g *graph.DODGr[tripoll.Unit, uint64], policy string) (*core.Stream[tripoll.Unit, uint64], error) {
-			if policy != "" && policy != "temporal" {
+			switch policy {
+			case "", "temporal":
+				log.Printf("opening stream (collective)")
+				return tripoll.OpenStream(g, tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp}, tripoll.NewTemporalPlan())
+			case "temporal+truss":
+				log.Printf("opening stream with truss index (collective)")
+				ix := tripoll.NewTrussIndex[tripoll.Unit](minTimestamp)
+				return tripoll.OpenStreamSinks(g, tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp}, tripoll.NewTemporalPlan(),
+					[]tripoll.StreamSink[tripoll.Unit, uint64]{ix})
+			default:
 				return nil, fmt.Errorf("unknown stream policy %q", policy)
 			}
-			log.Printf("opening stream (collective)")
-			return tripoll.OpenStream(g, tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp}, tripoll.NewTemporalPlan())
 		},
 	}
 }

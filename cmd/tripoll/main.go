@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +61,9 @@ var surveys = []struct {
 	{"labels", "distribution of each triangle's maximum edge label/timestamp (Alg. 3 sans vertex labels)", true},
 	{"windowed", "plan-restricted count: -delta δ-window, -from/-until sliding window (predicate pushdown)", true},
 	{"wclosure", "closure-time distribution restricted to the same plan flags", true},
+	{"trussness", "per-edge trussness via support peeling over the fused traversal (§15)", false},
+	{"maxtruss", "maximum trussness and per-k truss sizes", false},
+	{"spantruss", "maximal k-truss per time span: -truss-k order, -spans windows", false},
 }
 
 var generators = []struct{ name, desc string }{
@@ -144,6 +148,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		until     = fs.Int64("until", -1, "survey plan: keep triangles with all timestamps ≤ until (-1 = off)")
 		stream    = fs.Int("stream", 0, "replay the input as N chronological batches through streaming maintenance (0 = off)")
 		window    = fs.Int64("window", -1, "with -stream: retire edges more than W time units behind each batch (-1 = keep everything)")
+		trussK    = fs.Int("truss-k", 0, "spantruss: truss order k (0 = default 3)")
+		spansArg  = fs.String("spans", "", "spantruss: comma-separated from:until windows, e.g. 0:1000,500:1500 (default: the -from/-until window)")
 	)
 	fs.Usage = usage(fs, stderr)
 	if err := fs.Parse(args); err != nil {
@@ -241,15 +247,31 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *until >= 0 {
 		tmpl.Until = tripoll.OptUint64(uint64(*until))
 	}
-	a.runFused(w, edges, tmpl, names)
+	a.runFused(w, edges, tmpl, names, *trussK, *spansArg)
 	return 0
+}
+
+// parseSpans parses the -spans flag: comma-separated from:until pairs.
+func (a *app) parseSpans(s string) []tripoll.TrussWindow {
+	if s == "" {
+		return nil
+	}
+	var out []tripoll.TrussWindow
+	for _, part := range strings.Split(s, ",") {
+		var wn tripoll.TrussWindow
+		if n, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &wn.From, &wn.Until); n != 2 || err != nil {
+			a.fail("bad -spans entry %q: want from:until", part)
+		}
+		out = append(out, wn)
+	}
+	return out
 }
 
 // runFused is the one-shot path, routed through the query engine: build
 // the graph, register it, submit every requested survey as one QuerySpec
 // batch — the engine coalesces the whole batch into a single fused
 // traversal (and dedupes identical specs) — then print each answer.
-func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, tmpl tripoll.QuerySpec, names []string) {
+func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, tmpl tripoll.QuerySpec, names []string, trussK int, spansArg string) {
 	g := tripoll.BuildTemporal(w, edges)
 	info := tripoll.Info(g)
 	a.printf("graph: |V|=%s |E|=%s (directed, symmetrized) |W+|=%s dmax=%d dmax+=%d\n",
@@ -309,6 +331,49 @@ func (a *app) runFused(w *tripoll.World, edges []tripoll.TemporalEdge, tmpl trip
 		case "labels":
 			spec.Analysis = "labels"
 			printers = append(printers, a.labelPrinter())
+		case "trussness":
+			spec.Analysis = "trussness"
+			printers = append(printers, func(v any) {
+				d := v.(tripoll.TrussnessResult)
+				a.printf("trussness: %s edges in triangles, max k=%d\n",
+					stats.FormatCount(uint64(len(d.Edges))), d.Max)
+				a.printf("highest-trussness edges:\n")
+				top := make(map[tripoll.EdgeKey]uint64, len(d.Edges))
+				for _, e := range d.Edges {
+					top[tripoll.EdgeKey{First: e.U, Second: e.V}] = uint64(e.K)
+				}
+				printTop(a, top, func(x, y tripoll.EdgeKey) bool {
+					if x.First != y.First {
+						return x.First < y.First
+					}
+					return x.Second < y.Second
+				}, func(e tripoll.EdgeKey) string {
+					return fmt.Sprintf("{%d,%d} k", e.First, e.Second)
+				})
+			})
+		case "maxtruss":
+			spec.Analysis = "maxtruss"
+			printers = append(printers, func(v any) {
+				m := v.(tripoll.MaxTrussResult)
+				a.printf("max trussness: %d\n", m.Max)
+				for _, sz := range m.Sizes {
+					a.printf("  %d-truss: %s edges\n", sz.K, stats.FormatCount(uint64(sz.Edges)))
+				}
+			})
+		case "spantruss":
+			spec.Analysis = "spantruss"
+			args, err := json.Marshal(tripoll.SpanTrussQueryArgs{K: trussK, Spans: a.parseSpans(spansArg)})
+			if err != nil {
+				a.fail("spantruss args: %v", err)
+			}
+			spec.Args = args
+			printers = append(printers, func(v any) {
+				r := v.(tripoll.SpanTrussResult)
+				a.printf("span %d-trusses:\n", r.K)
+				for _, sp := range r.Spans {
+					a.printf("  [%d, %d]: %s edges\n", sp.From, sp.Until, stats.FormatCount(uint64(sp.Size)))
+				}
+			})
 		default:
 			a.fail("unknown survey %q (run with -help for the list)", name)
 		}
@@ -362,7 +427,7 @@ func (a *app) runStream(w *tripoll.World, edges []tripoll.TemporalEdge, opts tri
 			attached = append(attached, tripoll.StreamMaxEdgeLabelAnalysis[tripoll.Unit](false).Bind(dist))
 			print := a.labelPrinter()
 			printers = append(printers, func() { print(*dist) })
-		case "cc", "edgecounts":
+		case "cc", "edgecounts", "trussness", "maxtruss", "spantruss":
 			a.fail("-survey %s has no streaming counterpart (see the survey list: streamable surveys are marked *)", name)
 		default:
 			a.fail("unknown survey %q (run with -help for the list)", name)

@@ -86,6 +86,7 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "build this many read-only copies of the graph, each confined to its own rank span; queries round-robin across them (incompatible with -wal)")
 
 		walDir     = flag.String("wal", "", "durability directory: serve the graph as a WAL-backed stream (enables /v1/ingest, /v1/advance)")
+		trussIx    = flag.Bool("truss-index", false, "maintain a triangle-span index on the stream and answer truss queries (trussness/maxtruss/spantruss) from it without traversing (requires -wal)")
 		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always|never")
 		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0 = default)")
 		checkpoint = flag.Uint64("checkpoint", 0, "snapshot+truncate the WAL every N mutations (0 = default)")
@@ -222,6 +223,11 @@ func main() {
 	}
 	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), eopts)
 	defer eng.Close()
+	var ix *tripoll.TrussIndex[tripoll.Unit]
+	if *trussIx && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "-truss-index requires -wal: the index is maintained by the stream's mutation path")
+		os.Exit(2)
+	}
 	if *walDir != "" {
 		sync := tripoll.WALSyncAlways
 		switch *walSync {
@@ -232,13 +238,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown -wal-sync %q\n", *walSync)
 			os.Exit(2)
 		}
-		_, epoch, err := eng.OpenDurableStream(*graphName, g,
+		// The policy name tells tripoll-worker's OpenStream hook whether to
+		// attach its side of the index sink — the sink's commit collective
+		// must run on every process of the world, in lockstep.
+		policy := "temporal"
+		var sinks []tripoll.StreamSink[tripoll.Unit, uint64]
+		if *trussIx {
+			policy = "temporal+truss"
+			ix = tripoll.NewTrussIndex[tripoll.Unit](minTimestamp)
+			sinks = []tripoll.StreamSink[tripoll.Unit, uint64]{ix}
+		}
+		_, epoch, err := eng.OpenDurableStreamSinks(*graphName, g,
 			tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp},
 			tripoll.NewTemporalPlan(),
-			tripoll.DurableStreamOptions{Dir: *walDir, Sync: sync, SegmentBytes: *walSegment, CheckpointEvery: *checkpoint, Policy: "temporal"})
+			tripoll.DurableStreamOptions{Dir: *walDir, Sync: sync, SegmentBytes: *walSegment, CheckpointEvery: *checkpoint, Policy: policy},
+			sinks)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "open durable stream: %v\n", err)
 			os.Exit(2)
+		}
+		if ix != nil {
+			if err := eng.AttachIndex(*graphName, ix); err != nil {
+				fmt.Fprintf(os.Stderr, "attach truss index: %v\n", err)
+				os.Exit(2)
+			}
+			st := ix.Stats()
+			log.Printf("truss index on %q: %d edges, %d span buckets (epoch %d)", *graphName, st.Edges, st.Buckets, st.Epoch)
 		}
 		log.Printf("durable stream %q: wal=%s sync=%s epoch=%d", *graphName, *walDir, *walSync, epoch)
 	} else if *replicas > 1 {
@@ -256,6 +281,7 @@ func main() {
 		cluster: cluster,
 		limiter: newLimiter(*rate, *burst),
 		retain:  *retain,
+		trussIx: ix,
 	})
 	log.Printf("tripolld listening on %s (%d ranks, %s transport)", *addr, *ranks, *transport)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
@@ -342,6 +368,9 @@ type serverConfig struct {
 	cluster *dist.Cluster  // for /metrics mutation-path counters; nil single-process
 	limiter *limiter       // per-client rate limiter; nil = unlimited
 	retain  int            // finished-job retention cap; 0 = defaultRetainedJobs
+	// trussIx, when -truss-index is on, surfaces the maintained index's
+	// counters under /metrics "truss_index".
+	trussIx *tripoll.TrussIndex[tripoll.Unit]
 }
 
 // server is the HTTP front end over one Engine. Job handles are retained
@@ -354,6 +383,7 @@ type server struct {
 	cluster   *dist.Cluster
 	lim       *limiter
 	retainMax int
+	trussIx   *tripoll.TrussIndex[tripoll.Unit]
 
 	requests    atomic.Uint64 // all requests served
 	rateLimited atomic.Uint64 // 429s from the per-client limiter
@@ -393,7 +423,8 @@ func newServer(eng *tripoll.Engine[tripoll.Unit, uint64], info map[string]tripol
 	s := &server{
 		eng: eng, info: info,
 		world: cfg.world, cluster: cfg.cluster, lim: cfg.limiter, retainMax: cfg.retain,
-		jobs: make(map[uint64]*tripoll.QueryJob), mux: http.NewServeMux(),
+		trussIx: cfg.trussIx,
+		jobs:    make(map[uint64]*tripoll.QueryJob), mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -454,7 +485,7 @@ func (s *server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleAnalyses(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Analyses())
+	writeJSON(w, http.StatusOK, s.eng.AnalysisInfos())
 }
 
 // jobStatus is the wire form of a job's state; Result is present once the

@@ -77,18 +77,77 @@ func TestHealthGraphsAnalyses(t *testing.T) {
 	if graphs[0]["name"] != "default" || graphs[0]["Vertices"].(float64) <= 0 {
 		t.Errorf("graphs entry: %v", graphs[0])
 	}
-	var analyses []string
+	var analyses []tripoll.AnalysisInfo
 	if code := getJSON(t, srv.URL+"/v1/analyses", &analyses); code != 200 {
 		t.Fatalf("analyses: code=%d", code)
 	}
-	for _, want := range []string{"count", "closure", "cc"} {
-		found := false
-		for _, a := range analyses {
-			found = found || a == want
-		}
-		if !found {
+	byName := map[string]tripoll.AnalysisInfo{}
+	for _, a := range analyses {
+		byName[a.Name] = a
+	}
+	for _, want := range []string{"count", "closure", "cc", "trussness", "maxtruss", "spantruss"} {
+		if _, ok := byName[want]; !ok {
 			t.Errorf("analyses missing %q: %v", want, analyses)
 		}
+	}
+}
+
+// TestAnalysesSchema is the /v1/analyses golden test: every analysis ships
+// a description, a result shape, and its argument schema, so clients can
+// discover what a QuerySpec may carry without reading the source.
+func TestAnalysesSchema(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var analyses []tripoll.AnalysisInfo
+	if code := getJSON(t, srv.URL+"/v1/analyses", &analyses); code != 200 {
+		t.Fatalf("analyses: code=%d", code)
+	}
+	byName := map[string]tripoll.AnalysisInfo{}
+	for i, a := range analyses {
+		if a.Name == "" || a.Doc == "" || a.Result == "" {
+			t.Errorf("analysis %d incomplete: %+v", i, a)
+		}
+		if i > 0 && analyses[i-1].Name >= a.Name {
+			t.Errorf("analyses not sorted: %q then %q", analyses[i-1].Name, a.Name)
+		}
+		byName[a.Name] = a
+	}
+	args := func(name string) map[string]tripoll.AnalysisArgSpec {
+		t.Helper()
+		a, ok := byName[name]
+		if !ok {
+			t.Fatalf("analysis %q not listed", name)
+		}
+		out := map[string]tripoll.AnalysisArgSpec{}
+		for _, sp := range a.Args {
+			if sp.Name == "" || sp.Type == "" || sp.Doc == "" {
+				t.Errorf("%s: incomplete arg spec: %+v", name, sp)
+			}
+			out[sp.Name] = sp
+		}
+		return out
+	}
+	// Argless analyses advertise no schema.
+	for _, name := range []string{"count", "closure", "cc", "trussness", "maxtruss"} {
+		if a := args(name); len(a) != 0 {
+			t.Errorf("%s must take no args: %v", name, a)
+		}
+	}
+	// sweep requires its deltas; labels' distinct and spantruss's k/spans
+	// are optional.
+	sweep := args("sweep")
+	if sp, ok := sweep["deltas"]; !ok || !sp.Required || sp.Type != "[]uint" {
+		t.Errorf("sweep deltas spec: %+v", sweep)
+	}
+	labels := args("labels")
+	if sp, ok := labels["distinct"]; !ok || sp.Required || sp.Type != "bool" {
+		t.Errorf("labels distinct spec: %+v", labels)
+	}
+	span := args("spantruss")
+	if sp, ok := span["k"]; !ok || sp.Required || sp.Type != "uint" {
+		t.Errorf("spantruss k spec: %+v", span)
+	}
+	if sp, ok := span["spans"]; !ok || sp.Required {
+		t.Errorf("spantruss spans spec: %+v", span)
 	}
 }
 
@@ -218,7 +277,7 @@ func TestRateLimit429WithRetryAfter(t *testing.T) {
 	t.Cleanup(func() { srv.Close(); eng.Close(); w.Close() })
 
 	for i := 0; i < 2; i++ {
-		var into []string
+		var into []tripoll.AnalysisInfo
 		if code := getJSON(t, srv.URL+"/v1/analyses", &into); code != 200 {
 			t.Fatalf("request %d within burst: code=%d", i, code)
 		}
@@ -245,7 +304,7 @@ func TestRateLimit429WithRetryAfter(t *testing.T) {
 	}
 	// Honoring Retry-After restores service: advance the clock by it.
 	clock = clock.Add(time.Duration(ra) * time.Second)
-	var into []string
+	var into []tripoll.AnalysisInfo
 	if code := getJSON(t, srv.URL+"/v1/analyses", &into); code != 200 {
 		t.Errorf("after Retry-After: code=%d, want 200", code)
 	}
@@ -274,7 +333,7 @@ func TestMetricsSchema(t *testing.T) {
 	if err := json.Unmarshal(raw["engine"], &eng); err != nil {
 		t.Fatalf("engine section: %v", err)
 	}
-	for _, key := range []string{"submitted", "completed", "failed", "shed", "cache_hits", "deduped", "coalesced", "traversals", "mutations", "traversal_messages", "traversal_bytes"} {
+	for _, key := range []string{"submitted", "completed", "failed", "shed", "cache_hits", "index_served", "deduped", "coalesced", "traversals", "mutations", "traversal_messages", "traversal_bytes"} {
 		if _, ok := eng[key]; !ok {
 			t.Errorf("engine section missing %q: %v", key, eng)
 		}
@@ -500,6 +559,98 @@ func TestDurableIngestAdvanceOverHTTP(t *testing.T) {
 	// And the stream still accepts work at the next sequence.
 	if code := postJSON(t, h2.srv.URL+"/v1/ingest", `{"edges":[{"u":9101,"v":9102,"t":500}]}`, &rep); code != 200 || rep.Epoch != 3 {
 		t.Errorf("post-restart ingest: code=%d %+v", code, rep)
+	}
+}
+
+// TestTrussIndexServedOverHTTP wires the -truss-index path by hand: a
+// WAL-backed stream with the index attached as a sink, the index attached
+// to the engine. Truss queries must answer from the index (index_served
+// on the result, engine counter live, truss_index metrics section), agree
+// with the traversal path, and stay correct across ingest over HTTP.
+func TestTrussIndexServedOverHTTP(t *testing.T) {
+	p := datagen.DefaultRedditParams()
+	p.Events = 1500
+	p.Users = 250
+	w := tripoll.NewWorld(2)
+	g := tripoll.BuildTemporal(w, datagen.RedditLike(p))
+	eng := tripoll.NewQueryEngine(tripoll.TemporalQueryRegistry(), tripoll.QueryEngineOptions[uint64]{
+		Timestamps: func(ts uint64) uint64 { return ts },
+	})
+	ix := tripoll.NewTrussIndex[tripoll.Unit](minTimestamp)
+	_, _, err := eng.OpenDurableStreamSinks("default", g,
+		tripoll.StreamOptions[uint64]{MergeEdgeMeta: minTimestamp},
+		tripoll.NewTemporalPlan(),
+		tripoll.DurableStreamOptions{Dir: t.TempDir(), CheckpointEvery: 8},
+		[]tripoll.StreamSink[tripoll.Unit, uint64]{ix})
+	if err != nil {
+		t.Fatalf("OpenDurableStreamSinks: %v", err)
+	}
+	if err := eng.AttachIndex("default", ix); err != nil {
+		t.Fatalf("AttachIndex: %v", err)
+	}
+	srv := httptest.NewServer(newServer(eng, map[string]tripoll.GraphInfo{"default": tripoll.Info(g)}, serverConfig{world: w, trussIx: ix}))
+	t.Cleanup(func() { srv.Close(); eng.Close(); w.Close() })
+
+	// The reference is the traversal path over the same graph.
+	ref, err := tripoll.WindowTrussness(g, tripoll.WholeTrussWindow(), tripoll.SurveyOptions{})
+	if err != nil {
+		t.Fatalf("WindowTrussness: %v", err)
+	}
+
+	var st jobStatus
+	if code := postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"maxtruss","nocache":true}`, &st); code != 200 || st.Result == nil {
+		t.Fatalf("maxtruss: code=%d %+v", code, st)
+	}
+	if !st.Result.IndexServed {
+		t.Errorf("maxtruss not index-served: %+v", st.Result)
+	}
+	val, ok := st.Result.Value.(map[string]any)
+	if !ok || uint64(val["max"].(float64)) != uint64(ref.Max) {
+		t.Errorf("index maxtruss = %v, traversal max = %d", st.Result.Value, ref.Max)
+	}
+	// Non-truss analyses still go through the traversal path. (A fresh
+	// jobStatus: index_served is omitempty, so re-decoding into st would
+	// keep the previous true.)
+	var cnt jobStatus
+	if code := postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"count"}`, &cnt); code != 200 || cnt.Result == nil {
+		t.Fatalf("count: code=%d %+v", code, cnt)
+	}
+	if cnt.Result.IndexServed {
+		t.Errorf("count must not be index-served: %+v", cnt.Result)
+	}
+
+	var m metricsPayload
+	if code := getJSON(t, srv.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: code=%d", code)
+	}
+	if m.Engine.IndexServed < 1 {
+		t.Errorf("engine.index_served = %d, want ≥ 1", m.Engine.IndexServed)
+	}
+	if m.TrussIndex == nil || m.TrussIndex.Served < 1 || m.TrussIndex.Edges == 0 {
+		t.Errorf("truss_index section dead: %+v", m.TrussIndex)
+	}
+
+	// Ingest over HTTP reaches the index through the stream's sink seam;
+	// the next query reflects the mutation and is still index-served.
+	var rep mutationReply
+	if code := postJSON(t, srv.URL+"/v1/ingest", `{"edges":[{"u":9001,"v":9002,"t":50},{"u":9002,"v":9003,"t":60},{"u":9001,"v":9003,"t":70}]}`, &rep); code != 200 {
+		t.Fatalf("ingest: code=%d %+v", code, rep)
+	}
+	// The seed graph g doesn't see the ingest — the stream (and index) do.
+	// The fresh triangle is vertex-disjoint from the generated graph, so
+	// it adds exactly its three edges at trussness 3 and changes nothing
+	// else relative to the pre-ingest traversal reference.
+	var after jobStatus
+	if code := postJSON(t, srv.URL+"/v1/query?wait=1", `{"analysis":"trussness","nocache":true}`, &after); code != 200 || after.Result == nil {
+		t.Fatalf("trussness after ingest: code=%d %+v", code, after)
+	}
+	if !after.Result.IndexServed {
+		t.Errorf("trussness after ingest not index-served: %+v", after.Result)
+	}
+	got, ok := after.Result.Value.(map[string]any)
+	if !ok || len(got["edges"].([]any)) != len(ref.Edges)+3 || uint64(got["max"].(float64)) != uint64(ref.Max) {
+		t.Errorf("index trussness after ingest: %d edges max %v, want %d edges max %d",
+			len(got["edges"].([]any)), got["max"], len(ref.Edges)+3, ref.Max)
 	}
 }
 

@@ -10,7 +10,8 @@
 //	  "graphs":         [{"name", "epoch", "durable": {"wal": wal.Stats, ...}}],
 //	  "http":           {"requests", "rate_limited", "overloaded", "jobs_retained"},
 //	  "world":          {"messages_sent", "messages_processed"},
-//	  "dist":           (-workers only) {"procs", "mutation": dist.MutationStats}
+//	  "dist":           (-workers only) {"procs", "mutation": dist.MutationStats},
+//	  "truss_index":    (-truss-index only) tripoll.TrussIndexStats
 //	}
 package main
 
@@ -59,6 +60,9 @@ type metricsPayload struct {
 	HTTP          httpMetrics    `json:"http"`
 	World         *worldMetrics  `json:"world,omitempty"`
 	Dist          *distMetrics   `json:"dist,omitempty"`
+	// TrussIndex is present under -truss-index: the maintained index's
+	// size and serving counters.
+	TrussIndex *tripoll.TrussIndexStats `json:"truss_index,omitempty"`
 }
 
 func ratio(part, whole uint64) float64 {
@@ -98,6 +102,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.cluster != nil {
 		m.Dist = &distMetrics{Procs: s.cluster.Procs(), Mutation: s.cluster.MutationStats()}
+	}
+	if s.trussIx != nil {
+		st := s.trussIx.Stats()
+		m.TrussIndex = &st
 	}
 	writeJSON(w, http.StatusOK, m)
 }

@@ -59,6 +59,20 @@ type QueryResult = engine.QueryResult
 // traversals and their traffic.
 type EngineStats = engine.Stats
 
+// AnalysisInfo describes one registered analysis — name, doc, argument
+// schema and result shape — as reported by Engine.AnalysisInfos and
+// tripolld's GET /v1/analyses.
+type AnalysisInfo = engine.AnalysisInfo
+
+// AnalysisArgSpec describes one JSON argument of a registered analysis.
+type AnalysisArgSpec = engine.ArgSpec
+
+// QueryIndexServer is a maintained index the engine consults before
+// traversing: Engine.AttachIndex binds one to a registered graph, and
+// queries the index can answer skip snapshot materialization and traversal
+// entirely (QueryResult.IndexServed). NewTrussIndex implements it.
+type QueryIndexServer = engine.IndexServer
+
 // DurableStreamOptions configures Engine.OpenDurableStream: the WAL
 // directory, fsync policy, segment rotation size and checkpoint cadence
 // (DESIGN.md §11) — and, in a multi-process world, the Policy name the

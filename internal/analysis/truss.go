@@ -33,7 +33,35 @@ func Canon(u, v uint64) Edge {
 // Returns trussness per edge; isolated (triangle-free) edges have
 // trussness 2.
 func TrussDecomposition(edges []Edge) map[Edge]int {
-	// Adjacency sets for triangle queries during peeling.
+	adj, uniq := buildAdj(edges)
+
+	// Initial support: triangles through each edge.
+	support := make(map[Edge]int, len(uniq))
+	for _, e := range uniq {
+		support[e] = countCommon(adj, e.U, e.V)
+	}
+	return peel(adj, uniq, support)
+}
+
+// TrussFromSupports peels with externally supplied initial supports (e.g.
+// the per-edge triangle counts a distributed survey observed, or a
+// maintained triangle-span index's window sums) instead of recounting
+// common neighborhoods. When the supports equal the topology's true
+// triangle counts the result is identical to TrussDecomposition — the peel
+// itself is shared — which is what lets the distributed truss analyses and
+// the incremental index skip the serial recount entirely.
+func TrussFromSupports(edges []Edge, counts map[Edge]uint64) map[Edge]int {
+	adj, uniq := buildAdj(edges)
+	support := make(map[Edge]int, len(uniq))
+	for _, e := range uniq {
+		support[e] = int(counts[e])
+	}
+	return peel(adj, uniq, support)
+}
+
+// buildAdj canonicalizes and dedupes an edge list (self-loops dropped)
+// into adjacency sets plus the unique edge list.
+func buildAdj(edges []Edge) (map[uint64]map[uint64]bool, []Edge) {
 	adj := make(map[uint64]map[uint64]bool)
 	addDir := func(a, b uint64) {
 		m, ok := adj[a]
@@ -43,33 +71,36 @@ func TrussDecomposition(edges []Edge) map[Edge]int {
 		}
 		m[b] = true
 	}
-	edgeSet := make(map[Edge]bool, len(edges))
+	seen := make(map[Edge]bool, len(edges))
+	uniq := make([]Edge, 0, len(edges))
 	for _, e := range edges {
 		if e.U == e.V {
 			continue
 		}
 		c := Canon(e.U, e.V)
-		if edgeSet[c] {
+		if seen[c] {
 			continue
 		}
-		edgeSet[c] = true
+		seen[c] = true
+		uniq = append(uniq, c)
 		addDir(c.U, c.V)
 		addDir(c.V, c.U)
 	}
+	return adj, uniq
+}
 
-	// Initial support: triangles through each edge.
-	support := make(map[Edge]int, len(edgeSet))
-	for e := range edgeSet {
-		support[e] = countCommon(adj, e.U, e.V)
-	}
-
-	// Peeling with a simple bucket queue over support values.
-	trussness := make(map[Edge]int, len(edgeSet))
-	alive := make(map[Edge]bool, len(edgeSet))
-	for e := range edgeSet {
+// peel runs the bucket-queue peeling over the given adjacency (consumed —
+// edges are deleted as they peel) and initial supports. The peeled set per
+// level k is order-invariant, so the result is deterministic regardless of
+// map iteration order; the queue is still sorted per level so intermediate
+// states are reproducible too.
+func peel(adj map[uint64]map[uint64]bool, uniq []Edge, support map[Edge]int) map[Edge]int {
+	trussness := make(map[Edge]int, len(uniq))
+	alive := make(map[Edge]bool, len(uniq))
+	for _, e := range uniq {
 		alive[e] = true
 	}
-	remaining := len(edgeSet)
+	remaining := len(uniq)
 	k := 2
 	for remaining > 0 {
 		// Find the minimum support among alive edges.

@@ -145,6 +145,7 @@ type Stream[VM, EM any] struct {
 	em      serialize.Codec[EM]
 
 	analyses []StreamAttached[VM, EM]
+	sinks    []StreamSink[VM, EM]
 	names    []string
 
 	shards []*graph.StreamShard[VM, EM]
@@ -208,6 +209,10 @@ type streamState[VM, EM any] struct {
 // analyses to plan-matching triangles with its predicates pushed into the
 // delta traversal. Must be called outside parallel regions.
 func OpenStream[VM, EM any](g *graph.DODGr[VM, EM], opts StreamOptions[EM], plan *Plan[EM], analyses ...StreamAttached[VM, EM]) (*Stream[VM, EM], error) {
+	return openStream(g, opts, plan, nil, analyses)
+}
+
+func openStream[VM, EM any](g *graph.DODGr[VM, EM], opts StreamOptions[EM], plan *Plan[EM], sinks []StreamSink[VM, EM], analyses []StreamAttached[VM, EM]) (*Stream[VM, EM], error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,6 +225,7 @@ func OpenStream[VM, EM any](g *graph.DODGr[VM, EM], opts StreamOptions[EM], plan
 		filters: plan.compile(),
 		vm:      g.VertexCodec(), em: g.EdgeCodec(),
 		analyses: analyses,
+		sinks:    sinks,
 		sign:     1,
 	}
 	if plan != nil {
@@ -232,6 +238,9 @@ func OpenStream[VM, EM any](g *graph.DODGr[VM, EM], opts StreamOptions[EM], plan
 		}
 		s.names[i] = a.AnalysisName()
 		a.start(w.Size())
+	}
+	for _, sk := range sinks {
+		sk.SinkOpen(w.Size())
 	}
 	s.shards = make([]*graph.StreamShard[VM, EM], w.Size())
 	for i := range s.shards {
@@ -484,6 +493,9 @@ func (s *Stream[VM, EM]) seedFrom(g *graph.DODGr[VM, EM]) {
 				// <+-smaller endpoint is the low-degree side, exactly the
 				// direction the ingest chain would choose.
 				sh.Verts[vi].Adj = append(sh.Verts[vi].Adj, graph.StreamEntry[VM, EM]{Target: o.Target, EMeta: o.EMeta, TMeta: o.TMeta, Init: true})
+				for _, sk := range s.sinks {
+					sk.SinkSeedEdge(r, v.ID, o.Target, o.EMeta)
+				}
 				e := r.Begin(s.owner(o.Target), hSeed)
 				e.PutUvarint(o.Target)
 				e.PutUvarint(v.ID)
@@ -504,13 +516,14 @@ func (s *Stream[VM, EM]) seedFrom(g *graph.DODGr[VM, EM]) {
 	}
 	s.seed = sv.Run()
 	s.triangles = s.seed.Triangles
+	s.sinkCommit()
 }
 
 // fullObserveCallback dispatches full-traversal triangles (seed and epoch
 // rebuilds) to every analysis with sign +1, re-sorted into the stream's
 // id-ordered presentation.
 func (s *Stream[VM, EM]) fullObserveCallback() Callback[VM, EM] {
-	if len(s.analyses) == 0 {
+	if len(s.analyses) == 0 && len(s.sinks) == 0 {
 		return nil
 	}
 	return func(r *ygm.Rank, t *Triangle[VM, EM]) {
@@ -518,6 +531,9 @@ func (s *Stream[VM, EM]) fullObserveCallback() Callback[VM, EM] {
 		fillIDSorted(u, t.P, t.MetaP, t.Q, t.MetaQ, t.R, t.MetaR, t.MetaPQ, t.MetaPR, t.MetaQR)
 		for _, a := range s.analyses {
 			a.observeSigned(r, u, 1)
+		}
+		for _, sk := range s.sinks {
+			sk.SinkTriangle(r, u, 1)
 		}
 	}
 }
@@ -529,6 +545,9 @@ func (s *Stream[VM, EM]) dispatch(r *ygm.Rank, u uint64, mu VM, v uint64, mv VM,
 	fillIDSorted(t, u, mu, v, mv, w, mw, emUV, emUW, emVW)
 	for _, a := range s.analyses {
 		a.observeSigned(r, t, s.sign)
+	}
+	for _, sk := range s.sinks {
+		sk.SinkTriangle(r, t, s.sign)
 	}
 }
 
@@ -636,6 +655,9 @@ func (s *Stream[VM, EM]) Ingest(batch []graph.Edge[EM]) (Result, error) {
 	var prev ygm.Stats
 
 	merged := s.premerge(batch)
+	for _, sk := range s.sinks {
+		sk.SinkBatch(merged)
+	}
 	s.phase(&prev, &res.Mutate, func(r *ygm.Rank) {
 		for i := r.ID(); i < len(merged); i += r.Size() {
 			e := r.Begin(s.owner(merged[i].U), s.hRoute)
@@ -696,6 +718,7 @@ func (s *Stream[VM, EM]) Ingest(batch []graph.Edge[EM]) (Result, error) {
 		s.runDelta(&res, &prev)
 		s.triangles += res.Triangles
 	}
+	s.sinkCommit()
 	res.Total = time.Since(t0)
 	return res, nil
 }
@@ -755,6 +778,9 @@ func (s *Stream[VM, EM]) Advance(cutoff uint64) (Result, error) {
 	for _, a := range s.analyses {
 		invertible = invertible && a.invertible()
 	}
+	for _, sk := range s.sinks {
+		invertible = invertible && sk.SinkInvertible()
+	}
 	if invertible {
 		// Enumerate destroyed triangles while the expiring edges are still
 		// live: the delta set is every live edge below cutoff, recorded at
@@ -799,6 +825,9 @@ func (s *Stream[VM, EM]) Advance(cutoff uint64) (Result, error) {
 	s.stats.Retired += retired
 	s.cutoff = cutoff
 	s.hasCutoff = true
+	for _, sk := range s.sinks {
+		sk.SinkExpire(cutoff)
+	}
 
 	if !invertible {
 		if err := s.rebuild(&res, &prev); err != nil {
@@ -807,6 +836,7 @@ func (s *Stream[VM, EM]) Advance(cutoff uint64) (Result, error) {
 	} else {
 		s.triangles -= res.Triangles
 	}
+	s.sinkCommit()
 	res.Total = time.Since(t0)
 	return res, nil
 }
@@ -1241,6 +1271,9 @@ func (s *Stream[VM, EM]) rebuild(res *Result, prev *ygm.Stats) error {
 	s.stats.Rebuilds++
 	for _, a := range s.analyses {
 		a.start(s.w.Size())
+	}
+	for _, sk := range s.sinks {
+		sk.SinkReset()
 	}
 	t0 := time.Now()
 	g2 := s.Materialize()

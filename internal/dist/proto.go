@@ -14,6 +14,7 @@ import (
 	"tripoll/internal/engine"
 	"tripoll/internal/serialize"
 	"tripoll/internal/stats"
+	"tripoll/internal/truss"
 )
 
 // Control-plane wire protocol: every frame is a gob-encoded ctrlMsg behind
@@ -241,6 +242,7 @@ func init() {
 	gob.Register(map[core.DegreeTriple]uint64(nil))
 	gob.Register(core.ClusteringAccum{})
 	gob.Register(&stats.Joint2D{})
+	gob.Register(&truss.Accum{})
 }
 
 // ctrlConn frames gob messages over one TCP connection. Sends are

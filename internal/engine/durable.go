@@ -127,6 +127,16 @@ func (d *durable[VM, EM]) close() error {
 // one directory, or replay diverges. Returns the stream and its epoch.
 // Like OpenStream, collective: call outside parallel regions.
 func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM], sopts core.StreamOptions[EM], plan *core.Plan[EM], dopts DurableOptions, analyses ...core.StreamAttached[VM, EM]) (*core.Stream[VM, EM], uint64, error) {
+	return e.OpenDurableStreamSinks(name, seed, sopts, plan, dopts, nil, analyses...)
+}
+
+// OpenDurableStreamSinks is OpenDurableStream with maintained sinks
+// (core.StreamSink) attached at open. Because sinks attach before the seed
+// traversal and before WAL replay, recovery re-seeds an index from the
+// checkpoint snapshot and then replays the surviving mutations through it
+// — the recovered index is identical to one maintained through the
+// original run.
+func (e *Engine[VM, EM]) OpenDurableStreamSinks(name string, seed *graph.DODGr[VM, EM], sopts core.StreamOptions[EM], plan *core.Plan[EM], dopts DurableOptions, sinks []core.StreamSink[VM, EM], analyses ...core.StreamAttached[VM, EM]) (*core.Stream[VM, EM], uint64, error) {
 	if seed == nil {
 		return nil, 0, fmt.Errorf("engine: OpenDurableStream(%q): nil seed graph", name)
 	}
@@ -189,7 +199,7 @@ func (e *Engine[VM, EM]) OpenDurableStream(name string, seed *graph.DODGr[VM, EM
 			return nil, 0, fmt.Errorf("engine: stream-open broadcast for %q: %w", name, err)
 		}
 	}
-	s, err := core.OpenStream(base, sopts, plan, analyses...)
+	s, err := core.OpenStreamSinks(base, sopts, plan, sinks, analyses...)
 	if err != nil {
 		log.Close()
 		return nil, 0, err

@@ -24,6 +24,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -87,6 +88,7 @@ type Stats struct {
 	Failed            uint64 `json:"failed"`             // jobs (incl. mutations) finished with an error or cancellation
 	Shed              uint64 `json:"shed"`               // jobs refused with ErrOverloaded at admission
 	CacheHits         uint64 `json:"cache_hits"`         // jobs served entirely from the result cache
+	IndexServed       uint64 `json:"index_served"`       // jobs answered by an attached index — no snapshot, no traversal
 	Deduped           uint64 `json:"deduped"`            // jobs served by an identical twin in the same batch
 	Coalesced         uint64 `json:"coalesced"`          // jobs that shared a fused traversal with ≥ 1 other job
 	Traversals        uint64 `json:"traversals"`         // fused traversals executed
@@ -110,6 +112,9 @@ type QueryResult struct {
 	// Cached reports the answer came from the result cache; Survey then
 	// describes the traversal that originally produced it.
 	Cached bool `json:"cached"`
+	// IndexServed reports the answer came from an attached maintained
+	// index (AttachIndex): no traversal ran and Survey is zero.
+	IndexServed bool `json:"index_served,omitempty"`
 	// CoalescedWith counts the jobs that shared this result's fused
 	// traversal, including this one (1 = solo).
 	CoalescedWith int `json:"coalesced_with"`
@@ -229,6 +234,11 @@ type graphEntry[VM, EM any] struct {
 	// OpenDurableStream (the only entry point for multi-process streams).
 	codec serialize.Codec[EM]
 
+	// index, when non-nil, is a maintained index structure (AttachIndex)
+	// asked first for every query on this graph: analyses it handles are
+	// answered without materializing or traversing.
+	index IndexServer
+
 	// replicas holds the copies of a read-only replicated graph
 	// (RegisterReplicated), each partitioned over its own rank span; rr is
 	// the round-robin cursor snapshot() ticks to spread query groups across
@@ -244,10 +254,11 @@ type graphEntry[VM, EM any] struct {
 // is not, and serving a push-only client a cached push-pull traversal
 // would silently misattribute its statistics.
 type cacheKey struct {
-	graph string
-	epoch uint64
-	opts  core.Options
-	share string // canonical plan key + analysis id
+	graph  string
+	epoch  uint64
+	iepoch uint64 // attached index's commit epoch (0 when no index)
+	opts   core.Options
+	share  string // canonical plan key + analysis id
 }
 
 // maxCacheEntries bounds the result cache. Static graphs never bump
@@ -381,6 +392,50 @@ func (e *Engine[VM, EM]) Analyses() []string {
 		return nil
 	}
 	return e.reg.Names()
+}
+
+// AnalysisInfos lists the argument schema and description of every
+// analysis QuerySpecs may use with this engine, sorted by name.
+func (e *Engine[VM, EM]) AnalysisInfos() []AnalysisInfo {
+	if e.reg == nil {
+		return nil
+	}
+	return e.reg.Describe()
+}
+
+// IndexServer is a maintained index structure the engine can attach to a
+// graph (AttachIndex): a query whose analysis the index handles is
+// answered directly — no stream materialization, no traversal, zero
+// transport messages — with a value byte-identical to what the traversal
+// path would have produced. The interface is structural so index
+// implementations (internal/truss) need not import the engine.
+//
+// ServeQuery receives the spec's analysis name, raw Args and temporal
+// window; handled=false falls the query through to the traversal path.
+// IndexEpoch is a commit counter the engine mixes into its cache keys.
+// Both methods are called only from the scheduler goroutine, serialized
+// with the mutations that update the index.
+type IndexServer interface {
+	IndexEpoch() uint64
+	ServeQuery(analysis string, args json.RawMessage, from, until, delta *uint64) (value any, handled bool, err error)
+}
+
+// AttachIndex attaches a maintained index to a registered graph. The
+// index must be kept consistent with the graph by its own machinery
+// (e.g. a truss.Index attached to the stream's sinks at open); the
+// engine only routes queries to it and keys caches on its epoch.
+func (e *Engine[VM, EM]) AttachIndex(name string, ix IndexServer) error {
+	if ix == nil {
+		return fmt.Errorf("engine: AttachIndex(%q): nil index", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry, ok := e.graphs[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown graph %q", name)
+	}
+	entry.index = ix
+	return nil
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -678,6 +733,47 @@ type share[VM, EM any] struct {
 // questions dedupe onto one instance, and the remaining distinct questions
 // run fused under their plans' union with per-job residual filters.
 func (e *Engine[VM, EM]) runGroup(name string, opts core.Options, jobs []*Job) {
+	// Index-backed analyses are answered before anything else: serving
+	// from a maintained index needs neither the (possibly stale) snapshot
+	// nor a traversal, so a group whose every member the index handles
+	// skips materialization entirely — that is where the index's message
+	// savings come from.
+	e.mu.Lock()
+	var ix IndexServer
+	var ixEpoch, gEpoch uint64
+	if entry, ok := e.graphs[name]; ok && entry.index != nil {
+		ix, gEpoch = entry.index, entry.epoch
+		ixEpoch = ix.IndexEpoch()
+	}
+	e.mu.Unlock()
+	if ix != nil {
+		rest := jobs[:0]
+		for _, j := range jobs {
+			val, handled, err := ix.ServeQuery(j.spec.Analysis, j.spec.Args, j.spec.From, j.spec.Until, j.spec.Delta)
+			if err != nil {
+				e.fail(j, err)
+				continue
+			}
+			if !handled {
+				rest = append(rest, j)
+				continue
+			}
+			e.complete(j, QueryResult{
+				Graph:         name,
+				Analysis:      j.spec.Analysis,
+				Epoch:         gEpoch,
+				Value:         val,
+				IndexServed:   true,
+				CoalescedWith: 1,
+			}, false)
+			e.bump(func(st *Stats) { st.IndexServed++ })
+		}
+		jobs = rest
+		if len(jobs) == 0 {
+			return
+		}
+	}
+
 	g, epoch, replica, err := e.snapshot(name)
 	if err != nil {
 		for _, j := range jobs {
@@ -690,7 +786,7 @@ func (e *Engine[VM, EM]) runGroup(name string, opts core.Options, jobs []*Job) {
 	byKey := make(map[string]*share[VM, EM])
 	for _, j := range jobs {
 		pay := j.payload.(*queryPayload[VM, EM])
-		key := cacheKey{graph: name, epoch: epoch, opts: opts, share: pay.shareKey()}
+		key := cacheKey{graph: name, epoch: epoch, iepoch: ixEpoch, opts: opts, share: pay.shareKey()}
 		if !j.spec.NoCache {
 			if qr, ok := e.cacheGet(key); ok {
 				qr.Cached = true

@@ -9,6 +9,7 @@ import (
 	"tripoll/internal/graph"
 	"tripoll/internal/serialize"
 	"tripoll/internal/stats"
+	"tripoll/internal/truss"
 )
 
 // Instance is one compiled occurrence of a registry analysis: the bound
@@ -29,23 +30,66 @@ type Instance[VM, EM any] struct {
 // before the traversal) and may reject malformed Args.
 type Factory[VM, EM any] func(g *graph.DODGr[VM, EM], spec Spec) (Instance[VM, EM], error)
 
+// ArgSpec documents one JSON argument an analysis accepts.
+type ArgSpec struct {
+	// Name is the JSON key inside Spec.Args.
+	Name string `json:"name"`
+	// Type is the JSON type ("bool", "uint", "[]uint", "[]window", ...).
+	Type string `json:"type"`
+	// Doc is a one-line description, including any default.
+	Doc string `json:"doc"`
+	// Required marks arguments the factory rejects when absent.
+	Required bool `json:"required,omitempty"`
+}
+
+// AnalysisInfo is the discoverable schema of one registered analysis —
+// what GET /v1/analyses reports so clients can build Specs without
+// reading the registry source.
+type AnalysisInfo struct {
+	// Name is the registry key QuerySpecs use.
+	Name string `json:"name"`
+	// Doc is a one-line description of the analysis.
+	Doc string `json:"doc"`
+	// Args documents the accepted Spec.Args keys; empty means the
+	// analysis takes no arguments.
+	Args []ArgSpec `json:"args,omitempty"`
+	// Result names the shape of QueryResult.Value (after JSONValue).
+	Result string `json:"result"`
+}
+
 // Registry maps analysis names to factories — the table that makes specs
 // wire-shippable: a client names an analysis, the engine compiles it.
 // Register all analyses before handing the registry to New; the engine
 // reads it from its dispatcher goroutine without locking.
 type Registry[VM, EM any] struct {
 	factories map[string]Factory[VM, EM]
+	infos     map[string]AnalysisInfo
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry[VM, EM any]() *Registry[VM, EM] {
-	return &Registry[VM, EM]{factories: make(map[string]Factory[VM, EM])}
+	return &Registry[VM, EM]{
+		factories: make(map[string]Factory[VM, EM]),
+		infos:     make(map[string]AnalysisInfo),
+	}
 }
 
 // Register adds (or replaces) a named analysis factory and returns the
-// registry for chaining.
+// registry for chaining. The analysis is listed with an empty schema; use
+// RegisterInfo to document it.
 func (r *Registry[VM, EM]) Register(name string, f Factory[VM, EM]) *Registry[VM, EM] {
 	r.factories[name] = f
+	if _, ok := r.infos[name]; !ok {
+		r.infos[name] = AnalysisInfo{Name: name}
+	}
+	return r
+}
+
+// RegisterInfo adds (or replaces) a named analysis factory together with
+// its discoverable schema. info.Name is the registry key.
+func (r *Registry[VM, EM]) RegisterInfo(info AnalysisInfo, f Factory[VM, EM]) *Registry[VM, EM] {
+	r.factories[info.Name] = f
+	r.infos[info.Name] = info
 	return r
 }
 
@@ -65,6 +109,15 @@ func (r *Registry[VM, EM]) Names() []string {
 	return out
 }
 
+// Describe lists every registered analysis's schema, sorted by name.
+func (r *Registry[VM, EM]) Describe() []AnalysisInfo {
+	out := make([]AnalysisInfo, 0, len(r.infos))
+	for _, n := range r.Names() {
+		out = append(out, r.infos[n])
+	}
+	return out
+}
+
 // TemporalRegistry returns the stock registry for the BuildTemporal graph
 // configuration (Unit vertex metadata, uint64 timestamp edge metadata) —
 // the configuration cmd/tripoll and cmd/tripolld serve. Registered
@@ -77,38 +130,58 @@ func (r *Registry[VM, EM]) Names() []string {
 //	labels       max edge label/timestamp distribution (Alg. 3) -> map[uint64]uint64
 //	cc           clustering coefficients                        -> core.ClusteringAccum
 //	sweep        δ-sweep counts; Args {"deltas":[...]}          -> []uint64
+//	trussness    per-edge trussness of the window subgraph      -> truss.Decomp
+//	maxtruss     max trussness + k-truss sizes                  -> truss.MaxResult
+//	spantruss    maximal k-truss per span; Args {"k","spans"}   -> truss.SpanResult
 func TemporalRegistry() *Registry[serialize.Unit, uint64] {
 	type U = serialize.Unit
 	r := NewRegistry[U, uint64]()
-	r.Register("count", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "count", Doc: "triangle count (Alg. 2)", Result: "uint64",
+	}, func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
 		out := new(uint64)
 		return Instance[U, uint64]{
 			Attached: core.CountAnalysis[U, uint64]().Bind(out),
 			Result:   func() any { return *out },
 		}, nil
 	})
-	r.Register("closure", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "closure", Doc: "joint wedge-open/triangle-close time distribution (Alg. 4)",
+		Result: "[]{open, close, count}",
+	}, func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
 		out := new(*stats.Joint2D)
 		return Instance[U, uint64]{
 			Attached: core.ClosureTimeAnalysis[U]().Bind(out),
 			Result:   func() any { return *out },
 		}, nil
 	})
-	r.Register("localcounts", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "localcounts", Doc: "per-vertex triangle participation counts",
+		Result: "map[vertex]count",
+	}, func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
 		out := new(map[uint64]uint64)
 		return Instance[U, uint64]{
 			Attached: core.VertexCountAnalysis[U, uint64]().Bind(out),
 			Result:   func() any { return *out },
 		}, nil
 	})
-	r.Register("edgecounts", func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "edgecounts", Doc: "per-edge triangle participation counts",
+		Result: "[]{u, v, count}",
+	}, func(_ *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
 		out := new(map[core.EdgeKey]uint64)
 		return Instance[U, uint64]{
 			Attached: core.EdgeCountAnalysis[U, uint64]().Bind(out),
 			Result:   func() any { return *out },
 		}, nil
 	})
-	r.Register("labels", func(_ *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "labels", Doc: "max edge label/timestamp distribution across triangles (Alg. 3)",
+		Args: []ArgSpec{
+			{Name: "distinct", Type: "bool", Doc: "require pairwise-distinct vertex labels (default false)"},
+		},
+		Result: "map[label]count",
+	}, func(_ *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
 		var args struct {
 			Distinct bool `json:"distinct"`
 		}
@@ -121,14 +194,23 @@ func TemporalRegistry() *Registry[serialize.Unit, uint64] {
 			Result:   func() any { return *out },
 		}, nil
 	})
-	r.Register("cc", func(g *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "cc", Doc: "clustering coefficients (average, global transitivity)",
+		Result: "{Counts, Stats}",
+	}, func(g *graph.DODGr[U, uint64], _ Spec) (Instance[U, uint64], error) {
 		out := new(core.ClusteringAccum)
 		return Instance[U, uint64]{
 			Attached: core.ClusteringAnalysis(g).Bind(out),
 			Result:   func() any { return *out },
 		}, nil
 	})
-	r.Register("sweep", func(_ *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+	r.RegisterInfo(AnalysisInfo{
+		Name: "sweep", Doc: "triangle counts for each close-within δ in one traversal",
+		Args: []ArgSpec{
+			{Name: "deltas", Type: "[]uint", Doc: "δ thresholds to count under", Required: true},
+		},
+		Result: "[]uint64",
+	}, func(_ *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
 		var args struct {
 			Deltas []uint64 `json:"deltas"`
 		}
@@ -144,7 +226,65 @@ func TemporalRegistry() *Registry[serialize.Unit, uint64] {
 			Result:   func() any { return *out },
 		}, nil
 	})
+	r.RegisterInfo(AnalysisInfo{
+		Name: "trussness", Doc: "per-edge trussness of the query window's subgraph (support peeling)",
+		Result: "{edges: []{u, v, k}, max}",
+	}, func(g *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+		out := new(*truss.Accum)
+		return Instance[U, uint64]{
+			Attached: truss.TrussnessAnalysis(g, specWindow(spec)).Bind(out),
+			Result:   func() any { return (*out).Outcome() },
+		}, nil
+	})
+	r.RegisterInfo(AnalysisInfo{
+		Name: "maxtruss", Doc: "maximum trussness and k-truss sizes of the query window's subgraph",
+		Result: "{max, sizes: []{k, edges}}",
+	}, func(g *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+		out := new(*truss.Accum)
+		return Instance[U, uint64]{
+			Attached: truss.MaxTrussAnalysis(g, specWindow(spec)).Bind(out),
+			Result:   func() any { return (*out).Outcome() },
+		}, nil
+	})
+	r.RegisterInfo(AnalysisInfo{
+		Name: "spantruss", Doc: "maximal k-truss per time span (Lotito-style), spans clipped to the query window",
+		Args: []ArgSpec{
+			{Name: "k", Type: "uint", Doc: "which k-truss to report (default 3, min 2)"},
+			{Name: "spans", Type: "[]{from, until}", Doc: "closed time spans to decompose (default: the whole query window)"},
+		},
+		Result: "{k, spans: []{from, until, size, edges}}",
+	}, func(g *graph.DODGr[U, uint64], spec Spec) (Instance[U, uint64], error) {
+		var args truss.SpanTrussArgs
+		if err := unmarshalArgs(spec, &args); err != nil {
+			return Instance[U, uint64]{}, err
+		}
+		env := specWindow(spec)
+		k, spans, err := args.Normalize(env)
+		if err != nil {
+			return Instance[U, uint64]{}, err
+		}
+		out := new(*truss.Accum)
+		return Instance[U, uint64]{
+			Attached: truss.SpanTrussAnalysis(g, env, k, spans).Bind(out),
+			Result:   func() any { return (*out).Outcome() },
+		}, nil
+	})
 	return r
+}
+
+// specWindow reads the spec's closed query window; absent bounds widen to
+// the whole axis. It must mirror compilePlan's From/Until handling — the
+// truss analyses define their edge set by this window while the plan
+// filters their triangles by the same bounds.
+func specWindow(spec Spec) truss.Window {
+	win := truss.WholeWindow()
+	if spec.From != nil {
+		win.From = *spec.From
+	}
+	if spec.Until != nil {
+		win.Until = *spec.Until
+	}
+	return win
 }
 
 func unmarshalArgs(spec Spec, into any) error {

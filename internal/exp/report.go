@@ -150,6 +150,7 @@ func All() []Runner {
 		{"wal", AblationWAL, "ablation: WAL-backed durable streams — overhead and crash recovery"},
 		{"multiproc", AblationMultiproc, "ablation: one process vs a process-spanning world (internal/dist)"},
 		{"diststream", AblationDistStream, "ablation: broadcast mutations on a durable stream, with kill-and-recover (1 vs N processes)"},
+		{"truss", AblationTruss, "ablation: maintained triangle-span index vs per-query span-truss re-decomposition"},
 		{"hotpath", HotPath, "hot-path microbenchmarks: encode, survey, intersection, stream ingest"},
 	}
 }

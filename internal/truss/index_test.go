@@ -1,0 +1,234 @@
+package truss
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tripoll/internal/analysis"
+	"tripoll/internal/core"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// The maintenance equivalence property: after every Ingest/Advance — seed
+// events, whole-triangle batches, duplicates, timestamp-revising merges
+// (epoch rebuild fallback) and window expiries — the maintained index's
+// ServeQuery answer is byte-identical to a from-scratch decomposition of
+// the equivalent live edge set, for every probed window and span set.
+
+func applyLiveRecs(live map[analysis.Edge]uint64, batch []graph.Edge[uint64]) {
+	for _, e := range batch {
+		if e.U == e.V {
+			continue
+		}
+		k := analysis.Canon(e.U, e.V)
+		if old, ok := live[k]; ok {
+			live[k] = minMerge(old, e.Meta)
+		} else {
+			live[k] = e.Meta
+		}
+	}
+}
+
+// checkIndex probes the index across windows and span sets against the
+// serial reference over the tracked live set.
+func checkIndex(t *testing.T, label string, ix *Index[serialize.Unit], live map[analysis.Edge]uint64, horizon uint64) {
+	t.Helper()
+	windows := []struct {
+		from, until *uint64
+		wn          Window
+	}{
+		{nil, nil, WholeWindow()},
+		{ptr(uint64(0)), ptr(horizon / 2), Window{From: 0, Until: horizon / 2}},
+		{ptr(horizon / 4), nil, Window{From: horizon / 4, Until: ^uint64(0)}},
+	}
+	for wi, probe := range windows {
+		got, handled, err := ix.ServeQuery("trussness", nil, probe.from, probe.until, nil)
+		if err != nil || !handled {
+			t.Fatalf("%s: window %d: ServeQuery: handled=%v err=%v", label, wi, handled, err)
+		}
+		want := buildDecomp(serialDecomp(live, probe.wn))
+		if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+			t.Errorf("%s: window %d: index diverges from rebuild\n got  %s\n want %s", label, wi, g, w)
+		}
+	}
+	spans := []Window{{From: 0, Until: horizon / 3}, {From: horizon / 5, Until: horizon}}
+	args, _ := json.Marshal(SpanTrussArgs{K: 3, Spans: spans})
+	got, handled, err := ix.ServeQuery("spantruss", args, nil, nil, nil)
+	if err != nil || !handled {
+		t.Fatalf("%s: spantruss: handled=%v err=%v", label, handled, err)
+	}
+	want := SpanResult{K: 3, Spans: make([]SpanTruss, len(spans))}
+	for i, sp := range spans {
+		want.Spans[i] = buildSpanTruss(3, sp, serialDecomp(live, sp))
+	}
+	if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+		t.Errorf("%s: spantruss diverges from rebuild\n got  %s\n want %s", label, g, w)
+	}
+}
+
+func ptr(v uint64) *uint64 { return &v }
+
+func TestIndexEquivalenceProperty(t *testing.T) {
+	const horizon = 1 << 10
+	for _, mode := range []core.Mode{core.PushOnly, core.PushPull} {
+		label := fmt.Sprintf("%v", mode)
+		rng := rand.New(rand.NewSource(23))
+		nv := uint64(32)
+		edge := func() graph.Edge[uint64] {
+			u, v := rng.Uint64()%nv, rng.Uint64()%nv
+			return graph.Edge[uint64]{U: u, V: v, Meta: rng.Uint64() % horizon}
+		}
+
+		w := ygm.MustWorld(3, ygm.Options{})
+		live := map[analysis.Edge]uint64{}
+
+		var seed []graph.Edge[uint64]
+		for i := 0; i < 80; i++ {
+			seed = append(seed, edge())
+		}
+		applyLiveRecs(live, seed)
+		var recs []edgeRec
+		for e, ts := range live {
+			recs = append(recs, edgeRec{e.U, e.V, ts})
+		}
+		g := buildGraph(w, recs, graph.OrderDegree)
+
+		ix := NewIndex[serialize.Unit](IndexOptions{MergeTimestamp: minMerge})
+		s, err := core.OpenStreamSinks(g, core.StreamOptions[uint64]{Survey: core.Options{Mode: mode}, MergeEdgeMeta: minMerge},
+			core.TemporalPlan(), []core.StreamSink[serialize.Unit, uint64]{ix})
+		if err != nil {
+			t.Fatalf("%s: OpenStreamSinks: %v", label, err)
+		}
+		if ix.IndexEpoch() == 0 {
+			t.Fatalf("%s: seed commit must bump the index epoch", label)
+		}
+		checkIndex(t, label+"/seed", ix, live, horizon)
+
+		cutoffs := []uint64{horizon / 6, horizon / 3}
+		for batchNo := 0; batchNo < 4; batchNo++ {
+			var batch []graph.Edge[uint64]
+			for i := 0; i < 40; i++ {
+				batch = append(batch, edge())
+			}
+			// Whole triangle among fresh vertices, all three edges at once.
+			base := nv + uint64(batchNo)*3 + 200
+			for _, pr := range [][2]uint64{{base, base + 1}, {base + 1, base + 2}, {base, base + 2}} {
+				batch = append(batch, graph.Edge[uint64]{U: pr[0], V: pr[1], Meta: uint64(batchNo+1) * 97 % horizon})
+			}
+			if _, err := s.Ingest(batch); err != nil {
+				t.Fatalf("%s: batch %d: %v", label, batchNo, err)
+			}
+			applyLiveRecs(live, batch)
+			checkIndex(t, fmt.Sprintf("%s/batch%d", label, batchNo), ix, live, horizon)
+
+			if batchNo < len(cutoffs) {
+				cut := cutoffs[batchNo]
+				if _, err := s.Advance(cut); err != nil {
+					t.Fatalf("%s: advance %d: %v", label, cut, err)
+				}
+				for k, tm := range live {
+					if tm < cut {
+						delete(live, k)
+					}
+				}
+				checkIndex(t, fmt.Sprintf("%s/advance%d", label, cut), ix, live, horizon)
+			}
+		}
+
+		// Timestamp-revising duplicate: pick a live edge and re-insert it
+		// earlier. The revising merge forces an epoch rebuild, which resets
+		// support and re-delivers every live triangle — the index must come
+		// out identical to a from-scratch decomposition again.
+		var revised bool
+		for e, ts := range live {
+			if ts == 0 {
+				continue
+			}
+			batch := []graph.Edge[uint64]{{U: e.U, V: e.V, Meta: ts - 1}}
+			res, err := s.Ingest(batch)
+			if err != nil {
+				t.Fatalf("%s: revising ingest: %v", label, err)
+			}
+			if !res.Rebuilt {
+				t.Fatalf("%s: revising merge must force an epoch rebuild", label)
+			}
+			applyLiveRecs(live, batch)
+			revised = true
+			break
+		}
+		if !revised {
+			t.Fatalf("%s: no revisable live edge", label)
+		}
+		checkIndex(t, label+"/rebuild", ix, live, horizon)
+
+		w.Close()
+	}
+}
+
+// TestIndexMemoInvalidation pins the memo discipline: a repeat query is
+// served from cache (no recompute), a mutation overlapping the cached
+// window invalidates it, and one outside leaves it valid.
+func TestIndexMemoInvalidation(t *testing.T) {
+	w := ygm.MustWorld(2, ygm.Options{})
+	defer w.Close()
+	live := map[analysis.Edge]uint64{}
+	seed := []graph.Edge[uint64]{
+		{U: 1, V: 2, Meta: 10}, {U: 2, V: 3, Meta: 20}, {U: 1, V: 3, Meta: 30},
+		{U: 3, V: 4, Meta: 500}, {U: 4, V: 5, Meta: 510}, {U: 3, V: 5, Meta: 520},
+	}
+	applyLiveRecs(live, seed)
+	var recs []edgeRec
+	for e, ts := range live {
+		recs = append(recs, edgeRec{e.U, e.V, ts})
+	}
+	g := buildGraph(w, recs, graph.OrderDegree)
+	ix := NewIndex[serialize.Unit](IndexOptions{MergeTimestamp: minMerge})
+	s, err := core.OpenStreamSinks(g, core.StreamOptions[uint64]{MergeEdgeMeta: minMerge},
+		core.TemporalPlan(), []core.StreamSink[serialize.Unit, uint64]{ix})
+	if err != nil {
+		t.Fatalf("OpenStreamSinks: %v", err)
+	}
+
+	query := func() {
+		t.Helper()
+		if _, handled, err := ix.ServeQuery("trussness", nil, ptr(uint64(0)), ptr(uint64(100)), nil); !handled || err != nil {
+			t.Fatalf("ServeQuery: handled=%v err=%v", handled, err)
+		}
+	}
+	query()
+	st := ix.Stats()
+	if st.Served != 1 || st.Recomputed != 1 {
+		t.Fatalf("first query: served=%d recomputed=%d, want 1/1", st.Served, st.Recomputed)
+	}
+	query()
+	if st = ix.Stats(); st.Served != 2 || st.Recomputed != 1 {
+		t.Fatalf("repeat query must hit the memo: served=%d recomputed=%d", st.Served, st.Recomputed)
+	}
+
+	// A mutation far outside the cached window [0, 100] leaves it valid.
+	if _, err := s.Ingest([]graph.Edge[uint64]{{U: 7, V: 8, Meta: 900}}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	query()
+	if st = ix.Stats(); st.Recomputed != 1 {
+		t.Fatalf("out-of-window mutation must keep the memo: recomputed=%d", st.Recomputed)
+	}
+
+	// One inside invalidates it.
+	if _, err := s.Ingest([]graph.Edge[uint64]{{U: 1, V: 4, Meta: 15}}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	query()
+	if st = ix.Stats(); st.Recomputed != 2 {
+		t.Fatalf("in-window mutation must invalidate the memo: recomputed=%d", st.Recomputed)
+	}
+
+	// Unknown analyses fall through to the traversal path.
+	if _, handled, _ := ix.ServeQuery("count", nil, nil, nil, nil); handled {
+		t.Fatal("non-truss analyses must not be index-handled")
+	}
+}

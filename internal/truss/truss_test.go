@@ -1,0 +1,180 @@
+package truss
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tripoll/internal/analysis"
+	"tripoll/internal/core"
+	"tripoll/internal/graph"
+	"tripoll/internal/serialize"
+	"tripoll/internal/ygm"
+)
+
+// The truss parity property: the distributed analyses — span-bucketed
+// support accumulated over the fused traversal, peeled at Finalize — must
+// produce byte-identical JSON to the single-machine reference
+// (analysis.TrussDecomposition on the same windowed edge set), across
+// orderings × transports × modes.
+
+func minMerge(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type edgeRec struct {
+	u, v, ts uint64
+}
+
+// genEdges produces a random multigraph with duplicates; the canonical
+// live set after min-merge is what both sides must agree on.
+func genEdges(seed int64, n int, nv uint64, horizon uint64) []edgeRec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]edgeRec, 0, n)
+	for i := 0; i < n; i++ {
+		u, v := rng.Uint64()%nv, rng.Uint64()%nv
+		if u == v {
+			continue
+		}
+		out = append(out, edgeRec{u, v, rng.Uint64() % horizon})
+	}
+	return out
+}
+
+// liveSet folds the records into the canonical (min-merged) edge set.
+func liveSet(recs []edgeRec) map[analysis.Edge]uint64 {
+	live := map[analysis.Edge]uint64{}
+	for _, e := range recs {
+		k := analysis.Canon(e.u, e.v)
+		if old, ok := live[k]; ok {
+			live[k] = minMerge(old, e.ts)
+		} else {
+			live[k] = e.ts
+		}
+	}
+	return live
+}
+
+func buildGraph(w *ygm.World, recs []edgeRec, ord graph.Ordering) *graph.DODGr[serialize.Unit, uint64] {
+	b := graph.NewBuilder(w, serialize.UnitCodec(), serialize.Uint64Codec(), graph.BuilderOptions[uint64]{Ordering: ord, MergeEdgeMeta: minMerge})
+	var g *graph.DODGr[serialize.Unit, uint64]
+	w.Parallel(func(r *ygm.Rank) {
+		for i := r.ID(); i < len(recs); i += r.Size() {
+			b.AddEdge(r, recs[i].u, recs[i].v, recs[i].ts)
+		}
+		gg := b.Build(r)
+		if r.ID() == 0 {
+			g = gg
+		}
+	})
+	return g
+}
+
+// serialDecomp is the reference: trussness of the subgraph of live edges
+// timestamped inside the window.
+func serialDecomp(live map[analysis.Edge]uint64, wn Window) map[analysis.Edge]int {
+	var edges []analysis.Edge
+	for e, ts := range live {
+		if ts >= wn.From && ts <= wn.Until {
+			edges = append(edges, e)
+		}
+	}
+	return analysis.TrussDecomposition(edges)
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+func TestTrussParityProperty(t *testing.T) {
+	const horizon = 1 << 10
+	recs := genEdges(11, 420, 48, horizon)
+	live := liveSet(recs)
+	windows := []Window{
+		WholeWindow(),
+		{From: 0, Until: horizon / 2},
+		{From: horizon / 4, Until: horizon - 1},
+	}
+	spans := []Window{
+		{From: 0, Until: horizon / 3},
+		{From: horizon / 4, Until: 3 * horizon / 4},
+		{From: 0, Until: horizon},
+	}
+	for _, tr := range []ygm.TransportKind{ygm.TransportChannel, ygm.TransportTCP} {
+		for _, ord := range []graph.Ordering{graph.OrderDegree, graph.OrderDegeneracy} {
+			for _, mode := range []core.Mode{core.PushOnly, core.PushPull} {
+				label := fmt.Sprintf("%v/%v/%v", tr, ord, mode)
+				w := ygm.MustWorld(3, ygm.Options{Transport: tr})
+				g := buildGraph(w, recs, ord)
+
+				for wi, win := range windows {
+					plan := core.TemporalPlan().Window(win.From, win.Until)
+					var out *Accum
+					if _, err := core.Run(g, core.Options{Mode: mode}, plan,
+						TrussnessAnalysis(g, win).Bind(&out)); err != nil {
+						t.Fatalf("%s: run trussness: %v", label, err)
+					}
+					ref := serialDecomp(live, win)
+					want := mustJSON(t, buildDecomp(ref))
+					got := mustJSON(t, out.Outcome())
+					if got != want {
+						t.Errorf("%s: window %d: trussness diverges\n got  %s\n want %s", label, wi, got, want)
+					}
+
+					var mout *Accum
+					if _, err := core.Run(g, core.Options{Mode: mode}, plan,
+						MaxTrussAnalysis(g, win).Bind(&mout)); err != nil {
+						t.Fatalf("%s: run maxtruss: %v", label, err)
+					}
+					if got, want := mustJSON(t, mout.Outcome()), mustJSON(t, buildMax(ref)); got != want {
+						t.Errorf("%s: window %d: maxtruss diverges\n got  %s\n want %s", label, wi, got, want)
+					}
+				}
+
+				env := WholeWindow()
+				k, sp, err := SpanTrussArgs{K: 3, Spans: spans}.Normalize(env)
+				if err != nil {
+					t.Fatalf("%s: normalize: %v", label, err)
+				}
+				var sout *Accum
+				if _, err := core.Run(g, core.Options{Mode: mode}, core.TemporalPlan(),
+					SpanTrussAnalysis(g, env, k, sp).Bind(&sout)); err != nil {
+					t.Fatalf("%s: run spantruss: %v", label, err)
+				}
+				want := SpanResult{K: k, Spans: make([]SpanTruss, len(sp))}
+				for i, s := range sp {
+					want.Spans[i] = buildSpanTruss(k, s, serialDecomp(live, s))
+				}
+				if got, wantS := mustJSON(t, sout.Outcome()), mustJSON(t, want); got != wantS {
+					t.Errorf("%s: spantruss diverges\n got  %s\n want %s", label, got, wantS)
+				}
+
+				w.Close()
+			}
+		}
+	}
+}
+
+// TestSpanTrussArgsNormalize pins the argument defaults and rejections.
+func TestSpanTrussArgsNormalize(t *testing.T) {
+	env := Window{From: 10, Until: 90}
+	k, spans, err := SpanTrussArgs{}.Normalize(env)
+	if err != nil || k != 3 || len(spans) != 1 || spans[0] != env {
+		t.Fatalf("zero args: got k=%d spans=%v err=%v, want k=3 spans=[env]", k, spans, err)
+	}
+	if _, _, err := (SpanTrussArgs{K: 1}).Normalize(env); err == nil {
+		t.Fatal("k=1 must be rejected")
+	}
+	if _, _, err := (SpanTrussArgs{Spans: []Window{{From: 5, Until: 2}}}).Normalize(env); err == nil {
+		t.Fatal("inverted span must be rejected")
+	}
+}

@@ -59,6 +59,12 @@ type AttachedStreamAnalysis[VM, EM any] = core.StreamAttached[VM, EM]
 // plan has no Timestamps accessor to read expiry times from.
 var ErrStreamNoTimestamps = core.ErrStreamNoTimestamps
 
+// StreamSink is a maintained structure kept continuously consistent with a
+// stream's live window: where an analysis folds triangles into an
+// accumulator, a sink keeps an index (e.g. NewTrussIndex). Sinks attach at
+// open via OpenStreamSinks.
+type StreamSink[VM, EM any] = core.StreamSink[VM, EM]
+
 // OpenStream opens a stream over g's world, partitioning and ordering,
 // seeded with g's edges and vertex metadata: the attached analyses start
 // out holding exactly what a fused Run over g would produce, and every
@@ -68,6 +74,14 @@ var ErrStreamNoTimestamps = core.ErrStreamNoTimestamps
 // is what Advance expires by). Call outside Parallel regions.
 func OpenStream[VM, EM any](g *Graph[VM, EM], opts StreamOptions[EM], plan *SurveyPlan[EM], analyses ...AttachedStreamAnalysis[VM, EM]) (*Stream[VM, EM], error) {
 	return core.OpenStream(g, opts, plan, analyses...)
+}
+
+// OpenStreamSinks is OpenStream with maintained sinks attached: each sink
+// observes the seed graph's edges and triangles before the first batch and
+// is kept consistent through every Ingest/Advance thereafter. Sinks must
+// attach at open — attached later they would have missed the seed events.
+func OpenStreamSinks[VM, EM any](g *Graph[VM, EM], opts StreamOptions[EM], plan *SurveyPlan[EM], sinks []StreamSink[VM, EM], analyses ...AttachedStreamAnalysis[VM, EM]) (*Stream[VM, EM], error) {
+	return core.OpenStreamSinks(g, opts, plan, sinks, analyses...)
 }
 
 // Stock invertible analyses — the streaming counterparts of the stock
